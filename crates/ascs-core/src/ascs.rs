@@ -1,0 +1,350 @@
+//! The Active Sampling Count Sketch itself (Algorithm 2).
+//!
+//! [`AscsSketch`] wraps a [`CountSketch`] with the two-phase ingestion rule:
+//!
+//! * **Exploration** (`t ≤ T0`): every offered update is inserted, exactly
+//!   as vanilla CS would.
+//! * **Sampling** (`t > T0`): the pair's current estimate is read first and
+//!   the update is inserted only when that estimate clears the threshold
+//!   `τ(t − 1)` of the configured [`ThresholdSchedule`].
+//!
+//! Updates are scaled by `1/T` on insertion (Algorithm 2 lines 6 and 12) so
+//! that the retrieval (line 15) directly estimates the mean `μ_i`.
+//!
+//! The sketch also keeps a bounded [`TopKTracker`] of the largest estimates
+//! seen, so the top pairs can be reported after one pass even when the item
+//! universe is far too large to enumerate.
+
+use crate::config::SketchGeometry;
+use crate::hyper::HyperParameters;
+use crate::schedule::ThresholdSchedule;
+use ascs_count_sketch::{CountSketch, TopKTracker};
+use serde::{Deserialize, Serialize};
+
+/// Which phase of Algorithm 2 the sketch is in at a given stream time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AscsPhase {
+    /// `t ≤ T0`: every update is ingested.
+    Exploration,
+    /// `t > T0`: only updates whose current estimate clears `τ(t−1)` are
+    /// ingested.
+    Sampling,
+}
+
+/// Outcome of offering one update to the sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OfferOutcome {
+    /// Whether the update was inserted into the sketch.
+    pub inserted: bool,
+    /// The phase the sketch was in when the update arrived.
+    pub phase: AscsPhase,
+}
+
+/// Active Sampling Count Sketch (Algorithm 2 of the paper).
+#[derive(Debug, Clone)]
+pub struct AscsSketch {
+    sketch: CountSketch,
+    schedule: ThresholdSchedule,
+    t0: u64,
+    total: u64,
+    tracker: TopKTracker,
+    /// Gate on `|estimate|` rather than the signed estimate. The paper's
+    /// problem statement assumes positive signals (Algorithm 2 line 11 uses
+    /// the signed estimate) but its theorems gate on the absolute value;
+    /// using the absolute value also recovers strongly *negative*
+    /// covariances, so it is the default.
+    absolute_gate: bool,
+    inserted: u64,
+    skipped: u64,
+}
+
+impl AscsSketch {
+    /// Creates an ASCS with the given sketch geometry, hyperparameters and
+    /// total stream length.
+    pub fn new(
+        geometry: SketchGeometry,
+        hyper: &HyperParameters,
+        total_samples: u64,
+        top_k_capacity: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(total_samples > 0, "total_samples must be positive");
+        assert!(
+            hyper.t0 <= total_samples,
+            "exploration period exceeds the stream length"
+        );
+        Self {
+            sketch: CountSketch::new(geometry.rows, geometry.range, seed),
+            schedule: hyper.schedule(total_samples),
+            t0: hyper.t0,
+            total: total_samples,
+            tracker: TopKTracker::new(top_k_capacity),
+            absolute_gate: true,
+            inserted: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Builds a *vanilla count sketch* in ASCS clothing: the exploration
+    /// period covers the whole stream, so every update is always ingested
+    /// (Algorithm 1). Used as the CS baseline everywhere.
+    pub fn vanilla(
+        geometry: SketchGeometry,
+        total_samples: u64,
+        top_k_capacity: usize,
+        seed: u64,
+    ) -> Self {
+        let hyper = HyperParameters {
+            t0: total_samples,
+            theta: 0.0,
+            tau0: 0.0,
+            delta: 0.5,
+            delta_star: 0.999,
+        };
+        Self::new(geometry, &hyper, total_samples, top_k_capacity, seed)
+    }
+
+    /// Switches the sampling gate to the signed estimate (`μ̂ ≥ τ`), the
+    /// literal reading of Algorithm 2 line 11.
+    pub fn with_signed_gate(mut self) -> Self {
+        self.absolute_gate = false;
+        self
+    }
+
+    /// Exploration length `T0`.
+    pub fn exploration_length(&self) -> u64 {
+        self.t0
+    }
+
+    /// Total stream length `T`.
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+
+    /// The threshold schedule in force.
+    pub fn schedule(&self) -> &ThresholdSchedule {
+        &self.schedule
+    }
+
+    /// The phase at stream time `t` (1-based).
+    pub fn phase(&self, t: u64) -> AscsPhase {
+        if t <= self.t0 {
+            AscsPhase::Exploration
+        } else {
+            AscsPhase::Sampling
+        }
+    }
+
+    /// Number of updates inserted into the sketch so far.
+    pub fn inserted_updates(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Number of updates skipped by the sampling gate so far.
+    pub fn skipped_updates(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The backing count sketch (read-only).
+    pub fn sketch(&self) -> &CountSketch {
+        &self.sketch
+    }
+
+    /// Offers the update `x = X_i^{(t)}` for item `key` at stream time `t`
+    /// (1-based). Returns whether it was ingested.
+    pub fn offer(&mut self, key: u64, x: f64, t: u64) -> OfferOutcome {
+        let phase = self.phase(t);
+        let accept = match phase {
+            AscsPhase::Exploration => true,
+            AscsPhase::Sampling => {
+                let estimate = self.sketch.estimate(key);
+                let tau = self.schedule.tau(t - 1);
+                if self.absolute_gate {
+                    estimate.abs() >= tau
+                } else {
+                    estimate >= tau
+                }
+            }
+        };
+        if accept {
+            self.sketch.update(key, x / self.total as f64);
+            self.inserted += 1;
+            // Track the fresh estimate so the top pairs can be reported
+            // without a second enumeration pass.
+            let fresh = self.sketch.estimate(key);
+            self.tracker.offer(key, if self.absolute_gate { fresh.abs() } else { fresh });
+        } else {
+            self.skipped += 1;
+        }
+        OfferOutcome {
+            inserted: accept,
+            phase,
+        }
+    }
+
+    /// Final (or current) estimate of `μ_i` for item `key`.
+    pub fn estimate(&self, key: u64) -> f64 {
+        self.sketch.estimate(key)
+    }
+
+    /// The top tracked items, largest estimate magnitude first.
+    pub fn top_pairs(&self) -> Vec<(u64, f64)> {
+        self.tracker.descending()
+    }
+
+    /// Memory footprint in float-equivalent words (sketch table only; the
+    /// tracker is reporting state, not sketch state).
+    pub fn memory_words(&self) -> usize {
+        use ascs_count_sketch::PointSketch as _;
+        self.sketch.memory_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SketchGeometry;
+
+    fn hyper(t0: u64, theta: f64, tau0: f64) -> HyperParameters {
+        HyperParameters {
+            t0,
+            theta,
+            tau0,
+            delta: 0.05,
+            delta_star: 0.2,
+        }
+    }
+
+    fn small_ascs(t0: u64, total: u64) -> AscsSketch {
+        AscsSketch::new(
+            SketchGeometry::new(5, 512),
+            &hyper(t0, 0.3, 0.01),
+            total,
+            16,
+            7,
+        )
+    }
+
+    #[test]
+    fn exploration_phase_ingests_everything() {
+        let mut a = small_ascs(10, 100);
+        for t in 1..=10 {
+            let out = a.offer(3, 0.5, t);
+            assert!(out.inserted);
+            assert_eq!(out.phase, AscsPhase::Exploration);
+        }
+        assert_eq!(a.inserted_updates(), 10);
+        assert_eq!(a.skipped_updates(), 0);
+    }
+
+    #[test]
+    fn sampling_phase_skips_items_below_threshold() {
+        let mut a = small_ascs(5, 100);
+        // Item 1 builds a solid estimate during exploration; item 2 never
+        // appears until sampling starts and should be gated out.
+        for t in 1..=5 {
+            a.offer(1, 1.0, t);
+        }
+        // estimate(1) ≈ 5/100 = 0.05 ≥ tau = 0.01 → keeps being sampled.
+        let kept = a.offer(1, 1.0, 6);
+        assert!(kept.inserted);
+        assert_eq!(kept.phase, AscsPhase::Sampling);
+        // estimate(2) = 0 < 0.01 → skipped.
+        let skipped = a.offer(2, 1.0, 6);
+        assert!(!skipped.inserted);
+        assert_eq!(a.skipped_updates(), 1);
+        // And the skipped update must not have changed the sketch.
+        assert_eq!(a.estimate(2), 0.0);
+    }
+
+    #[test]
+    fn rising_threshold_eventually_filters_weak_items() {
+        // theta large → threshold ramps quickly past the weak item's mean.
+        let geometry = SketchGeometry::new(5, 1024);
+        let mut a = AscsSketch::new(geometry, &hyper(10, 0.9, 0.0), 200, 16, 3);
+        let weak = 11u64;
+        let strong = 22u64;
+        let mut weak_inserted = 0;
+        let mut strong_inserted = 0;
+        for t in 1..=200 {
+            if a.offer(weak, 0.05, t).inserted {
+                weak_inserted += 1;
+            }
+            if a.offer(strong, 1.0, t).inserted {
+                strong_inserted += 1;
+            }
+        }
+        assert_eq!(strong_inserted, 200, "strong item must never be dropped");
+        assert!(
+            weak_inserted < 150,
+            "weak item should be cut off by the rising threshold, got {weak_inserted}"
+        );
+    }
+
+    #[test]
+    fn absolute_gate_keeps_negative_signals_signed_gate_drops_them() {
+        let geometry = SketchGeometry::new(5, 1024);
+        let run = |signed: bool| {
+            let mut a = AscsSketch::new(geometry, &hyper(10, 0.2, 0.01), 100, 16, 5);
+            if signed {
+                a = a.with_signed_gate();
+            }
+            let mut inserted = 0;
+            for t in 1..=100 {
+                if a.offer(7, -1.0, t).inserted {
+                    inserted += 1;
+                }
+            }
+            inserted
+        };
+        let with_abs = run(false);
+        let with_signed = run(true);
+        assert_eq!(with_abs, 100);
+        assert!(with_signed <= 15, "signed gate kept {with_signed} updates");
+    }
+
+    #[test]
+    fn estimates_converge_to_the_mean_scale() {
+        // A signal inserted every round with value 0.8: final estimate ≈ 0.8.
+        let mut a = small_ascs(20, 500);
+        for t in 1..=500 {
+            a.offer(42, 0.8, t);
+        }
+        assert!((a.estimate(42) - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn top_pairs_surface_the_strong_items() {
+        let mut a = small_ascs(10, 300);
+        for t in 1..=300u64 {
+            a.offer(1, 1.0, t);
+            a.offer(2, 0.7, t);
+            if t % 10 == 0 {
+                a.offer(3, 0.05, t);
+            }
+        }
+        let top = a.top_pairs();
+        assert!(top.len() >= 2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 2);
+    }
+
+    #[test]
+    fn phase_boundaries_are_inclusive_of_t0() {
+        let a = small_ascs(10, 100);
+        assert_eq!(a.phase(10), AscsPhase::Exploration);
+        assert_eq!(a.phase(11), AscsPhase::Sampling);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the stream length")]
+    fn t0_longer_than_stream_is_rejected() {
+        let _ = small_ascs(200, 100);
+    }
+
+    #[test]
+    fn memory_words_reports_sketch_table() {
+        let a = small_ascs(10, 100);
+        assert_eq!(a.memory_words(), 5 * 512);
+    }
+}

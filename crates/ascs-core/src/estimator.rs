@@ -1,0 +1,547 @@
+//! High-level one-pass covariance/correlation estimator.
+//!
+//! [`CovarianceEstimator`] wires together the streaming engine
+//! ([`StreamContext`]), a sketch backend (ASCS, vanilla CS, Augmented
+//! Sketch or Cold Filter) and the reporting machinery. Every experiment in
+//! the benchmark harness — and every example — goes through this type, so
+//! the backends are guaranteed to see byte-for-byte identical update
+//! streams.
+
+use crate::ascs::AscsSketch;
+use crate::config::AscsConfig;
+use crate::hyper::{HyperParameterSolver, HyperParameters, SolveError};
+use crate::pair::PairIndexer;
+use crate::snr::SnrProbe;
+use crate::stream::{Sample, StreamContext};
+use crate::theory::TheoryBounds;
+use ascs_count_sketch::{AugmentedSketch, ColdFilter, PointSketch, TopKTracker};
+use serde::{Deserialize, Serialize};
+
+/// Which sketching strategy backs the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SketchBackend {
+    /// Active Sampling Count Sketch (the paper's contribution).
+    Ascs,
+    /// Vanilla count sketch (Algorithm 1) — the primary baseline.
+    VanillaCs,
+    /// Augmented Sketch baseline (Roy et al. 2016) with the given filter
+    /// capacity (number of exactly tracked hot pairs).
+    AugmentedSketch {
+        /// Number of filter slots.
+        filter_capacity: usize,
+    },
+    /// Cold Filter baseline (Zhou et al. 2018).
+    ColdFilter {
+        /// Promotion threshold on accumulated |update| (on the `1/T`-scaled
+        /// stream the sketch actually sees).
+        threshold: f64,
+        /// Buckets per row of the small filter structures.
+        filter_range: usize,
+    },
+}
+
+/// One reported pair: the feature indices, the linear key and the final
+/// estimate of its mean (covariance or correlation, per the config).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReportedPair {
+    /// Linear pair key.
+    pub key: u64,
+    /// First feature index (`a < b`).
+    pub a: u64,
+    /// Second feature index.
+    pub b: u64,
+    /// Estimated mean of the pair's updates (≈ covariance or correlation).
+    pub estimate: f64,
+}
+
+enum BackendState {
+    Ascs(AscsSketch),
+    Asketch {
+        sketch: AugmentedSketch,
+        tracker: TopKTracker,
+    },
+    Cold {
+        sketch: ColdFilter,
+        tracker: TopKTracker,
+    },
+}
+
+impl BackendState {
+    fn estimate(&self, key: u64) -> f64 {
+        match self {
+            Self::Ascs(a) => a.estimate(key),
+            Self::Asketch { sketch, .. } => sketch.estimate(key),
+            Self::Cold { sketch, .. } => sketch.estimate(key),
+        }
+    }
+
+    /// Routes one scaled-by-`1/T` update; returns whether it was ingested by
+    /// the main structure (ASCS may skip it, the baselines never do).
+    fn offer(&mut self, key: u64, raw_value: f64, t: u64, total: u64) -> bool {
+        match self {
+            Self::Ascs(a) => a.offer(key, raw_value, t).inserted,
+            Self::Asketch { sketch, tracker } => {
+                sketch.update(key, raw_value / total as f64);
+                tracker.offer(key, sketch.estimate(key).abs());
+                true
+            }
+            Self::Cold { sketch, tracker } => {
+                sketch.update(key, raw_value / total as f64);
+                tracker.offer(key, sketch.estimate(key).abs());
+                true
+            }
+        }
+    }
+
+    fn top_pairs(&self) -> Vec<(u64, f64)> {
+        match self {
+            Self::Ascs(a) => a.top_pairs(),
+            Self::Asketch { tracker, .. } | Self::Cold { tracker, .. } => tracker.descending(),
+        }
+    }
+
+    fn memory_words(&self) -> usize {
+        match self {
+            Self::Ascs(a) => a.memory_words(),
+            Self::Asketch { sketch, .. } => sketch.memory_words(),
+            Self::Cold { sketch, .. } => sketch.memory_words(),
+        }
+    }
+}
+
+/// One-pass estimator of the large entries of a covariance/correlation
+/// matrix.
+pub struct CovarianceEstimator {
+    config: AscsConfig,
+    ctx: StreamContext,
+    backend: BackendState,
+    backend_kind: SketchBackend,
+    hyper: Option<HyperParameters>,
+    probe: Option<SnrProbe>,
+    t: u64,
+}
+
+impl CovarianceEstimator {
+    /// Builds an estimator. For the [`SketchBackend::Ascs`] backend the
+    /// hyperparameters `(T0, θ)` are derived from the config via
+    /// Algorithm 3; the other backends need no solving.
+    pub fn new(config: AscsConfig, backend: SketchBackend) -> Result<Self, SolveError> {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid ASCS configuration: {e}"));
+        let hyper = match backend {
+            SketchBackend::Ascs => {
+                let bounds = TheoryBounds::new(
+                    config.num_pairs(),
+                    config.geometry.range,
+                    config.geometry.rows,
+                    config.alpha,
+                    config.sigma,
+                    config.signal_strength,
+                    config.total_samples,
+                );
+                let solver = HyperParameterSolver::new(bounds);
+                Some(solver.solve(config.tau0, config.delta, config.delta_star)?)
+            }
+            _ => None,
+        };
+        Ok(Self::with_hyperparameters(config, backend, hyper))
+    }
+
+    /// Like [`CovarianceEstimator::new`], but never fails: when Algorithm 3
+    /// cannot satisfy the Theorem 1 target (extremely aggressive
+    /// compression with a short stream), the exploration length falls back
+    /// to 10 % of the stream — the fixed-fraction setting Theorem 3 itself
+    /// analyses. Returns the estimator plus a flag saying whether the
+    /// fallback was used.
+    pub fn new_or_fallback(config: AscsConfig, backend: SketchBackend) -> (Self, bool) {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid ASCS configuration: {e}"));
+        let (hyper, fell_back) = match backend {
+            SketchBackend::Ascs => {
+                let bounds = TheoryBounds::new(
+                    config.num_pairs(),
+                    config.geometry.range,
+                    config.geometry.rows,
+                    config.alpha,
+                    config.sigma,
+                    config.signal_strength,
+                    config.total_samples,
+                );
+                let solver = HyperParameterSolver::new(bounds);
+                let (hp, fell_back) =
+                    solver.solve_or_fallback(config.tau0, config.delta, config.delta_star, 0.1);
+                (Some(hp), fell_back)
+            }
+            _ => (None, false),
+        };
+        (
+            Self::with_hyperparameters(config, backend, hyper),
+            fell_back,
+        )
+    }
+
+    /// Builds an estimator with explicitly supplied hyperparameters
+    /// (bypassing Algorithm 3) — used by the validation experiments that
+    /// sweep `T0` and `θ` directly.
+    pub fn with_hyperparameters(
+        config: AscsConfig,
+        backend: SketchBackend,
+        hyper: Option<HyperParameters>,
+    ) -> Self {
+        let ctx = StreamContext::new(config.dim, config.update_mode, config.estimand);
+        let backend_state = match backend {
+            SketchBackend::Ascs => {
+                let hp = hyper.expect("ASCS backend requires hyperparameters");
+                BackendState::Ascs(AscsSketch::new(
+                    config.geometry,
+                    &hp,
+                    config.total_samples,
+                    config.top_k_capacity,
+                    config.seed,
+                ))
+            }
+            SketchBackend::VanillaCs => BackendState::Ascs(AscsSketch::vanilla(
+                config.geometry,
+                config.total_samples,
+                config.top_k_capacity,
+                config.seed,
+            )),
+            SketchBackend::AugmentedSketch { filter_capacity } => BackendState::Asketch {
+                sketch: AugmentedSketch::new(
+                    config.geometry.rows,
+                    config.geometry.range,
+                    filter_capacity,
+                    config.seed,
+                ),
+                tracker: TopKTracker::new(config.top_k_capacity),
+            },
+            SketchBackend::ColdFilter {
+                threshold,
+                filter_range,
+            } => BackendState::Cold {
+                sketch: ColdFilter::new(
+                    config.geometry.rows,
+                    config.geometry.range,
+                    2,
+                    filter_range,
+                    threshold,
+                    config.seed,
+                ),
+                tracker: TopKTracker::new(config.top_k_capacity),
+            },
+        };
+        Self {
+            config,
+            ctx,
+            backend: backend_state,
+            backend_kind: backend,
+            hyper,
+            probe: None,
+            t: 0,
+        }
+    }
+
+    /// Attaches an SNR probe that knows the ground-truth signal keys
+    /// (Figure 5 instrumentation).
+    pub fn with_snr_probe(mut self, signal_keys: impl IntoIterator<Item = u64>) -> Self {
+        self.probe = Some(SnrProbe::new(signal_keys));
+        self
+    }
+
+    /// The configuration this estimator runs with.
+    pub fn config(&self) -> &AscsConfig {
+        &self.config
+    }
+
+    /// The backend kind.
+    pub fn backend(&self) -> SketchBackend {
+        self.backend_kind
+    }
+
+    /// The hyperparameters Algorithm 3 produced (ASCS backend only).
+    pub fn hyperparameters(&self) -> Option<&HyperParameters> {
+        self.hyper.as_ref()
+    }
+
+    /// Number of samples processed so far.
+    pub fn processed_samples(&self) -> u64 {
+        self.t
+    }
+
+    /// The pair indexer (shared coordinates with the evaluation layer).
+    pub fn indexer(&self) -> &PairIndexer {
+        self.ctx.indexer()
+    }
+
+    /// The attached SNR probe, if any.
+    pub fn snr_probe(&self) -> Option<&SnrProbe> {
+        self.probe.as_ref()
+    }
+
+    /// Memory footprint of the sketch state in float-equivalent words.
+    pub fn memory_words(&self) -> usize {
+        self.backend.memory_words()
+    }
+
+    /// Number of updates inserted / skipped (skipped is only non-zero for
+    /// the ASCS backend).
+    pub fn update_counts(&self) -> (u64, u64) {
+        match &self.backend {
+            BackendState::Ascs(a) => (a.inserted_updates(), a.skipped_updates()),
+            BackendState::Asketch { sketch, .. } => (sketch.sketch().update_count(), 0),
+            BackendState::Cold { sketch, .. } => {
+                (sketch.promoted_updates() + sketch.cold_updates(), 0)
+            }
+        }
+    }
+
+    /// Processes one sample; returns the number of pair updates it emitted.
+    pub fn process_sample(&mut self, sample: &Sample) -> u64 {
+        self.t += 1;
+        let t = self.t;
+        let total = self.config.total_samples;
+        let backend = &mut self.backend;
+        let probe = &mut self.probe;
+        if let Some(p) = probe.as_mut() {
+            p.begin_sample();
+        }
+        let emitted = self.ctx.ingest(sample, |update| {
+            let inserted = backend.offer(update.key, update.value, t, total);
+            if inserted {
+                if let Some(p) = probe.as_mut() {
+                    p.record_inserted(update.key, update.value);
+                }
+            }
+        });
+        if let Some(p) = probe.as_mut() {
+            p.end_sample();
+        }
+        emitted
+    }
+
+    /// Processes every sample of an iterator.
+    pub fn process_all<'a>(&mut self, samples: impl IntoIterator<Item = &'a Sample>) -> u64 {
+        samples.into_iter().map(|s| self.process_sample(s)).sum()
+    }
+
+    /// Final estimate for the pair `(a, b)`.
+    pub fn estimate_pair(&self, a: u64, b: u64) -> f64 {
+        self.backend.estimate(self.ctx.indexer().index(a, b))
+    }
+
+    /// Final estimate for a linear pair key.
+    pub fn estimate_key(&self, key: u64) -> f64 {
+        self.backend.estimate(key)
+    }
+
+    /// Estimates for every pair key in `0..p` — only sensible for moderate
+    /// dimensionality (the rigorous-evaluation setting of Section 8.3).
+    pub fn all_estimates(&self) -> Vec<f64> {
+        let p = self.config.num_pairs();
+        assert!(
+            p <= 50_000_000,
+            "enumerating {p} pairs would be prohibitively slow; use top_pairs()"
+        );
+        (0..p).map(|key| self.backend.estimate(key)).collect()
+    }
+
+    /// The top tracked pairs (largest estimate magnitude first), decoded
+    /// into feature coordinates. At most `k` pairs are returned.
+    pub fn top_pairs(&self, k: usize) -> Vec<ReportedPair> {
+        let indexer = self.ctx.indexer();
+        self.backend
+            .top_pairs()
+            .into_iter()
+            .take(k)
+            .map(|(key, estimate)| {
+                let (a, b) = indexer.pair(key);
+                ReportedPair {
+                    key,
+                    a,
+                    b,
+                    estimate,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EstimandKind, SketchGeometry, UpdateMode};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Builds a small low-SNR stream: `dim` features, the pair (0, 1) is a
+    /// true signal (features 0 and 1 are strongly correlated), everything
+    /// else is independent noise.
+    fn correlated_stream(dim: usize, n: usize, rho: f64, seed: u64) -> Vec<Sample> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0_f64)).collect();
+                // Make feature 1 a noisy copy of feature 0.
+                v[1] = rho * v[0] + (1.0 - rho) * rng.gen_range(-1.0..1.0);
+                Sample::dense(v)
+            })
+            .collect()
+    }
+
+    fn config(dim: u64, total: u64, range: usize) -> AscsConfig {
+        AscsConfig {
+            dim,
+            total_samples: total,
+            geometry: SketchGeometry::new(5, range),
+            alpha: 0.02,
+            signal_strength: 0.1,
+            sigma: 0.2,
+            delta: 0.05,
+            delta_star: 0.20,
+            tau0: 1e-4,
+            estimand: EstimandKind::Covariance,
+            update_mode: UpdateMode::Product,
+            seed: 11,
+            top_k_capacity: 50,
+        }
+    }
+
+    #[test]
+    fn ascs_backend_solves_hyperparameters() {
+        let est = CovarianceEstimator::new(config(50, 2000, 2000), SketchBackend::Ascs).unwrap();
+        let hp = est.hyperparameters().unwrap();
+        assert!(hp.t0 > 0 && hp.t0 < 2000);
+        assert!(hp.theta >= 0.0 && hp.theta < 0.1);
+    }
+
+    #[test]
+    fn vanilla_backend_never_skips() {
+        let cfg = config(20, 200, 500);
+        let samples = correlated_stream(20, 200, 0.9, 3);
+        let mut est = CovarianceEstimator::new(cfg, SketchBackend::VanillaCs).unwrap();
+        est.process_all(samples.iter());
+        let (inserted, skipped) = est.update_counts();
+        assert!(inserted > 0);
+        assert_eq!(skipped, 0);
+        assert_eq!(est.processed_samples(), 200);
+    }
+
+    #[test]
+    fn signal_pair_is_recovered_by_both_cs_and_ascs() {
+        let dim = 30u64;
+        let n = 1500usize;
+        let samples = correlated_stream(dim as usize, n, 0.95, 7);
+        for backend in [SketchBackend::VanillaCs, SketchBackend::Ascs] {
+            let cfg = config(dim, n as u64, 4000);
+            let mut est = CovarianceEstimator::new(cfg, backend).unwrap();
+            est.process_all(samples.iter());
+            let top = est.top_pairs(5);
+            assert!(!top.is_empty(), "{backend:?} reported nothing");
+            assert_eq!(
+                (top[0].a, top[0].b),
+                (0, 1),
+                "{backend:?} failed to put the planted pair first: {top:?}"
+            );
+            // The estimate should be near the true covariance of the pair,
+            // which for this construction is ≈ rho * Var(Y0) ≈ 0.95/3.
+            assert!(top[0].estimate > 0.15, "{backend:?}: {}", top[0].estimate);
+        }
+    }
+
+    #[test]
+    fn ascs_skips_noise_updates_after_exploration() {
+        let dim = 30u64;
+        let n = 1500usize;
+        let samples = correlated_stream(dim as usize, n, 0.95, 13);
+        let cfg = config(dim, n as u64, 1000);
+        let mut est = CovarianceEstimator::new(cfg, SketchBackend::Ascs).unwrap();
+        est.process_all(samples.iter());
+        let (inserted, skipped) = est.update_counts();
+        assert!(skipped > 0, "ASCS never skipped anything");
+        assert!(inserted > 0);
+    }
+
+    #[test]
+    fn estimate_pair_matches_estimate_key() {
+        let cfg = config(20, 100, 500);
+        let samples = correlated_stream(20, 100, 0.9, 5);
+        let mut est = CovarianceEstimator::new(cfg, SketchBackend::VanillaCs).unwrap();
+        est.process_all(samples.iter());
+        let key = est.indexer().index(0, 1);
+        assert_eq!(est.estimate_pair(0, 1), est.estimate_key(key));
+        assert_eq!(est.estimate_pair(1, 0), est.estimate_pair(0, 1));
+    }
+
+    #[test]
+    fn all_estimates_covers_every_pair() {
+        let cfg = config(10, 50, 200);
+        let samples = correlated_stream(10, 50, 0.8, 9);
+        let mut est = CovarianceEstimator::new(cfg, SketchBackend::VanillaCs).unwrap();
+        est.process_all(samples.iter());
+        let all = est.all_estimates();
+        assert_eq!(all.len(), 45);
+        let key = est.indexer().index(0, 1) as usize;
+        assert_eq!(all[key], est.estimate_pair(0, 1));
+    }
+
+    #[test]
+    fn asketch_and_cold_filter_backends_run_end_to_end() {
+        let dim = 20u64;
+        let n = 400usize;
+        let samples = correlated_stream(dim as usize, n, 0.95, 21);
+        for backend in [
+            SketchBackend::AugmentedSketch { filter_capacity: 32 },
+            SketchBackend::ColdFilter {
+                threshold: 1e-3,
+                filter_range: 128,
+            },
+        ] {
+            let cfg = config(dim, n as u64, 1000);
+            let mut est = CovarianceEstimator::new(cfg, backend).unwrap();
+            est.process_all(samples.iter());
+            let top = est.top_pairs(3);
+            assert!(!top.is_empty());
+            assert_eq!((top[0].a, top[0].b), (0, 1), "{backend:?}: {top:?}");
+        }
+    }
+
+    #[test]
+    fn snr_probe_records_only_inserted_updates() {
+        let dim = 20u64;
+        let n = 600usize;
+        let samples = correlated_stream(dim as usize, n, 0.95, 17);
+        let cfg = config(dim, n as u64, 800);
+        let signal_key = PairIndexer::new(dim).index(0, 1);
+        let mut est = CovarianceEstimator::new(cfg, SketchBackend::Ascs)
+            .unwrap()
+            .with_snr_probe([signal_key]);
+        est.process_all(samples.iter());
+        let probe = est.snr_probe().unwrap();
+        assert_eq!(probe.samples(), n);
+        // Late-stream SNR must exceed early-stream SNR because ASCS filters
+        // noise progressively.
+        let early = probe.windowed_snr(0, 100).unwrap();
+        let late = probe.windowed_snr(n - 100, n);
+        match late {
+            Some(l) => assert!(l > early, "early={early} late={l}"),
+            None => {} // no noise at all ingested late — even stronger
+        }
+    }
+
+    #[test]
+    fn memory_words_reflects_geometry() {
+        let cfg = config(20, 100, 500);
+        let est = CovarianceEstimator::new(cfg, SketchBackend::VanillaCs).unwrap();
+        assert_eq!(est.memory_words(), 5 * 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ASCS configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = config(20, 100, 500);
+        cfg.alpha = 2.0;
+        let _ = CovarianceEstimator::new(cfg, SketchBackend::VanillaCs);
+    }
+}

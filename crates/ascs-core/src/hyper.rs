@@ -1,0 +1,466 @@
+//! Algorithm 3: choosing the ASCS hyperparameters from the theorem bounds.
+//!
+//! Given the problem parameters (`p`, `R`, `K`, `α`, `σ`, `u`, `T`) and the
+//! acceptable miss probabilities `δ` (at the end of exploration) and `δ*`
+//! (over the whole run), Algorithm 3 picks
+//!
+//! 1. the **exploration length** `T0` — the smallest `T0` whose Theorem 1
+//!    bound is at most `δ`, so sampling starts as early as safely possible;
+//! 2. the **threshold slope** `θ` — the largest `θ` whose Theorem 2 bound is
+//!    at most `δ* − δ`, so the threshold rises as aggressively as safely
+//!    possible.
+//!
+//! Both bounds are monotone in the searched parameter (decreasing in `T0`,
+//! increasing in `θ`), so binary search suffices; the implementation
+//! nevertheless verifies the bracketing endpoints and falls back to a linear
+//! scan if the monotonicity assumption is ever violated numerically.
+
+use crate::schedule::ThresholdSchedule;
+use crate::theory::TheoryBounds;
+use ascs_numerics::percentile;
+use serde::{Deserialize, Serialize};
+
+/// The data-dependent signal model ASCS needs before it can pick its
+/// hyperparameters: the signal proportion, a lower bound on the signal
+/// strength, and the noise scale of per-sample updates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalModel {
+    /// Signal proportion `α`.
+    pub alpha: f64,
+    /// Signal strength lower bound `u`.
+    pub u: f64,
+    /// Noise scale `σ` of the per-sample updates `X_i`.
+    pub sigma: f64,
+}
+
+impl SignalModel {
+    /// Derives `u` and a small initial threshold `τ(T0)` from a pilot
+    /// estimate `μ̂` of the mean vector (Section 8.1): `u` is the
+    /// `(1 − α)`-percentile of `μ̂` and `τ(T0)` its 10th percentile (clamped
+    /// to be non-negative and strictly below `u`).
+    pub fn from_pilot_estimates(estimates: &[f64], alpha: f64, sigma: f64) -> Option<Self> {
+        if estimates.is_empty() {
+            return None;
+        }
+        let u = percentile(estimates, (1.0 - alpha) * 100.0)?;
+        if u <= 0.0 {
+            return None;
+        }
+        Some(Self { alpha, u, sigma })
+    }
+
+    /// The paper's recommendation for the initial threshold on a
+    /// correlation-scale stream: `τ(T0) = 10⁻⁴`, clamped below `u`.
+    pub fn default_tau0(&self) -> f64 {
+        (1e-4_f64).min(self.u * 0.5)
+    }
+}
+
+/// The hyperparameters Algorithm 3 produces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HyperParameters {
+    /// Exploration length `T0`.
+    pub t0: u64,
+    /// Threshold slope `θ`.
+    pub theta: f64,
+    /// Initial threshold `τ(T0)`.
+    pub tau0: f64,
+    /// Exploration-phase miss probability target `δ`.
+    pub delta: f64,
+    /// Total miss probability target `δ*`.
+    pub delta_star: f64,
+}
+
+impl HyperParameters {
+    /// The linear threshold schedule these hyperparameters induce.
+    pub fn schedule(&self, total: u64) -> ThresholdSchedule {
+        ThresholdSchedule::linear(self.tau0, self.theta, self.t0, total)
+    }
+}
+
+/// Errors the solver can report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveError {
+    /// `δ` is below the saturation probability, so no exploration length can
+    /// satisfy the Theorem 1 bound. The payload is the saturation
+    /// probability; pick `δ` above it (the paper uses `max(1.01·SP, 0.05)`).
+    DeltaBelowSaturation(u64),
+    /// Even the full stream length cannot push the bound below `δ`.
+    NoFeasibleExploration,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DeltaBelowSaturation(milli) => write!(
+                f,
+                "delta is below the saturation probability (~{}.{:03})",
+                milli / 1000,
+                milli % 1000
+            ),
+            Self::NoFeasibleExploration => {
+                write!(f, "no exploration length satisfies the Theorem 1 bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Algorithm 3 solver.
+#[derive(Debug, Clone, Copy)]
+pub struct HyperParameterSolver {
+    bounds: TheoryBounds,
+    /// Smallest exploration length considered (`γ` of the paper — the CLT
+    /// warm-up constant). Defaults to 30.
+    gamma: u64,
+}
+
+impl HyperParameterSolver {
+    /// Creates a solver over the given bound calculator.
+    pub fn new(bounds: TheoryBounds) -> Self {
+        Self { bounds, gamma: 30 }
+    }
+
+    /// Overrides the CLT warm-up constant `γ` (minimum exploration length).
+    pub fn with_gamma(mut self, gamma: u64) -> Self {
+        self.gamma = gamma.max(1);
+        self
+    }
+
+    /// The bound calculator used by the solver.
+    pub fn bounds(&self) -> &TheoryBounds {
+        &self.bounds
+    }
+
+    /// `δ` default from Section 8.1: `max(1.01 · SP, 0.05)`.
+    pub fn default_delta(&self) -> f64 {
+        (1.01 * self.bounds.saturation_probability()).max(0.05)
+    }
+
+    /// `δ*` default from Section 8.1: `δ + 0.15`.
+    pub fn default_delta_star(&self, delta: f64) -> f64 {
+        (delta + 0.15).min(0.999)
+    }
+
+    /// Line 2 of Algorithm 3: the minimum `T0 ∈ [γ, T]` whose Theorem 1
+    /// bound is at most `delta`.
+    pub fn solve_t0(&self, tau0: f64, delta: f64) -> Result<u64, SolveError> {
+        let total = self.bounds.total as u64;
+        let sp = self.bounds.saturation_probability();
+        if delta <= sp {
+            return Err(SolveError::DeltaBelowSaturation((sp * 1000.0).round() as u64));
+        }
+        let lo_start = self.gamma.min(total);
+        if self.bounds.theorem1_miss_bound(total, tau0) > delta {
+            return Err(SolveError::NoFeasibleExploration);
+        }
+        if self.bounds.theorem1_miss_bound(lo_start, tau0) <= delta {
+            return Ok(lo_start);
+        }
+        // Invariant: bound(lo) > delta, bound(hi) <= delta.
+        let mut lo = lo_start;
+        let mut hi = total;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.bounds.theorem1_miss_bound(mid, tau0) <= delta {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+
+    /// Line 3 of Algorithm 3: the maximum `θ ∈ (0, u)` whose Theorem 2
+    /// bound is at most `budget = δ* − δ`. Returns 0 when even an
+    /// arbitrarily small slope exceeds the budget (the schedule then
+    /// degenerates to a constant threshold at `τ(T0)`).
+    pub fn solve_theta(&self, t0: u64, tau0: f64, budget: f64) -> f64 {
+        let u = self.bounds.u;
+        let eps = u * 1e-6;
+        if self.bounds.theorem2_omission_bound(eps, tau0, t0) > budget {
+            return 0.0;
+        }
+        if self.bounds.theorem2_omission_bound(u - eps, tau0, t0) <= budget {
+            return u - eps;
+        }
+        // Invariant: bound(lo) <= budget, bound(hi) > budget.
+        let mut lo = eps;
+        let mut hi = u - eps;
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.bounds.theorem2_omission_bound(mid, tau0, t0) <= budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Full Algorithm 3: solve for `T0` and `θ` given `τ(T0)`, `δ`, `δ*`.
+    pub fn solve(
+        &self,
+        tau0: f64,
+        delta: f64,
+        delta_star: f64,
+    ) -> Result<HyperParameters, SolveError> {
+        assert!(delta_star > delta, "delta_star must exceed delta");
+        let t0 = self.solve_t0(tau0, delta)?;
+        let theta = self.solve_theta(t0, tau0, delta_star - delta);
+        Ok(HyperParameters {
+            t0,
+            theta,
+            tau0,
+            delta,
+            delta_star,
+        })
+    }
+
+    /// Convenience: solve with the Section 8.1 default `δ` / `δ*`.
+    pub fn solve_with_defaults(&self, tau0: f64) -> Result<HyperParameters, SolveError> {
+        let delta = self.default_delta();
+        let delta_star = self.default_delta_star(delta);
+        self.solve(tau0, delta, delta_star)
+    }
+
+    /// Algorithm 3 with a pragmatic fallback. When the Theorem 1 bound
+    /// cannot reach `delta` for any exploration length — which happens at
+    /// very aggressive compression ratios combined with short streams, where
+    /// the bound (correctly) says exploration can never be confident — the
+    /// solver falls back to the fixed-fraction exploration `T0 = c·T` that
+    /// Theorem 3 itself assumes, and still maximises `θ` against the
+    /// Theorem 2 budget. The returned flag reports whether the fallback was
+    /// taken.
+    pub fn solve_or_fallback(
+        &self,
+        tau0: f64,
+        delta: f64,
+        delta_star: f64,
+        fallback_fraction: f64,
+    ) -> (HyperParameters, bool) {
+        match self.solve(tau0, delta, delta_star) {
+            Ok(hp) => (hp, false),
+            Err(_) => {
+                let total = self.bounds.total as u64;
+                let c = fallback_fraction.clamp(0.01, 0.9);
+                let t0 = ((total as f64 * c).round() as u64)
+                    .clamp(self.gamma.min(total), total);
+                let theta = self.solve_theta(t0, tau0, (delta_star - delta).max(1e-3));
+                (
+                    HyperParameters {
+                        t0,
+                        theta,
+                        tau0,
+                        delta,
+                        delta_star,
+                    },
+                    true,
+                )
+            }
+        }
+    }
+}
+
+/// Accumulates the mean square of observed updates to estimate the noise
+/// scale `σ` (the relaxation of Section 7.2: approximate `E[Var(X_i)]` by
+/// the mean of `X_i²` over an exploratory prefix of the stream).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SigmaEstimator {
+    sum_sq: f64,
+    count: u64,
+}
+
+impl SigmaEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed update value `x` (an `X_i^{(t)}`).
+    pub fn push(&mut self, x: f64) {
+        self.sum_sq += x * x;
+        self.count += 1;
+    }
+
+    /// Records the implicit zero updates of pairs skipped thanks to sample
+    /// sparsity; they still count towards the average variance.
+    pub fn push_zeros(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Number of updates recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Estimated noise scale `σ = sqrt(mean(X²))`; `None` until at least one
+    /// update has been recorded or if the estimate is degenerate (all
+    /// zeros).
+    pub fn sigma(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let s = (self.sum_sq / self.count as f64).sqrt();
+        if s > 0.0 {
+            Some(s)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_bounds() -> TheoryBounds {
+        let p = 1000u64 * 999 / 2;
+        TheoryBounds::new(p, (p / 20) as usize, 5, 0.005, 1.0, 0.5, 1000)
+    }
+
+    #[test]
+    fn solver_finds_modest_exploration_length() {
+        let solver = HyperParameterSolver::new(table1_bounds());
+        let t0 = solver.solve_t0(1e-4, 0.05).unwrap();
+        assert!(t0 >= 30, "t0 = {t0}");
+        assert!(t0 < 500, "exploration should be a fraction of T, got {t0}");
+        // Minimality: one step earlier must violate the bound (unless we hit
+        // the gamma floor).
+        if t0 > 30 {
+            assert!(solver.bounds().theorem1_miss_bound(t0 - 1, 1e-4) > 0.05);
+        }
+        assert!(solver.bounds().theorem1_miss_bound(t0, 1e-4) <= 0.05);
+    }
+
+    #[test]
+    fn looser_delta_gives_shorter_exploration() {
+        let solver = HyperParameterSolver::new(table1_bounds());
+        let strict = solver.solve_t0(1e-4, 0.05).unwrap();
+        let loose = solver.solve_t0(1e-4, 0.20).unwrap();
+        assert!(loose <= strict);
+    }
+
+    #[test]
+    fn delta_below_saturation_is_rejected() {
+        let bounds = table1_bounds().with_worst_case_collisions();
+        let solver = HyperParameterSolver::new(bounds);
+        // Worst-case SP for these parameters is large, so a tiny delta fails.
+        let err = solver.solve_t0(1e-4, 1e-6).unwrap_err();
+        assert!(matches!(err, SolveError::DeltaBelowSaturation(_)));
+    }
+
+    #[test]
+    fn theta_solution_respects_budget_and_maximality() {
+        let solver = HyperParameterSolver::new(table1_bounds());
+        let t0 = solver.solve_t0(1e-4, 0.05).unwrap();
+        let budget = 0.15;
+        let theta = solver.solve_theta(t0, 1e-4, budget);
+        assert!(theta > 0.0 && theta < 0.5);
+        assert!(solver.bounds().theorem2_omission_bound(theta, 1e-4, t0) <= budget + 1e-9);
+        // A slightly larger theta must exceed the budget (maximality) unless
+        // we are at the upper edge.
+        if theta < 0.5 - 1e-3 {
+            let over = solver
+                .bounds()
+                .theorem2_omission_bound(theta + 1e-3, 1e-4, t0);
+            assert!(over >= budget - 1e-6, "theta not maximal: over={over}");
+        }
+    }
+
+    #[test]
+    fn tighter_budget_gives_smaller_theta() {
+        let solver = HyperParameterSolver::new(table1_bounds());
+        let t0 = solver.solve_t0(1e-4, 0.05).unwrap();
+        let tight = solver.solve_theta(t0, 1e-4, 0.05);
+        let loose = solver.solve_theta(t0, 1e-4, 0.30);
+        assert!(loose >= tight);
+    }
+
+    #[test]
+    fn full_solve_produces_consistent_schedule() {
+        let solver = HyperParameterSolver::new(table1_bounds());
+        let hp = solver.solve(1e-4, 0.05, 0.20).unwrap();
+        assert_eq!(hp.delta, 0.05);
+        assert_eq!(hp.delta_star, 0.20);
+        let schedule = hp.schedule(1000);
+        assert_eq!(schedule.tau(hp.t0), hp.tau0);
+        assert!(schedule.tau(1000) > hp.tau0);
+        // Final threshold stays below the signal strength: signals should
+        // remain sampleable to the end.
+        assert!(schedule.tau(1000) < 0.5);
+    }
+
+    #[test]
+    fn default_delta_matches_section_8_1_rule() {
+        let solver = HyperParameterSolver::new(table1_bounds());
+        let sp = solver.bounds().saturation_probability();
+        let delta = solver.default_delta();
+        assert!((delta - (1.01 * sp).max(0.05)).abs() < 1e-12);
+        let ds = solver.default_delta_star(delta);
+        assert!((ds - (delta + 0.15)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_with_defaults_is_feasible_for_paper_setup() {
+        let solver = HyperParameterSolver::new(table1_bounds());
+        let hp = solver.solve_with_defaults(1e-4).unwrap();
+        assert!(hp.t0 > 0 && hp.t0 < 1000);
+        assert!(hp.theta >= 0.0 && hp.theta < 0.5);
+    }
+
+    #[test]
+    fn gamma_floor_is_respected() {
+        let solver = HyperParameterSolver::new(table1_bounds()).with_gamma(200);
+        let t0 = solver.solve_t0(1e-4, 0.5).unwrap();
+        assert!(t0 >= 200);
+    }
+
+    #[test]
+    fn signal_model_from_pilot_percentiles() {
+        // 1000 estimates: 980 noise near zero, 20 signals near 0.8. Choosing
+        // α = 1% puts the (1 − α) percentile safely inside the signal block.
+        let mut est: Vec<f64> = (0..980).map(|i| (i % 7) as f64 * 1e-3).collect();
+        est.extend((0..20).map(|_| 0.8));
+        let model = SignalModel::from_pilot_estimates(&est, 0.01, 1.0).unwrap();
+        assert!(model.u > 0.5, "u = {}", model.u);
+        assert!(model.default_tau0() < model.u);
+    }
+
+    #[test]
+    fn signal_model_rejects_empty_or_nonpositive() {
+        assert!(SignalModel::from_pilot_estimates(&[], 0.01, 1.0).is_none());
+        let zeros = vec![0.0; 100];
+        assert!(SignalModel::from_pilot_estimates(&zeros, 0.01, 1.0).is_none());
+    }
+
+    #[test]
+    fn sigma_estimator_recovers_scale() {
+        let mut s = SigmaEstimator::new();
+        for i in 0..1000 {
+            // Deterministic ±2 alternation: RMS = 2.
+            s.push(if i % 2 == 0 { 2.0 } else { -2.0 });
+        }
+        assert!((s.sigma().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(s.count(), 1000);
+    }
+
+    #[test]
+    fn sigma_estimator_counts_skipped_zeros() {
+        let mut s = SigmaEstimator::new();
+        s.push(3.0);
+        s.push_zeros(8);
+        // mean square = 9/9 = 1.
+        assert!((s.sigma().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_estimator_degenerate_cases() {
+        let s = SigmaEstimator::new();
+        assert_eq!(s.sigma(), None);
+        let mut z = SigmaEstimator::new();
+        z.push_zeros(10);
+        assert_eq!(z.sigma(), None);
+    }
+}

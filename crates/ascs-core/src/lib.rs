@@ -1,0 +1,54 @@
+//! Active Sampling Count Sketch (ASCS) — the primary contribution of
+//! Dai, Desai, Heckel & Shrivastava, SIGMOD 2021.
+//!
+//! ASCS estimates the large entries of a sparse covariance (or correlation)
+//! matrix from a single pass over i.i.d. samples, using memory sublinear in
+//! the number of matrix entries. It wraps a [count sketch][ascs_count_sketch]
+//! with an *active sampling* rule: after an exploration period every update
+//! is inserted; afterwards an update for pair `i` is inserted only when the
+//! pair's current sketch estimate exceeds a rising threshold `τ(t)`. This
+//! keeps most noise pairs out of the sketch and therefore raises the
+//! signal-to-noise ratio of what the sketch ingests (Theorem 3 of the
+//! paper).
+//!
+//! The crate is organised as follows:
+//!
+//! * [`pair`] — mapping between feature pairs `(a, b)` and the linear item
+//!   universe `{0, …, p-1}` used by the sketches;
+//! * [`stream`] — turning incoming samples `Y(t) ∈ R^d` into per-pair
+//!   covariance/correlation updates (eq. (2) of the paper, with both the
+//!   product approximation and the exact centred form);
+//! * [`schedule`] — threshold schedules `τ(t)` (linear as in the paper,
+//!   plus constant and step ablations);
+//! * [`theory`] — closed-form probability bounds of Theorems 1–3;
+//! * [`hyper`] — Algorithm 3: choosing the exploration length `T0` and the
+//!   threshold slope `θ` from the bounds;
+//! * [`ascs`] — the sketch itself (Algorithm 2);
+//! * [`estimator`] — a high-level one-pass covariance estimator that can be
+//!   backed by ASCS, vanilla CS, ASketch or Cold Filter (used by every
+//!   experiment);
+//! * [`snr`] — instrumentation measuring the empirical SNR of the ingested
+//!   stream (Figure 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascs;
+pub mod config;
+pub mod estimator;
+pub mod hyper;
+pub mod pair;
+pub mod schedule;
+pub mod snr;
+pub mod stream;
+pub mod theory;
+
+pub use ascs::{AscsPhase, AscsSketch};
+pub use config::{AscsConfig, EstimandKind, SketchGeometry, UpdateMode};
+pub use estimator::{CovarianceEstimator, ReportedPair, SketchBackend};
+pub use hyper::{HyperParameters, HyperParameterSolver, SignalModel};
+pub use pair::{num_pairs, pair_from_index, pair_to_index, PairIndexer};
+pub use schedule::ThresholdSchedule;
+pub use snr::SnrProbe;
+pub use stream::{PairUpdate, Sample, StreamContext};
+pub use theory::TheoryBounds;

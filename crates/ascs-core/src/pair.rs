@@ -1,0 +1,233 @@
+//! Mapping between feature pairs and the linear item universe.
+//!
+//! The paper's problem statement encodes the off-diagonal covariance
+//! entries of a `d`-dimensional vector as a flat vector
+//! `X ∈ R^p, p = d(d−1)/2` (Section 3). The sketches operate on `u64` item
+//! identifiers, so this module provides the bijection between ordered pairs
+//! `(a, b)` with `a < b` and indices `0 ≤ i < p`, in the row-major order
+//!
+//! ```text
+//! (0,1), (0,2), …, (0,d−1), (1,2), …, (d−2,d−1)
+//! ```
+//!
+//! The DNA k-mer dataset of the paper has `d = 1.7 × 10^7`, hence
+//! `p ≈ 1.4 × 10^14` — comfortably inside `u64` but far outside `u32`, so
+//! all pair indices are `u64` and all arithmetic is done in `u128` where
+//! overflow is conceivable.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of unique off-diagonal pairs of a `d`-dimensional vector:
+/// `p = d(d−1)/2`.
+///
+/// ```
+/// use ascs_core::num_pairs;
+/// assert_eq!(num_pairs(0), 0);
+/// assert_eq!(num_pairs(1), 0);
+/// assert_eq!(num_pairs(4), 6);
+/// assert_eq!(num_pairs(17_000_000), 144_499_991_500_000);
+/// ```
+pub fn num_pairs(d: u64) -> u64 {
+    if d < 2 {
+        return 0;
+    }
+    let d = d as u128;
+    (d * (d - 1) / 2) as u64
+}
+
+/// Maps an ordered pair `(a, b)` with `a < b < d` to its linear index.
+///
+/// # Panics
+/// Panics if `a >= b` or `b >= d`.
+pub fn pair_to_index(a: u64, b: u64, d: u64) -> u64 {
+    assert!(a < b, "pair_to_index requires a < b (got a={a}, b={b})");
+    assert!(b < d, "pair_to_index requires b < d (got b={b}, d={d})");
+    let (a128, b128, d128) = (a as u128, b as u128, d as u128);
+    // Items before row `a`: sum_{r<a} (d−1−r) = a·d − a(a+1)/2.
+    let before = a128 * d128 - a128 * (a128 + 1) / 2;
+    (before + (b128 - a128 - 1)) as u64
+}
+
+/// Inverse of [`pair_to_index`]: recovers `(a, b)` from the linear index.
+///
+/// # Panics
+/// Panics if `index >= num_pairs(d)`.
+pub fn pair_from_index(index: u64, d: u64) -> (u64, u64) {
+    let p = num_pairs(d);
+    assert!(index < p, "pair index {index} out of range (p = {p})");
+    // Solve for the row `a`: the largest a with  a·d − a(a+1)/2 ≤ index.
+    // Use the quadratic formula for a first guess, then correct by ±1 to be
+    // safe against floating point rounding at large d.
+    let idx = index as f64;
+    let df = d as f64;
+    // a satisfies: a²/2 − a(d − 1/2) + index ≥ 0 boundary.
+    let disc = (2.0 * df - 1.0) * (2.0 * df - 1.0) - 8.0 * idx;
+    let mut a = ((2.0 * df - 1.0 - disc.max(0.0).sqrt()) / 2.0).floor() as u64;
+    a = a.min(d.saturating_sub(2));
+    let row_start = |a: u64| -> u64 {
+        let (a128, d128) = (a as u128, d as u128);
+        (a128 * d128 - a128 * (a128 + 1) / 2) as u64
+    };
+    // Correct the guess: move down while the row starts after the index,
+    // move up while the next row still starts at or before the index.
+    while a > 0 && row_start(a) > index {
+        a -= 1;
+    }
+    while a + 1 <= d - 2 && row_start(a + 1) <= index {
+        a += 1;
+    }
+    let b = a + 1 + (index - row_start(a));
+    (a, b)
+}
+
+/// A pair codec bound to a fixed dimensionality, convenient when passing a
+/// single object around the streaming engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairIndexer {
+    dim: u64,
+}
+
+impl PairIndexer {
+    /// Creates an indexer for `dim`-dimensional samples.
+    ///
+    /// # Panics
+    /// Panics if `dim < 2` — there are no pairs to index.
+    pub fn new(dim: u64) -> Self {
+        assert!(dim >= 2, "need at least two features to form pairs");
+        Self { dim }
+    }
+
+    /// The dimensionality `d`.
+    pub fn dim(&self) -> u64 {
+        self.dim
+    }
+
+    /// Number of pairs `p = d(d−1)/2`.
+    pub fn num_pairs(&self) -> u64 {
+        num_pairs(self.dim)
+    }
+
+    /// Linear index of pair `(a, b)`; the arguments may be given in either
+    /// order but must be distinct.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either is out of range.
+    pub fn index(&self, a: u64, b: u64) -> u64 {
+        assert_ne!(a, b, "diagonal entries are not part of the pair universe");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        pair_to_index(lo, hi, self.dim)
+    }
+
+    /// Recovers the pair `(a, b)` (with `a < b`) from its linear index.
+    pub fn pair(&self, index: u64) -> (u64, u64) {
+        pair_from_index(index, self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_pairs_small_values() {
+        assert_eq!(num_pairs(2), 1);
+        assert_eq!(num_pairs(3), 3);
+        assert_eq!(num_pairs(5), 10);
+        assert_eq!(num_pairs(1000), 499_500);
+    }
+
+    #[test]
+    fn indexing_is_row_major_for_small_d() {
+        let d = 5;
+        let expected = [
+            ((0, 1), 0),
+            ((0, 2), 1),
+            ((0, 3), 2),
+            ((0, 4), 3),
+            ((1, 2), 4),
+            ((1, 3), 5),
+            ((1, 4), 6),
+            ((2, 3), 7),
+            ((2, 4), 8),
+            ((3, 4), 9),
+        ];
+        for ((a, b), idx) in expected {
+            assert_eq!(pair_to_index(a, b, d), idx, "({a},{b})");
+            assert_eq!(pair_from_index(idx, d), (a, b), "index {idx}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exhaustive_for_moderate_d() {
+        let d = 73;
+        let mut seen = vec![false; num_pairs(d) as usize];
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let idx = pair_to_index(a, b, d);
+                assert!(!seen[idx as usize], "index {idx} assigned twice");
+                seen[idx as usize] = true;
+                assert_eq!(pair_from_index(idx, d), (a, b));
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some indices never produced");
+    }
+
+    #[test]
+    fn round_trip_at_large_dimension() {
+        // DNA k-mer scale: d = 17M, p ≈ 1.44e14.
+        let d = 17_000_000u64;
+        let p = num_pairs(d);
+        for &idx in &[0, 1, p / 3, p / 2, p - 2, p - 1] {
+            let (a, b) = pair_from_index(idx, d);
+            assert!(a < b && b < d);
+            assert_eq!(pair_to_index(a, b, d), idx, "round trip failed at {idx}");
+        }
+        // Boundary pairs map to boundary indices.
+        assert_eq!(pair_to_index(0, 1, d), 0);
+        assert_eq!(pair_to_index(d - 2, d - 1, d), p - 1);
+    }
+
+    #[test]
+    fn indexer_accepts_either_argument_order() {
+        let ix = PairIndexer::new(10);
+        assert_eq!(ix.index(3, 7), ix.index(7, 3));
+        assert_eq!(ix.pair(ix.index(3, 7)), (3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn indexer_rejects_diagonal() {
+        PairIndexer::new(4).index(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "a < b")]
+    fn raw_encoder_rejects_unordered() {
+        pair_to_index(3, 3, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "b < d")]
+    fn raw_encoder_rejects_out_of_range() {
+        pair_to_index(1, 5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decoder_rejects_out_of_range_index() {
+        pair_from_index(10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two features")]
+    fn indexer_needs_two_features() {
+        PairIndexer::new(1);
+    }
+
+    #[test]
+    fn num_pairs_matches_dna_kmer_scale_from_paper() {
+        // The paper quotes "144 trillion unique entries" for d = 17M.
+        let p = num_pairs(17_000_000);
+        assert!(p > 144_000_000_000_000 && p < 145_000_000_000_000);
+    }
+}

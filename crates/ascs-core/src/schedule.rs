@@ -1,0 +1,169 @@
+//! Sampling threshold schedules `τ(t)`.
+//!
+//! Section 6.5 of the paper restricts the threshold to a linear ramp
+//! `τ(t) = τ(T0) + θ·(t − T0)/T`, arguing via the law of the iterated
+//! logarithm that a (near-)linear growth rate is close to optimal: grow the
+//! threshold faster and signal estimates (whose random fluctuations shrink
+//! like `√t`) get clipped; grow it slower and too much noise keeps being
+//! ingested. The `Constant` and `Step` variants are provided as ablations —
+//! they are *not* part of the paper's algorithm but let the benchmark
+//! harness quantify how much the linear ramp actually buys.
+
+use serde::{Deserialize, Serialize};
+
+/// A threshold schedule over stream time `t ∈ [T0, T]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdSchedule {
+    /// The paper's linear ramp: `τ(t) = τ0 + θ·(t − T0)/T`.
+    Linear {
+        /// Initial threshold `τ(T0)`.
+        tau0: f64,
+        /// Slope parameter `θ` (chosen by Algorithm 3, `0 < θ < u`).
+        theta: f64,
+        /// Exploration length `T0`.
+        t0: u64,
+        /// Total number of samples `T`.
+        total: u64,
+    },
+    /// Ablation: a constant threshold `τ(t) = τ0`.
+    Constant {
+        /// The fixed threshold.
+        tau0: f64,
+    },
+    /// Ablation: a single step from `tau0` to `tau1` at time `step_at`.
+    Step {
+        /// Threshold before the step.
+        tau0: f64,
+        /// Threshold after the step.
+        tau1: f64,
+        /// Time of the step.
+        step_at: u64,
+    },
+}
+
+impl ThresholdSchedule {
+    /// The paper's linear schedule.
+    pub fn linear(tau0: f64, theta: f64, t0: u64, total: u64) -> Self {
+        assert!(total > 0, "total sample count must be positive");
+        assert!(t0 <= total, "exploration period cannot exceed the stream length");
+        assert!(tau0 >= 0.0 && theta >= 0.0, "thresholds must be non-negative");
+        Self::Linear {
+            tau0,
+            theta,
+            t0,
+            total,
+        }
+    }
+
+    /// Threshold in force at stream time `t` (1-based sample counter).
+    ///
+    /// For `t` before the start of sampling the initial threshold is
+    /// returned; the schedule is never evaluated there by the algorithm but
+    /// a total function keeps the instrumentation simple.
+    pub fn tau(&self, t: u64) -> f64 {
+        match *self {
+            Self::Linear {
+                tau0,
+                theta,
+                t0,
+                total,
+            } => {
+                if t <= t0 {
+                    tau0
+                } else {
+                    tau0 + theta * (t.min(total) - t0) as f64 / total as f64
+                }
+            }
+            Self::Constant { tau0 } => tau0,
+            Self::Step { tau0, tau1, step_at } => {
+                if t < step_at {
+                    tau0
+                } else {
+                    tau1
+                }
+            }
+        }
+    }
+
+    /// The threshold at the end of the stream — the effective bar a pair
+    /// must clear to still be sampled on the final rounds.
+    pub fn final_tau(&self, total: u64) -> f64 {
+        self.tau(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_ramp_matches_paper_formula() {
+        let s = ThresholdSchedule::linear(1e-4, 0.5, 100, 1000);
+        assert_eq!(s.tau(100), 1e-4);
+        // t = 600: tau0 + theta*(600-100)/1000 = 1e-4 + 0.25
+        assert!((s.tau(600) - (1e-4 + 0.25)).abs() < 1e-12);
+        assert!((s.tau(1000) - (1e-4 + 0.45)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_ramp_is_monotone_nondecreasing() {
+        let s = ThresholdSchedule::linear(0.01, 0.3, 50, 500);
+        let mut prev = f64::NEG_INFINITY;
+        for t in 0..=500 {
+            let tau = s.tau(t);
+            assert!(tau >= prev);
+            prev = tau;
+        }
+    }
+
+    #[test]
+    fn linear_ramp_clamps_beyond_total() {
+        let s = ThresholdSchedule::linear(0.0, 1.0, 10, 100);
+        assert_eq!(s.tau(100), s.tau(10_000));
+    }
+
+    #[test]
+    fn before_exploration_end_returns_tau0() {
+        let s = ThresholdSchedule::linear(0.2, 1.0, 10, 100);
+        assert_eq!(s.tau(0), 0.2);
+        assert_eq!(s.tau(5), 0.2);
+        assert_eq!(s.tau(10), 0.2);
+    }
+
+    #[test]
+    fn constant_schedule_never_moves() {
+        let s = ThresholdSchedule::Constant { tau0: 0.07 };
+        assert_eq!(s.tau(0), 0.07);
+        assert_eq!(s.tau(1_000_000), 0.07);
+    }
+
+    #[test]
+    fn step_schedule_switches_once() {
+        let s = ThresholdSchedule::Step {
+            tau0: 0.1,
+            tau1: 0.4,
+            step_at: 50,
+        };
+        assert_eq!(s.tau(49), 0.1);
+        assert_eq!(s.tau(50), 0.4);
+        assert_eq!(s.tau(51), 0.4);
+    }
+
+    #[test]
+    fn final_tau_matches_tau_at_total() {
+        let s = ThresholdSchedule::linear(0.0, 0.8, 100, 2000);
+        assert_eq!(s.final_tau(2000), s.tau(2000));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn t0_beyond_total_panics() {
+        ThresholdSchedule::linear(0.0, 0.1, 200, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_theta_panics() {
+        ThresholdSchedule::linear(0.0, -0.1, 10, 100);
+    }
+}

@@ -1,0 +1,237 @@
+//! Empirical signal-to-noise instrumentation (Section 7.1, Figure 5).
+//!
+//! The paper defines the SNR of the `t`-th ingested sample as the ratio of
+//! the expected squared norm of the *signal* updates actually inserted into
+//! the sketch to that of the *noise* updates inserted. Vanilla CS inserts
+//! everything, so its ratio is constant; ASCS's ratio grows as the rising
+//! threshold filters out noise pairs. [`SnrProbe`] measures both quantities
+//! for a run where the ground-truth signal set is known (simulation and the
+//! small rigorous-evaluation datasets).
+
+use std::collections::HashSet;
+
+/// Per-sample ingested energy split into signal and noise parts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SampleEnergy {
+    /// Sum of squared inserted updates belonging to signal pairs.
+    pub signal: f64,
+    /// Sum of squared inserted updates belonging to noise pairs.
+    pub noise: f64,
+    /// Number of inserted signal updates.
+    pub signal_count: u64,
+    /// Number of inserted noise updates.
+    pub noise_count: u64,
+}
+
+/// Ground-truth-aware SNR probe.
+#[derive(Debug, Clone)]
+pub struct SnrProbe {
+    signal_keys: HashSet<u64>,
+    per_sample: Vec<SampleEnergy>,
+    current: SampleEnergy,
+    open: bool,
+}
+
+impl SnrProbe {
+    /// Creates a probe knowing which pair keys are true signals.
+    pub fn new(signal_keys: impl IntoIterator<Item = u64>) -> Self {
+        Self {
+            signal_keys: signal_keys.into_iter().collect(),
+            per_sample: Vec::new(),
+            current: SampleEnergy::default(),
+            open: false,
+        }
+    }
+
+    /// Number of ground-truth signal keys.
+    pub fn signal_key_count(&self) -> usize {
+        self.signal_keys.len()
+    }
+
+    /// Whether `key` is a ground-truth signal.
+    pub fn is_signal(&self, key: u64) -> bool {
+        self.signal_keys.contains(&key)
+    }
+
+    /// Starts accounting for a new sample.
+    pub fn begin_sample(&mut self) {
+        if self.open {
+            // A dangling open sample is closed implicitly so the probe can
+            // never lose energy silently.
+            self.end_sample();
+        }
+        self.current = SampleEnergy::default();
+        self.open = true;
+    }
+
+    /// Records one update that was *inserted* into the sketch.
+    pub fn record_inserted(&mut self, key: u64, value: f64) {
+        debug_assert!(self.open, "record_inserted outside begin/end sample");
+        let energy = value * value;
+        if self.signal_keys.contains(&key) {
+            self.current.signal += energy;
+            self.current.signal_count += 1;
+        } else {
+            self.current.noise += energy;
+            self.current.noise_count += 1;
+        }
+    }
+
+    /// Closes the current sample's accounting.
+    pub fn end_sample(&mut self) {
+        if self.open {
+            self.per_sample.push(self.current);
+            self.current = SampleEnergy::default();
+            self.open = false;
+        }
+    }
+
+    /// Number of completed samples.
+    pub fn samples(&self) -> usize {
+        self.per_sample.len()
+    }
+
+    /// Energy record of sample `t` (0-based).
+    pub fn sample_energy(&self, t: usize) -> Option<SampleEnergy> {
+        self.per_sample.get(t).copied()
+    }
+
+    /// Signal-to-noise ratio of the updates ingested for sample `t`
+    /// (0-based). `None` when no noise energy was ingested (infinite SNR)
+    /// or the sample does not exist.
+    pub fn snr_at(&self, t: usize) -> Option<f64> {
+        let e = self.per_sample.get(t)?;
+        if e.noise > 0.0 {
+            Some(e.signal / e.noise)
+        } else {
+            None
+        }
+    }
+
+    /// Average SNR over a window of samples `[start, end)`, computed as the
+    /// ratio of summed energies (the estimator of Section 7.1's expectation
+    /// ratio). Returns `None` when the window contains no noise energy.
+    pub fn windowed_snr(&self, start: usize, end: usize) -> Option<f64> {
+        let end = end.min(self.per_sample.len());
+        if start >= end {
+            return None;
+        }
+        let mut signal = 0.0;
+        let mut noise = 0.0;
+        for e in &self.per_sample[start..end] {
+            signal += e.signal;
+            noise += e.noise;
+        }
+        if noise > 0.0 {
+            Some(signal / noise)
+        } else {
+            None
+        }
+    }
+
+    /// The SNR trajectory sampled every `stride` samples with a window of
+    /// the same width — the series Figure 5 plots.
+    pub fn trajectory(&self, stride: usize) -> Vec<(usize, f64)> {
+        if stride == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.per_sample.len() {
+            let end = (start + stride).min(self.per_sample.len());
+            if let Some(snr) = self.windowed_snr(start, end) {
+                out.push((end, snr));
+            }
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_energy_by_ground_truth() {
+        let mut probe = SnrProbe::new([1, 2]);
+        probe.begin_sample();
+        probe.record_inserted(1, 2.0); // signal, energy 4
+        probe.record_inserted(5, 1.0); // noise, energy 1
+        probe.record_inserted(2, 1.0); // signal, energy 1
+        probe.end_sample();
+        let e = probe.sample_energy(0).unwrap();
+        assert_eq!(e.signal, 5.0);
+        assert_eq!(e.noise, 1.0);
+        assert_eq!(e.signal_count, 2);
+        assert_eq!(e.noise_count, 1);
+        assert_eq!(probe.snr_at(0), Some(5.0));
+    }
+
+    #[test]
+    fn missing_noise_energy_reports_none() {
+        let mut probe = SnrProbe::new([1]);
+        probe.begin_sample();
+        probe.record_inserted(1, 1.0);
+        probe.end_sample();
+        assert_eq!(probe.snr_at(0), None);
+        assert_eq!(probe.windowed_snr(0, 1), None);
+    }
+
+    #[test]
+    fn windowed_snr_pools_energy() {
+        let mut probe = SnrProbe::new([1]);
+        for t in 0..4 {
+            probe.begin_sample();
+            probe.record_inserted(1, 1.0);
+            // Noise shrinks over time, so the pooled SNR grows window over
+            // window.
+            probe.record_inserted(9, 1.0 / (t + 1) as f64);
+            probe.end_sample();
+        }
+        let first = probe.windowed_snr(0, 2).unwrap();
+        let second = probe.windowed_snr(2, 4).unwrap();
+        assert!(second > first);
+    }
+
+    #[test]
+    fn trajectory_covers_all_samples() {
+        let mut probe = SnrProbe::new([1]);
+        for _ in 0..10 {
+            probe.begin_sample();
+            probe.record_inserted(1, 1.0);
+            probe.record_inserted(2, 0.5);
+            probe.end_sample();
+        }
+        let traj = probe.trajectory(4);
+        assert_eq!(traj.len(), 3); // windows of 4, 4, 2
+        assert_eq!(traj[0].0, 4);
+        assert_eq!(traj[2].0, 10);
+        for (_, snr) in traj {
+            assert!((snr - 4.0).abs() < 1e-12);
+        }
+        assert!(probe.trajectory(0).is_empty());
+    }
+
+    #[test]
+    fn dangling_sample_is_closed_by_next_begin() {
+        let mut probe = SnrProbe::new([1]);
+        probe.begin_sample();
+        probe.record_inserted(1, 1.0);
+        // Forgot end_sample(); the next begin must flush it.
+        probe.begin_sample();
+        probe.record_inserted(2, 1.0);
+        probe.end_sample();
+        assert_eq!(probe.samples(), 2);
+        assert_eq!(probe.sample_energy(0).unwrap().signal, 1.0);
+        assert_eq!(probe.sample_energy(1).unwrap().noise, 1.0);
+    }
+
+    #[test]
+    fn is_signal_lookup() {
+        let probe = SnrProbe::new([10, 20]);
+        assert!(probe.is_signal(10));
+        assert!(!probe.is_signal(11));
+        assert_eq!(probe.signal_key_count(), 2);
+    }
+}

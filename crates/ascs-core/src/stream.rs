@@ -1,0 +1,470 @@
+//! Turning incoming samples into per-pair covariance/correlation updates.
+//!
+//! Section 4 of the paper describes how the empirical covariance entries are
+//! maintained inside a count sketch: at time `t` the update for pair
+//! `i = (a, b)` is `X_i^{(t)}`, inserted scaled by `1/T` so the sketch ends
+//! up holding (an estimate of) the mean `μ_i`. Two update forms are
+//! supported:
+//!
+//! * **Product** (`X_i = Y_a Y_b`) — the approximation of eq. (2), exact for
+//!   centred features and the form that makes sparse data cheap: a sample
+//!   with `nz` non-zeros touches only `nz(nz−1)/2` pairs.
+//! * **Centered** (`X_i = (Y_a − Ȳ_a)(Y_b − Ȳ_b)`) — the running-mean form
+//!   of Section 4 with the negligible "adjustment" term dropped, exactly as
+//!   the paper's implementation does.
+//!
+//! For the correlation estimand each update is additionally divided by the
+//! current running standard deviations `σ̂_a σ̂_b`, implementing the left
+//! hand side of eq. (2).
+
+use crate::config::{EstimandKind, UpdateMode};
+use crate::pair::PairIndexer;
+use ascs_numerics::RunningMoments;
+use serde::{Deserialize, Serialize};
+
+/// One observed sample `Y^{(t)} ∈ R^d`, either dense or sparse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Sample {
+    /// Dense representation; the vector length is the dimensionality.
+    Dense(Vec<f64>),
+    /// Sparse representation: explicit dimensionality plus `(index, value)`
+    /// entries for the non-zero coordinates.
+    Sparse {
+        /// Dimensionality `d`.
+        dim: u64,
+        /// Non-zero coordinates as `(feature index, value)` pairs.
+        entries: Vec<(u32, f64)>,
+    },
+}
+
+impl Sample {
+    /// Builds a dense sample.
+    pub fn dense(values: Vec<f64>) -> Self {
+        Self::Dense(values)
+    }
+
+    /// Builds a sparse sample; entries with value exactly zero are dropped.
+    pub fn sparse(dim: u64, mut entries: Vec<(u32, f64)>) -> Self {
+        entries.retain(|&(_, v)| v != 0.0);
+        Self::Sparse { dim, entries }
+    }
+
+    /// Dimensionality of the sample.
+    pub fn dim(&self) -> u64 {
+        match self {
+            Self::Dense(v) => v.len() as u64,
+            Self::Sparse { dim, .. } => *dim,
+        }
+    }
+
+    /// Number of structurally non-zero coordinates.
+    pub fn nonzero_count(&self) -> usize {
+        match self {
+            Self::Dense(v) => v.iter().filter(|&&x| x != 0.0).count(),
+            Self::Sparse { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Iterates over the non-zero coordinates as `(index, value)`.
+    pub fn nonzeros(&self) -> Vec<(u64, f64)> {
+        match self {
+            Self::Dense(v) => v
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x != 0.0)
+                .map(|(i, &x)| (i as u64, x))
+                .collect(),
+            Self::Sparse { entries, .. } => {
+                entries.iter().map(|&(i, x)| (u64::from(i), x)).collect()
+            }
+        }
+    }
+
+    /// Value at coordinate `i` (zero when absent).
+    pub fn value(&self, i: u64) -> f64 {
+        match self {
+            Self::Dense(v) => v.get(i as usize).copied().unwrap_or(0.0),
+            Self::Sparse { entries, .. } => entries
+                .iter()
+                .find(|&&(j, _)| u64::from(j) == i)
+                .map(|&(_, x)| x)
+                .unwrap_or(0.0),
+        }
+    }
+}
+
+/// One per-pair update emitted by the stream context.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairUpdate {
+    /// Linear pair index (the sketch item identifier).
+    pub key: u64,
+    /// First feature of the pair (`a < b`).
+    pub a: u64,
+    /// Second feature of the pair.
+    pub b: u64,
+    /// The update value `X_i^{(t)}` (already normalised for correlation if
+    /// the estimand asks for it, **not** yet scaled by `1/T` — the sketch
+    /// layer owns that scaling).
+    pub value: f64,
+}
+
+/// Streaming context: feature statistics plus the sample→updates expansion.
+#[derive(Debug, Clone)]
+pub struct StreamContext {
+    indexer: PairIndexer,
+    update_mode: UpdateMode,
+    estimand: EstimandKind,
+    features: Vec<RunningMoments>,
+    samples_seen: u64,
+}
+
+impl StreamContext {
+    /// Creates a context for `dim`-dimensional samples.
+    pub fn new(dim: u64, update_mode: UpdateMode, estimand: EstimandKind) -> Self {
+        assert!(dim >= 2, "need at least two features");
+        assert!(
+            dim <= 50_000_000,
+            "per-feature statistics for dim > 5·10^7 would not fit in memory"
+        );
+        Self {
+            indexer: PairIndexer::new(dim),
+            update_mode,
+            estimand,
+            features: vec![RunningMoments::new(); dim as usize],
+            samples_seen: 0,
+        }
+    }
+
+    /// Dimensionality `d`.
+    pub fn dim(&self) -> u64 {
+        self.indexer.dim()
+    }
+
+    /// Number of samples ingested so far.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// The pair indexer shared with the sketches.
+    pub fn indexer(&self) -> &PairIndexer {
+        &self.indexer
+    }
+
+    /// Running mean of feature `i`.
+    pub fn feature_mean(&self, i: u64) -> f64 {
+        self.features[i as usize].mean()
+    }
+
+    /// Running (population) standard deviation of feature `i`.
+    pub fn feature_std(&self, i: u64) -> f64 {
+        self.features[i as usize].population_std()
+    }
+
+    /// Ratio |mean| / std per feature, the quantity of Figure 2. Features
+    /// with zero variance report `None`.
+    pub fn mean_to_std_ratios(&self) -> Vec<Option<f64>> {
+        self.features
+            .iter()
+            .map(|m| {
+                let std = m.population_std();
+                if std > 0.0 {
+                    Some(m.mean().abs() / std)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Ingests one sample: updates the per-feature statistics, then calls
+    /// `emit` once per non-trivial pair update. Returns the number of
+    /// updates emitted.
+    pub fn ingest(&mut self, sample: &Sample, mut emit: impl FnMut(PairUpdate)) -> u64 {
+        assert_eq!(
+            sample.dim(),
+            self.dim(),
+            "sample dimensionality does not match the stream context"
+        );
+        self.samples_seen += 1;
+        self.update_feature_stats(sample);
+
+        match self.update_mode {
+            UpdateMode::Product => self.emit_product_updates(sample, &mut emit),
+            UpdateMode::Centered => self.emit_centered_updates(sample, &mut emit),
+        }
+    }
+
+    /// Convenience wrapper collecting the updates into a vector.
+    pub fn pair_updates(&mut self, sample: &Sample) -> Vec<PairUpdate> {
+        let mut out = Vec::new();
+        self.ingest(sample, |u| out.push(u));
+        out
+    }
+
+    fn update_feature_stats(&mut self, sample: &Sample) {
+        match sample {
+            Sample::Dense(values) => {
+                for (i, &v) in values.iter().enumerate() {
+                    self.features[i].push(v);
+                }
+            }
+            Sample::Sparse { entries, .. } => {
+                // Sparse features are implicitly zero everywhere else; every
+                // feature still receives one observation per sample so that
+                // the running means/stds (and hence the correlation
+                // normalisation) stay correct.
+                let mut sorted: Vec<(usize, f64)> =
+                    entries.iter().map(|&(i, v)| (i as usize, v)).collect();
+                sorted.sort_unstable_by_key(|&(i, _)| i);
+                let mut next = 0usize;
+                for (idx, feature) in self.features.iter_mut().enumerate() {
+                    if next < sorted.len() && sorted[next].0 == idx {
+                        feature.push(sorted[next].1);
+                        next += 1;
+                    } else {
+                        feature.push(0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of samples the running standard deviations must have seen
+    /// before correlation-normalised updates are emitted. With fewer
+    /// observations the std estimates are so noisy that a single
+    /// `y_a y_b / (σ̂_a σ̂_b)` update can dwarf the rest of the stream and
+    /// permanently corrupt the sketch; skipping the first few samples costs
+    /// a bias of only `warmup / T` on the final estimates.
+    pub const CORRELATION_WARMUP: u64 = 16;
+
+    fn scale_for(&self, a: u64, b: u64) -> Option<f64> {
+        match self.estimand {
+            EstimandKind::Covariance => Some(1.0),
+            EstimandKind::Correlation => {
+                if self.samples_seen <= Self::CORRELATION_WARMUP {
+                    return None;
+                }
+                let sa = self.feature_std(a);
+                let sb = self.feature_std(b);
+                if sa > 0.0 && sb > 0.0 {
+                    Some(1.0 / (sa * sb))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn emit_product_updates(&self, sample: &Sample, emit: &mut impl FnMut(PairUpdate)) -> u64 {
+        let nz = sample.nonzeros();
+        let mut emitted = 0;
+        for i in 0..nz.len() {
+            for j in (i + 1)..nz.len() {
+                let (fa, va) = nz[i];
+                let (fb, vb) = nz[j];
+                let (a, b, va, vb) = if fa < fb {
+                    (fa, fb, va, vb)
+                } else {
+                    (fb, fa, vb, va)
+                };
+                let Some(scale) = self.scale_for(a, b) else {
+                    continue;
+                };
+                let value = va * vb * scale;
+                if value == 0.0 {
+                    continue;
+                }
+                emit(PairUpdate {
+                    key: self.indexer.index(a, b),
+                    a,
+                    b,
+                    value,
+                });
+                emitted += 1;
+            }
+        }
+        emitted
+    }
+
+    fn emit_centered_updates(&self, sample: &Sample, emit: &mut impl FnMut(PairUpdate)) -> u64 {
+        let d = self.dim();
+        let mut emitted = 0;
+        // Centered mode touches every pair; it is intended for moderate d
+        // (the paper's rigorous-evaluation datasets use d = 1000).
+        let centered: Vec<f64> = (0..d)
+            .map(|i| sample.value(i) - self.feature_mean(i))
+            .collect();
+        for a in 0..d {
+            let ca = centered[a as usize];
+            if ca == 0.0 {
+                continue;
+            }
+            for b in (a + 1)..d {
+                let cb = centered[b as usize];
+                if cb == 0.0 {
+                    continue;
+                }
+                let Some(scale) = self.scale_for(a, b) else {
+                    continue;
+                };
+                emit(PairUpdate {
+                    key: self.indexer.index(a, b),
+                    a,
+                    b,
+                    value: ca * cb * scale,
+                });
+                emitted += 1;
+            }
+        }
+        emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(v: &[f64]) -> Sample {
+        Sample::dense(v.to_vec())
+    }
+
+    #[test]
+    fn sample_accessors_dense_and_sparse() {
+        let d = dense(&[0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(d.dim(), 4);
+        assert_eq!(d.nonzero_count(), 2);
+        assert_eq!(d.value(3), 2.0);
+        assert_eq!(d.value(0), 0.0);
+
+        let s = Sample::sparse(10, vec![(1, 1.0), (5, 0.0), (7, -2.0)]);
+        assert_eq!(s.dim(), 10);
+        assert_eq!(s.nonzero_count(), 2); // the explicit zero is dropped
+        assert_eq!(s.value(7), -2.0);
+        assert_eq!(s.value(2), 0.0);
+        assert_eq!(s.nonzeros(), vec![(1, 1.0), (7, -2.0)]);
+    }
+
+    #[test]
+    fn product_updates_enumerate_nonzero_pairs_only() {
+        let mut ctx = StreamContext::new(5, UpdateMode::Product, EstimandKind::Covariance);
+        let updates = ctx.pair_updates(&dense(&[1.0, 0.0, 2.0, 0.0, 3.0]));
+        // Non-zero features {0, 2, 4} → 3 pairs.
+        assert_eq!(updates.len(), 3);
+        let values: Vec<(u64, u64, f64)> = updates.iter().map(|u| (u.a, u.b, u.value)).collect();
+        assert!(values.contains(&(0, 2, 2.0)));
+        assert!(values.contains(&(0, 4, 3.0)));
+        assert!(values.contains(&(2, 4, 6.0)));
+    }
+
+    #[test]
+    fn product_updates_respect_pair_ordering_regardless_of_entry_order() {
+        let mut ctx = StreamContext::new(6, UpdateMode::Product, EstimandKind::Covariance);
+        let sample = Sample::sparse(6, vec![(4, 2.0), (1, 3.0)]);
+        let updates = ctx.pair_updates(&sample);
+        assert_eq!(updates.len(), 1);
+        assert_eq!((updates[0].a, updates[0].b), (1, 4));
+        assert_eq!(updates[0].value, 6.0);
+        assert_eq!(updates[0].key, ctx.indexer().index(1, 4));
+    }
+
+    #[test]
+    fn correlation_normalisation_divides_by_running_stds() {
+        let mut ctx = StreamContext::new(2, UpdateMode::Product, EstimandKind::Correlation);
+        // During the warm-up window no correlation updates are emitted even
+        // though both features are non-zero.
+        for t in 0..StreamContext::CORRELATION_WARMUP {
+            let x = if t % 2 == 0 { 1.0 } else { -1.0 };
+            let updates = ctx.pair_updates(&dense(&[x, x]));
+            assert!(updates.is_empty(), "no updates expected during warm-up");
+        }
+        // After warm-up the update is the product scaled by the running stds.
+        let updates = ctx.pair_updates(&dense(&[1.0, 1.0]));
+        assert_eq!(updates.len(), 1);
+        let sa = ctx.feature_std(0);
+        let sb = ctx.feature_std(1);
+        assert!(sa > 0.0 && sb > 0.0);
+        assert!((updates[0].value - 1.0 / (sa * sb)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centered_updates_subtract_running_means() {
+        let mut ctx = StreamContext::new(3, UpdateMode::Centered, EstimandKind::Covariance);
+        let _ = ctx.pair_updates(&dense(&[1.0, 2.0, 3.0]));
+        let _ = ctx.pair_updates(&dense(&[3.0, 2.0, 1.0]));
+        // Means are now [2, 2, 2]. Next sample [4, 2, 0]:
+        // centered = [4-?,...] — means update first (they include this
+        // sample): new means = [8/3, 2, 4/3]. centered = [4/3, 0, -4/3].
+        let updates = ctx.pair_updates(&dense(&[4.0, 2.0, 0.0]));
+        // Feature 1 centres to zero → only the (0,2) pair remains.
+        assert_eq!(updates.len(), 1);
+        assert_eq!((updates[0].a, updates[0].b), (0, 2));
+        assert!((updates[0].value - (4.0 / 3.0) * (-4.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centered_and_product_agree_for_zero_mean_streams() {
+        // Symmetric ±1 features have zero running means in the long run, so
+        // both modes should produce similar accumulated values.
+        let mut prod = StreamContext::new(2, UpdateMode::Product, EstimandKind::Covariance);
+        let mut cent = StreamContext::new(2, UpdateMode::Centered, EstimandKind::Covariance);
+        let mut sum_p = 0.0;
+        let mut sum_c = 0.0;
+        for t in 0..200 {
+            let x = if t % 2 == 0 { 1.0 } else { -1.0 };
+            let sample = dense(&[x, x]);
+            for u in prod.pair_updates(&sample) {
+                sum_p += u.value;
+            }
+            for u in cent.pair_updates(&sample) {
+                sum_c += u.value;
+            }
+        }
+        // Product mode: every update is +1 → 200. Centered differs only by
+        // the shrinking running-mean correction.
+        assert!((sum_p - 200.0).abs() < 1e-9);
+        assert!((sum_c - sum_p).abs() / sum_p < 0.05, "sum_c = {sum_c}");
+    }
+
+    #[test]
+    fn feature_statistics_track_sparse_zeros() {
+        let mut ctx = StreamContext::new(3, UpdateMode::Product, EstimandKind::Covariance);
+        // Feature 2 never appears → its mean must reflect the implicit zeros.
+        for _ in 0..10 {
+            ctx.ingest(&Sample::sparse(3, vec![(0, 2.0)]), |_| {});
+        }
+        assert_eq!(ctx.feature_mean(0), 2.0);
+        assert_eq!(ctx.feature_mean(2), 0.0);
+        assert_eq!(ctx.samples_seen(), 10);
+        let ratios = ctx.mean_to_std_ratios();
+        assert_eq!(ratios.len(), 3);
+        // A constant feature has zero std → no ratio.
+        assert!(ratios[0].is_none());
+    }
+
+    #[test]
+    fn mean_to_std_ratio_reflects_centredness() {
+        let mut ctx = StreamContext::new(2, UpdateMode::Product, EstimandKind::Covariance);
+        for t in 0..100 {
+            let x = if t % 2 == 0 { 1.0 } else { -1.0 }; // zero-mean feature
+            let y = if t % 2 == 0 { 10.0 } else { 12.0 }; // mean 11, std 1
+            ctx.ingest(&dense(&[x, y]), |_| {});
+        }
+        let ratios = ctx.mean_to_std_ratios();
+        assert!(ratios[0].unwrap() < 0.01);
+        assert!(ratios[1].unwrap() > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn dimension_mismatch_is_rejected() {
+        let mut ctx = StreamContext::new(4, UpdateMode::Product, EstimandKind::Covariance);
+        ctx.ingest(&dense(&[1.0, 2.0]), |_| {});
+    }
+
+    #[test]
+    fn ingest_returns_emitted_count() {
+        let mut ctx = StreamContext::new(4, UpdateMode::Product, EstimandKind::Covariance);
+        let n = ctx.ingest(&dense(&[1.0, 1.0, 1.0, 0.0]), |_| {});
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! Benchmarks of the hyperparameter machinery: evaluating the theorem
+//! bounds and running the full Algorithm 3 solve. These are cheap (called
+//! once per run), but the benchmark documents that cost and guards against
+//! accidental blow-ups in the bound evaluation.
+
+use ascs_core::{num_pairs, HyperParameterSolver, TheoryBounds};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn paper_bounds(dim: u64) -> TheoryBounds {
+    let p = num_pairs(dim);
+    TheoryBounds::new(p, (p / 100).max(16) as usize, 5, 0.005, 1.0, 0.5, 10_000)
+}
+
+fn bench_bound_evaluation(c: &mut Criterion) {
+    let bounds = paper_bounds(1000);
+    c.bench_function("theorem1_bound_eval", |b| {
+        let mut t0 = 30u64;
+        b.iter(|| {
+            t0 = 30 + (t0 + 7) % 5000;
+            black_box(bounds.theorem1_miss_bound(black_box(t0), 1e-4))
+        })
+    });
+    c.bench_function("theorem2_bound_eval", |b| {
+        let mut theta = 0.01f64;
+        b.iter(|| {
+            theta = 0.01 + (theta * 1.37) % 0.45;
+            black_box(bounds.theorem2_omission_bound(black_box(theta), 1e-4, 500))
+        })
+    });
+    c.bench_function("theorem3_ratio_eval", |b| {
+        let mut t = 600u64;
+        b.iter(|| {
+            t = 600 + (t + 13) % 9000;
+            black_box(bounds.theorem3_snr_ratio_lower_bound(black_box(t), 500, 0.2, 0.2))
+        })
+    });
+}
+
+fn bench_full_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm3_solve");
+    for &dim in &[1_000u64, 100_000, 10_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let solver = HyperParameterSolver::new(paper_bounds(dim));
+            b.iter(|| black_box(solver.solve_or_fallback(1e-4, 0.05, 0.20, 0.1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_evaluation, bench_full_solve);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! End-to-end ingestion benchmarks — the Criterion counterpart of Table 6:
+//! time to push a sample stream through vanilla CS vs ASCS vs the ASketch
+//! baseline at identical memory.
+
+use ascs_core::{
+    AscsConfig, CovarianceEstimator, EstimandKind, Sample, SketchBackend, SketchGeometry,
+    UpdateMode,
+};
+use ascs_datasets::{SimulatedDataset, SimulationSpec, SurrogateDataset, SurrogateSpec};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn config(dim: u64, total: u64) -> AscsConfig {
+    AscsConfig {
+        dim,
+        total_samples: total,
+        geometry: SketchGeometry::new(5, 4000),
+        alpha: 0.01,
+        signal_strength: 0.4,
+        sigma: 1.0,
+        delta: 0.05,
+        delta_star: 0.20,
+        tau0: 1e-4,
+        estimand: EstimandKind::Correlation,
+        update_mode: UpdateMode::Product,
+        seed: 3,
+        top_k_capacity: 200,
+    }
+}
+
+fn run(backend: SketchBackend, cfg: AscsConfig, samples: &[Sample]) -> u64 {
+    let (mut est, _) = CovarianceEstimator::new_or_fallback(cfg, backend);
+    for s in samples {
+        est.process_sample(s);
+    }
+    est.processed_samples()
+}
+
+fn bench_dense_simulation_ingest(c: &mut Criterion) {
+    let dim = 150u64;
+    let n = 300usize;
+    let dataset = SimulatedDataset::new(SimulationSpec::smoke(dim, 5));
+    let samples = dataset.samples(0, n);
+    let cfg = config(dim, n as u64);
+
+    let mut group = c.benchmark_group("ingest_dense_simulation");
+    group.sample_size(10);
+    for (name, backend) in [
+        ("vanilla_cs", SketchBackend::VanillaCs),
+        ("ascs", SketchBackend::Ascs),
+        (
+            "asketch",
+            SketchBackend::AugmentedSketch {
+                filter_capacity: 128,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &backend, |b, &backend| {
+            b.iter(|| black_box(run(backend, cfg, &samples)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_surrogate_ingest(c: &mut Criterion) {
+    let dataset = SurrogateDataset::new(SurrogateSpec::rcv1().scaled(500, 400));
+    let samples = dataset.all_samples();
+    let cfg = config(500, samples.len() as u64);
+
+    let mut group = c.benchmark_group("ingest_sparse_rcv1_surrogate");
+    group.sample_size(10);
+    for (name, backend) in [
+        ("vanilla_cs", SketchBackend::VanillaCs),
+        ("ascs", SketchBackend::Ascs),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &backend, |b, &backend| {
+            b.iter(|| black_box(run(backend, cfg, &samples)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_simulation_ingest, bench_sparse_surrogate_ingest);
+criterion_main!(benches);

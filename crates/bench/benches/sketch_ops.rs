@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the sketching substrate: update and point-query
+//! throughput of the count sketch as a function of the number of rows `K`,
+//! plus the single-row vs median-of-K retrieval ablation called out in
+//! DESIGN.md.
+
+use ascs_count_sketch::{AugmentedSketch, CountMinSketch, CountSketch};
+use ascs_sketch_hash::HashFamily;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_hashing(c: &mut Criterion) {
+    let family = HashFamily::new(5, 1 << 16, 42);
+    c.bench_function("hash_family_locate_5_rows", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9E37_79B9);
+            let mut acc = 0usize;
+            for loc in family.locate(black_box(key)) {
+                acc ^= loc.bucket;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_sketch_update");
+    for &k in &[1usize, 3, 5, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut cs = CountSketch::new(k, 1 << 16, 7);
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(0x9E37_79B9);
+                cs.update(black_box(key), black_box(0.5));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_sketch_estimate");
+    for &k in &[1usize, 5, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut cs = CountSketch::new(k, 1 << 16, 9);
+            for key in 0..100_000u64 {
+                cs.update(key, (key % 13) as f64);
+            }
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(0x9E37_79B9);
+                black_box(cs.estimate(black_box(key % 100_000)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_row_estimate_vs_median(c: &mut Criterion) {
+    let mut cs = CountSketch::new(5, 1 << 16, 11);
+    for key in 0..100_000u64 {
+        cs.update(key, 1.0);
+    }
+    c.bench_function("single_row_estimate", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9E37_79B9);
+            black_box(cs.row_estimate(0, black_box(key % 100_000)))
+        })
+    });
+    c.bench_function("median_of_5_estimate", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9E37_79B9);
+            black_box(cs.estimate(black_box(key % 100_000)))
+        })
+    });
+}
+
+fn bench_baseline_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_update");
+    group.bench_function("count_min", |b| {
+        let mut cm = CountMinSketch::new(5, 1 << 16, 3);
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9E37_79B9);
+            cm.update(black_box(key), 1.0);
+        })
+    });
+    group.bench_function("augmented_sketch", |b| {
+        let mut asketch = AugmentedSketch::new(5, 1 << 16, 64, 3);
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9E37_79B9);
+            asketch.update(black_box(key % 4096), 1.0);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_update,
+    bench_estimate,
+    bench_row_estimate_vs_median,
+    bench_baseline_structures
+);
+criterion_main!(benches);

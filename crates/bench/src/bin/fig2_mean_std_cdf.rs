@@ -1,0 +1,49 @@
+//! Figure 2: distribution of |mean|/std per feature. The paper uses this to
+//! justify the product approximation of eq. (2): when feature means are
+//! negligible relative to their standard deviations, `Cov(Y_a, Y_b) ≈
+//! E[Y_a Y_b]` and zero entries can be skipped entirely.
+
+use ascs_bench::{emit_table, paper_surrogates, Scale};
+use ascs_core::{EstimandKind, StreamContext, UpdateMode};
+use ascs_eval::ExperimentTable;
+use ascs_numerics::EmpiricalCdf;
+
+fn main() {
+    let scale = Scale::from_args();
+    let thresholds = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0];
+
+    let datasets = paper_surrogates(scale);
+    let mut table = ExperimentTable::new(
+        "Figure 2: empirical P(|mean|/std <= x) per dataset feature",
+        std::iter::once("x")
+            .chain(datasets.iter().map(|d| d.spec().name.as_str()))
+            .collect(),
+    );
+
+    let cdfs: Vec<EmpiricalCdf> = datasets
+        .iter()
+        .map(|ds| {
+            let mut ctx =
+                StreamContext::new(ds.spec().dim, UpdateMode::Product, EstimandKind::Covariance);
+            for sample in ds.all_samples() {
+                ctx.ingest(&sample, |_| {});
+            }
+            EmpiricalCdf::new(ctx.mean_to_std_ratios().into_iter().flatten())
+        })
+        .collect();
+
+    for &x in &thresholds {
+        let mut row = vec![ascs_eval::TableCell::Number(x)];
+        for cdf in &cdfs {
+            row.push(cdf.eval(x).into());
+        }
+        table.push_row(row);
+    }
+
+    emit_table(&table, "fig2_mean_std_cdf");
+    println!(
+        "Note: the sparse surrogates (rcv1, sector) have non-negligible mean/std because \
+         non-negative sparse features are one-sided — the same effect the paper's sparse \
+         text datasets show; dense centred surrogates sit near zero."
+    );
+}

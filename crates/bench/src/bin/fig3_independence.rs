@@ -1,0 +1,98 @@
+//! Figure 3: histogram of the absolute correlations *between empirical
+//! covariance entries*, validating the independence assumption of
+//! Section 6.1. Thousands of replicate datasets are generated, the
+//! empirical covariance of a subset of pairs is computed on each replicate
+//! at t = 150, and the cross-replicate correlation between entry pairs is
+//! histogrammed — the paper reports that almost all of it sits below 0.02.
+
+use ascs_bench::{emit_table, Scale};
+use ascs_core::{EstimandKind, PairIndexer};
+use ascs_datasets::{BootstrapResampler, SimulatedDataset, SimulationSpec, SurrogateDataset, SurrogateSpec};
+use ascs_eval::{ExactMatrix, ExperimentTable};
+use ascs_numerics::{Histogram, RunningCovariance};
+
+/// Collects, for `replicates` replicate datasets, the empirical covariance
+/// of `tracked` randomly spread pair entries at time `t`, then returns the
+/// histogram of |correlation| between all tracked entry pairs.
+fn cross_entry_correlations(
+    replicate_samples: impl Fn(u64) -> Vec<ascs_core::Sample>,
+    dim: u64,
+    replicates: u64,
+    tracked: usize,
+) -> Histogram {
+    let indexer = PairIndexer::new(dim);
+    let p = indexer.num_pairs();
+    let stride = (p / tracked as u64).max(1);
+    let tracked_keys: Vec<u64> = (0..tracked as u64).map(|i| (i * stride) % p).collect();
+
+    // values[r][j] = empirical covariance of tracked entry j in replicate r.
+    let mut values = vec![vec![0.0f64; tracked_keys.len()]; replicates as usize];
+    for r in 0..replicates {
+        let samples = replicate_samples(r);
+        let exact = ExactMatrix::from_samples(&samples, EstimandKind::Covariance);
+        for (j, &key) in tracked_keys.iter().enumerate() {
+            values[r as usize][j] = exact.value_by_key(key);
+        }
+    }
+
+    let mut hist = Histogram::new(0.0, 1.0, 50);
+    for i in 0..tracked_keys.len() {
+        for j in (i + 1)..tracked_keys.len() {
+            let mut cov = RunningCovariance::new();
+            for r in 0..replicates as usize {
+                cov.push(values[r][i], values[r][j]);
+            }
+            hist.push(cov.correlation().abs());
+        }
+    }
+    hist
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let replicates = scale.pick(120u64, 2000);
+    let dim = scale.pick(60u64, 1000);
+    let t = 150usize;
+    let tracked = scale.pick(40usize, 120);
+
+    // Simulation replicates: disjoint sample windows of the same process.
+    let sim = SimulatedDataset::new(SimulationSpec {
+        dim,
+        alpha: 0.005,
+        rho_min: 0.5,
+        rho_max: 0.95,
+        block_size: 4,
+        seed: 33,
+    });
+    let sim_hist = cross_entry_correlations(
+        |r| sim.samples(r * t as u64, t),
+        dim,
+        replicates,
+        tracked,
+    );
+
+    // "gisette" replicates: bootstrap resamples of one finite dataset, as in
+    // Section 6.2.
+    let gisette = SurrogateDataset::new(SurrogateSpec::gisette().scaled(dim, 2000));
+    let base = gisette.all_samples();
+    let boot = BootstrapResampler::new(base, 77);
+    let gis_hist =
+        cross_entry_correlations(|r| boot.replicate(r, t), dim, replicates, tracked);
+
+    let mut table = ExperimentTable::new(
+        "Figure 3: fraction of |corr(entry_i, entry_j)| below x (independence check)",
+        vec!["x", "simulation", "gisette (bootstrap)"],
+    );
+    for &x in &[0.02, 0.05, 0.1, 0.2, 0.3, 0.5] {
+        table.push_row(vec![
+            x.into(),
+            sim_hist.fraction_below(x).into(),
+            gis_hist.fraction_below(x).into(),
+        ]);
+    }
+    emit_table(&table, "fig3_independence");
+    println!(
+        "Expected shape (paper Figure 3): the overwhelming majority of cross-entry correlations \
+         are close to zero (the paper reports >97% below 0.02 on its simulation at full replication)."
+    );
+}

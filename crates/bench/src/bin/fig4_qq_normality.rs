@@ -1,0 +1,72 @@
+//! Figure 4: QQ-plots of empirical covariance entries against the normal
+//! distribution (the Gaussian assumption of Section 6.1). Instead of a
+//! visual plot, the table reports the probability-plot correlation
+//! coefficient (PPCC) of each tracked entry — values near 1 mean the
+//! marginal distribution is well approximated by a Gaussian.
+
+use ascs_bench::{emit_table, Scale};
+use ascs_core::{EstimandKind, PairIndexer};
+use ascs_datasets::{BootstrapResampler, SimulatedDataset, SimulationSpec, SurrogateDataset, SurrogateSpec};
+use ascs_eval::{ExactMatrix, ExperimentTable};
+use ascs_numerics::qq_correlation;
+
+fn entry_ppcc(
+    replicate_samples: impl Fn(u64) -> Vec<ascs_core::Sample>,
+    keys: &[u64],
+    replicates: u64,
+) -> Vec<f64> {
+    let mut per_entry = vec![Vec::with_capacity(replicates as usize); keys.len()];
+    for r in 0..replicates {
+        let samples = replicate_samples(r);
+        let exact = ExactMatrix::from_samples(&samples, EstimandKind::Covariance);
+        for (j, &key) in keys.iter().enumerate() {
+            per_entry[j].push(exact.value_by_key(key));
+        }
+    }
+    per_entry.iter().map(|v| qq_correlation(v)).collect()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let replicates = scale.pick(200u64, 2000);
+    let dim = scale.pick(60u64, 1000);
+    let t = 150usize;
+
+    let indexer = PairIndexer::new(dim);
+    let p = indexer.num_pairs();
+    // Four entries, spread across the index range as the paper picks four at
+    // random.
+    let keys = [p / 7, p / 3, p / 2, (4 * p) / 5];
+
+    let sim = SimulatedDataset::new(SimulationSpec {
+        dim,
+        alpha: 0.005,
+        rho_min: 0.5,
+        rho_max: 0.95,
+        block_size: 4,
+        seed: 44,
+    });
+    let sim_ppcc = entry_ppcc(|r| sim.samples(r * t as u64, t), &keys, replicates);
+
+    let gisette = SurrogateDataset::new(SurrogateSpec::gisette().scaled(dim, 2000));
+    let boot = BootstrapResampler::new(gisette.all_samples(), 55);
+    let gis_ppcc = entry_ppcc(|r| boot.replicate(r, t), &keys, replicates);
+
+    let mut table = ExperimentTable::new(
+        "Figure 4: normality of empirical covariance entries (QQ-plot PPCC, 1.0 = exactly normal)",
+        vec!["entry", "simulation PPCC", "gisette PPCC"],
+    );
+    for (i, &key) in keys.iter().enumerate() {
+        let (a, b) = indexer.pair(key);
+        table.push_row(vec![
+            format!("({a},{b})").into(),
+            sim_ppcc[i].into(),
+            gis_ppcc[i].into(),
+        ]);
+    }
+    emit_table(&table, "fig4_qq_normality");
+    println!(
+        "Expected shape (paper Figure 4): PPCC close to 1 on the simulation; slightly lower but \
+         still near 1 on the bootstrapped real-data surrogate (mild skew)."
+    );
+}

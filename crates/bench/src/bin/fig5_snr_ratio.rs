@@ -1,0 +1,100 @@
+//! Figure 5: the signal-to-noise ratio of the stream ASCS ingests, relative
+//! to vanilla CS, as the stream progresses — theoretical lower bound
+//! (Theorem 3) vs measured.
+
+use ascs_bench::{emit_table, Scale};
+use ascs_core::{
+    AscsConfig, CovarianceEstimator, EstimandKind, SketchBackend, SketchGeometry, TheoryBounds,
+    UpdateMode,
+};
+use ascs_datasets::{SimulatedDataset, SimulationSpec};
+use ascs_eval::ExperimentTable;
+
+fn main() {
+    let scale = Scale::from_args();
+    let dim = scale.pick(120u64, 1000);
+    let total = scale.pick(2000u64, 6000);
+    let stride = scale.pick(200usize, 200);
+
+    let dataset = SimulatedDataset::new(SimulationSpec {
+        dim,
+        alpha: 0.005,
+        rho_min: 0.5,
+        rho_max: 0.95,
+        block_size: 4,
+        seed: 202,
+    });
+    let p = dataset.indexer().num_pairs();
+    let geometry = SketchGeometry::new(5, ((p / 20) / 5).max(16) as usize);
+    let alpha = dataset.realised_alpha();
+    let u = 0.5;
+    let sigma = 1.0;
+
+    let config = AscsConfig {
+        dim,
+        total_samples: total,
+        geometry,
+        alpha,
+        signal_strength: u,
+        sigma,
+        delta: 0.05,
+        delta_star: 0.20,
+        tau0: 1e-4,
+        estimand: EstimandKind::Covariance,
+        update_mode: UpdateMode::Product,
+        seed: 5,
+        top_k_capacity: 200,
+    };
+
+    // Run ASCS with the SNR probe attached.
+    let (mut ascs, _) = CovarianceEstimator::new_or_fallback(config, SketchBackend::Ascs);
+    ascs = ascs.with_snr_probe(dataset.signal_keys());
+    // Run vanilla CS with the probe too: its (constant) SNR is the
+    // denominator of the ratio.
+    let (mut cs, _) = CovarianceEstimator::new_or_fallback(config, SketchBackend::VanillaCs);
+    cs = cs.with_snr_probe(dataset.signal_keys());
+
+    for i in 0..total {
+        let sample = dataset.sample_at(i);
+        ascs.process_sample(&sample);
+        cs.process_sample(&sample);
+    }
+
+    let hp = *ascs.hyperparameters().expect("ASCS has hyperparameters");
+    let bounds = TheoryBounds::new(p, geometry.range, geometry.rows, alpha, sigma, u, total);
+
+    let ascs_probe = ascs.snr_probe().unwrap();
+    let cs_probe = cs.snr_probe().unwrap();
+
+    let mut table = ExperimentTable::new(
+        "Figure 5: SNR(ASCS, t) / SNR(CS) — Theorem 3 lower bound vs measured (simulation)",
+        vec!["t", "theoretical lower bound", "measured ratio"],
+    );
+    let mut start = 0usize;
+    while start < total as usize {
+        let end = (start + stride).min(total as usize);
+        let ascs_snr = ascs_probe.windowed_snr(start, end);
+        let cs_snr = cs_probe.windowed_snr(start, end);
+        let measured = match (ascs_snr, cs_snr) {
+            (Some(a), Some(c)) if c > 0.0 => a / c,
+            (None, Some(_)) => f64::INFINITY, // ASCS ingested no noise at all
+            _ => f64::NAN,
+        };
+        let theory = bounds.theorem3_snr_ratio_lower_bound(end as u64, hp.t0, hp.theta, hp.delta_star);
+        table.push_row(vec![
+            (end as u64).into(),
+            theory.into(),
+            if measured.is_finite() {
+                measured.into()
+            } else {
+                "inf (no noise ingested)".into()
+            },
+        ]);
+        start = end;
+    }
+    emit_table(&table, "fig5_snr_ratio");
+    println!(
+        "Expected shape (paper Figure 5): the ratio is ~1 during exploration, grows once sampling \
+         starts and plateaus; the measured ratio sits above the theoretical lower bound."
+    );
+}

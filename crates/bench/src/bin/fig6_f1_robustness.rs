@@ -1,0 +1,183 @@
+//! Figure 6: accuracy (maximum F1 score) of locating the top signal
+//! correlations.
+//!
+//! Panels (a)–(e): for each evaluation dataset, CS vs ASCS with the signal
+//! strength `u` set to several percentiles of the pilot estimate — ASCS
+//! should beat CS across the whole range (robustness to `u`).
+//! Panel (f): ASCS on gisette with the assumed `α` swept around its chosen
+//! value (robustness to `α`).
+//!
+//! Pass `--sweep alpha` to run only the panel-(f) sweep, `--sweep u`
+//! (default) for panels (a)–(e), or `--sweep schedule` for the threshold
+//! schedule ablation described in DESIGN.md.
+
+use ascs_bench::{
+    emit_table, exact_correlations, full_ranking, paper_surrogates, run_backend,
+    section83_config, Scale,
+};
+use ascs_core::{CovarianceEstimator, SketchBackend, ThresholdSchedule};
+use ascs_eval::{max_f1_score, ExperimentTable};
+use std::collections::HashSet;
+
+fn sweep_arg() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--sweep" {
+            return w[1].clone();
+        }
+    }
+    "u".to_string()
+}
+
+/// Ground-truth signal sets of several sizes: the top-N pairs of the exact
+/// correlation matrix, for N a few multiples of the paper's x-axis points.
+fn signal_sets(exact: &ascs_eval::ExactMatrix, sizes: &[usize]) -> Vec<(usize, HashSet<u64>)> {
+    sizes
+        .iter()
+        .map(|&n| (n, exact.top_keys_by_magnitude(n).into_iter().collect()))
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let sweep = sweep_arg();
+    let sizes = scale.pick(vec![25usize, 50, 100, 250], vec![100usize, 250, 500, 1000]);
+
+    match sweep.as_str() {
+        "alpha" => run_alpha_sweep(scale, &sizes),
+        "schedule" => run_schedule_ablation(scale, &sizes),
+        _ => run_u_sweep(scale, &sizes),
+    }
+}
+
+/// Panels (a)–(e): robustness to the assumed signal strength u.
+fn run_u_sweep(scale: Scale, sizes: &[usize]) {
+    let datasets = paper_surrogates(scale);
+    let u_percentiles = [90.0, 95.0, 98.0, 99.5];
+
+    for ds in &datasets {
+        let samples = ds.all_samples();
+        let exact = exact_correlations(&samples);
+        let config = section83_config(ds, scale, 41);
+        let truth_sets = signal_sets(&exact, sizes);
+
+        let mut table = ExperimentTable::new(
+            format!("Figure 6 ({}): max F1 of locating the top-N signal correlations", ds.spec().name),
+            vec!["algorithm", "N=sizes[0]", "N=sizes[1]", "N=sizes[2]", "N=sizes[3]"],
+        );
+
+        // Vanilla CS baseline.
+        let cs = run_backend(config, SketchBackend::VanillaCs, &samples);
+        let cs_ranking = full_ranking(&cs);
+        let mut row = vec![ascs_eval::TableCell::from("CS")];
+        for (_, truth) in &truth_sets {
+            row.push(max_f1_score(&cs_ranking, truth).into());
+        }
+        table.push_row(row);
+
+        // ASCS with u taken at several percentiles of the exact |corr|
+        // distribution (standing in for the pilot estimate μ̂).
+        for &pct in &u_percentiles {
+            let mut cfg = config;
+            let abs: Vec<f64> = exact.values().iter().map(|v| v.abs()).collect();
+            cfg.signal_strength = ascs_numerics::percentile(&abs, pct)
+                .unwrap_or(0.3)
+                .max(cfg.tau0 * 2.0)
+                .max(1e-3);
+            let ascs = run_backend(cfg, SketchBackend::Ascs, &samples);
+            let ranking = full_ranking(&ascs);
+            let mut row = vec![ascs_eval::TableCell::from(format!("ASCS (u = {pct} %ile))"))];
+            for (_, truth) in &truth_sets {
+                row.push(max_f1_score(&ranking, truth).into());
+            }
+            table.push_row(row);
+        }
+        emit_table(&table, &format!("fig6_{}", ds.spec().name));
+    }
+    println!(
+        "Expected shape (paper Figure 6 a–e): ASCS beats CS for every choice of u across the \
+         percentile range — the improvement is robust to the signal-strength guess."
+    );
+}
+
+/// Panel (f): robustness to the assumed signal proportion alpha (gisette).
+fn run_alpha_sweep(scale: Scale, sizes: &[usize]) {
+    let ds = &paper_surrogates(scale)[0]; // gisette
+    let samples = ds.all_samples();
+    let exact = exact_correlations(&samples);
+    let truth_sets = signal_sets(&exact, sizes);
+    let base = section83_config(ds, scale, 43);
+
+    let mut table = ExperimentTable::new(
+        "Figure 6 (f): ASCS robustness to the assumed alpha — gisette surrogate",
+        vec!["assumed alpha", "N=sizes[0]", "N=sizes[1]", "N=sizes[2]", "N=sizes[3]"],
+    );
+    for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let mut cfg = base;
+        cfg.alpha = (base.alpha * factor).clamp(1e-5, 0.5);
+        let ascs = run_backend(cfg, SketchBackend::Ascs, &samples);
+        let ranking = full_ranking(&ascs);
+        let mut row = vec![ascs_eval::TableCell::Number(cfg.alpha)];
+        for (_, truth) in &truth_sets {
+            row.push(max_f1_score(&ranking, truth).into());
+        }
+        table.push_row(row);
+    }
+    emit_table(&table, "fig6_alpha_sweep");
+    println!(
+        "Expected shape (paper Figure 6 f): the F1 curves barely move as the assumed alpha is \
+         scaled by 4x in either direction."
+    );
+}
+
+/// DESIGN.md ablation: linear vs constant threshold schedule.
+fn run_schedule_ablation(scale: Scale, sizes: &[usize]) {
+    let ds = &paper_surrogates(scale)[0];
+    let samples = ds.all_samples();
+    let exact = exact_correlations(&samples);
+    let truth_sets = signal_sets(&exact, sizes);
+    let config = section83_config(ds, scale, 47);
+
+    let mut table = ExperimentTable::new(
+        "Ablation: threshold schedule (linear ramp vs constant) — gisette surrogate",
+        vec!["schedule", "N=sizes[0]", "N=sizes[1]", "N=sizes[2]", "N=sizes[3]"],
+    );
+
+    // Linear (the paper's schedule), via the normal solver path.
+    let ascs = run_backend(config, SketchBackend::Ascs, &samples);
+    let hp = *ascs.hyperparameters().expect("solved");
+    let linear_ranking = full_ranking(&ascs);
+    let mut row = vec![ascs_eval::TableCell::from(format!(
+        "linear (T0 = {}, theta = {:.3})",
+        hp.t0, hp.theta
+    ))];
+    for (_, truth) in &truth_sets {
+        row.push(max_f1_score(&linear_ranking, truth).into());
+    }
+    table.push_row(row);
+
+    // Constant threshold at tau0 (theta = 0): same exploration length.
+    let mut constant_hp = hp;
+    constant_hp.theta = 0.0;
+    let mut constant =
+        CovarianceEstimator::with_hyperparameters(config, SketchBackend::Ascs, Some(constant_hp));
+    for s in &samples {
+        constant.process_sample(s);
+    }
+    assert!(matches!(
+        constant_hp.schedule(config.total_samples),
+        ThresholdSchedule::Linear { theta, .. } if theta == 0.0
+    ));
+    let constant_ranking = full_ranking(&constant);
+    let mut row = vec![ascs_eval::TableCell::from("constant (theta = 0)")];
+    for (_, truth) in &truth_sets {
+        row.push(max_f1_score(&constant_ranking, truth).into());
+    }
+    table.push_row(row);
+
+    emit_table(&table, "fig6_schedule_ablation");
+    println!(
+        "Expected shape: the rising (linear) threshold filters progressively more noise and should \
+         match or beat the constant threshold, especially on the larger signal sets."
+    );
+}

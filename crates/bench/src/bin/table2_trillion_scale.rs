@@ -1,0 +1,134 @@
+//! Table 2: mean of the top-1000 correlations reported by CS and ASCS on
+//! the trillion-scale datasets (URL and DNA k-mer), across sketch memory
+//! budgets.
+//!
+//! The surrogate workloads are scaled down in dimensionality but the
+//! *compression ratios* (unique pairs per sketch word) sweep the same
+//! regime as the paper's 20 MB → 20 GB budgets, which is what determines
+//! whether the sketch collapses under collision noise. The "true"
+//! correlation of each reported pair is computed exactly with a targeted
+//! second pass over the stream (possible here because the surrogate is
+//! re-generatable; the paper instead reports the sketch-free correlation of
+//! the reported pairs).
+
+use ascs_bench::{emit_table, Scale};
+use ascs_core::{
+    AscsConfig, CovarianceEstimator, EstimandKind, SketchBackend, SketchGeometry, UpdateMode,
+};
+use ascs_datasets::{TrillionScaleDataset, TrillionSpec};
+use ascs_eval::ExperimentTable;
+use ascs_numerics::RunningCovariance;
+use std::collections::HashMap;
+
+/// Exact correlation of a specific set of pairs, computed with one targeted
+/// pass over the stream.
+fn exact_correlation_of_pairs(
+    dataset: &TrillionScaleDataset,
+    pairs: &[(u64, u64)],
+    samples: u64,
+) -> HashMap<(u64, u64), f64> {
+    let mut accum: HashMap<(u64, u64), RunningCovariance> =
+        pairs.iter().map(|&p| (p, RunningCovariance::new())).collect();
+    for i in 0..samples {
+        let s = dataset.sample_at(i);
+        for (&(a, b), cov) in accum.iter_mut() {
+            cov.push(s.value(a), s.value(b));
+        }
+    }
+    accum
+        .into_iter()
+        .map(|(k, cov)| (k, cov.correlation()))
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let dim = scale.pick(5_000u64, 50_000);
+    let total = scale.pick(1_500u64, 10_000);
+    let top_k = scale.pick(200usize, 1000);
+
+    let workloads = vec![
+        ("URL-like", TrillionScaleDataset::new(TrillionSpec::url_like(dim, 9))),
+        (
+            "DNA-kmer-like",
+            TrillionScaleDataset::new(TrillionSpec::dna_kmer_like(dim, 9)),
+        ),
+    ];
+
+    let mut table = ExperimentTable::new(
+        format!(
+            "Table 2: mean of top-{top_k} reported correlations (scaled surrogates, d = {dim})"
+        ),
+        vec![
+            "dataset",
+            "budget (floats)",
+            "compression p/(K*R)",
+            "CS",
+            "ASCS",
+        ],
+    );
+
+    for (name, dataset) in &workloads {
+        let p = dataset.num_pairs();
+        // Sweep three budgets spanning ~10^5x down to ~10^3x compression.
+        let budgets = [
+            (p / 200_000).max(500) as usize,
+            (p / 20_000).max(2_500) as usize,
+            (p / 2_000).max(12_500) as usize,
+        ];
+        let signal_count = dataset.signal_keys().len();
+        eprintln!("{name}: p = {p}, {} planted near-1.0 pairs", signal_count);
+
+        for budget in budgets {
+            let geometry = SketchGeometry::from_budget(5, budget);
+            let config = AscsConfig {
+                dim,
+                total_samples: total,
+                geometry,
+                alpha: (signal_count as f64 / p as f64).max(1e-9),
+                signal_strength: 0.5,
+                sigma: 1.0,
+                delta: 0.05,
+                delta_star: 0.20,
+                tau0: 1e-4,
+                estimand: EstimandKind::Correlation,
+                update_mode: UpdateMode::Product,
+                seed: 31,
+                top_k_capacity: top_k,
+            };
+            let mut row_means = Vec::new();
+            for backend in [SketchBackend::VanillaCs, SketchBackend::Ascs] {
+                let (mut estimator, _) = CovarianceEstimator::new_or_fallback(config, backend);
+                for i in 0..total {
+                    estimator.process_sample(&dataset.sample_at(i));
+                }
+                let reported: Vec<(u64, u64)> = estimator
+                    .top_pairs(top_k)
+                    .into_iter()
+                    .map(|pair| (pair.a, pair.b))
+                    .collect();
+                let exact = exact_correlation_of_pairs(dataset, &reported, total);
+                let mean = if reported.is_empty() {
+                    0.0
+                } else {
+                    reported.iter().map(|p| exact[p].abs()).sum::<f64>() / reported.len() as f64
+                };
+                row_means.push(mean);
+            }
+            table.push_row(vec![
+                (*name).into(),
+                budget.into(),
+                (p as f64 / (geometry.words() as f64)).into(),
+                row_means[0].into(),
+                row_means[1].into(),
+            ]);
+        }
+    }
+
+    emit_table(&table, "table2_trillion_scale");
+    println!(
+        "Expected shape (paper Table 2): at the tightest budget CS reports mostly collision noise \
+         (low mean correlation) while ASCS keeps reporting near-1.0 pairs; at the largest budget \
+         both succeed. ASCS reaches a given quality with roughly an order of magnitude less memory."
+    );
+}

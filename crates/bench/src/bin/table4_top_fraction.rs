@@ -1,0 +1,83 @@
+//! Table 4: mean exact correlation of the top `f · α · p` reported pairs,
+//! for fractions f ∈ {0.01, 0.05, 0.1, 0.25, 0.5, 1}, comparing vanilla CS,
+//! Augmented Sketch and ASCS on the five evaluation datasets.
+
+use ascs_bench::{
+    emit_table, exact_correlations, full_ranking, paper_surrogates, run_backend,
+    section83_config, Scale,
+};
+use ascs_core::SketchBackend;
+use ascs_eval::ExperimentTable;
+
+fn main() {
+    let scale = Scale::from_args();
+    let fractions = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0];
+    let datasets = paper_surrogates(scale);
+
+    let mut table = ExperimentTable::new(
+        "Table 4: mean exact |correlation| of the top f*alpha*p reported pairs",
+        std::iter::once("fraction of alpha*p")
+            .chain(std::iter::once("algorithm"))
+            .chain(datasets.iter().map(|d| d.spec().name.as_str()))
+            .collect(),
+    );
+
+    // Precompute per-dataset artefacts: samples, exact matrix, rankings.
+    struct DatasetRun {
+        exact: ascs_eval::ExactMatrix,
+        rankings: Vec<(&'static str, Vec<u64>)>,
+        alpha_p: f64,
+    }
+    let mut runs = Vec::new();
+    for ds in &datasets {
+        let samples = ds.all_samples();
+        let exact = exact_correlations(&samples);
+        let config = section83_config(ds, scale, 17);
+        let backends: Vec<(&'static str, SketchBackend)> = vec![
+            ("CS", SketchBackend::VanillaCs),
+            (
+                "ASketch",
+                SketchBackend::AugmentedSketch {
+                    filter_capacity: 256,
+                },
+            ),
+            ("ASCS", SketchBackend::Ascs),
+        ];
+        let mut rankings = Vec::new();
+        for (name, backend) in backends {
+            let estimator = run_backend(config, backend, &samples);
+            rankings.push((name, full_ranking(&estimator)));
+        }
+        let p = ds.spec().dim * (ds.spec().dim - 1) / 2;
+        runs.push(DatasetRun {
+            exact,
+            rankings,
+            alpha_p: ds.spec().alpha * p as f64,
+        });
+        eprintln!("finished dataset {}", ds.spec().name);
+    }
+
+    for &fraction in &fractions {
+        for algo_idx in 0..3 {
+            let algo_name = runs[0].rankings[algo_idx].0;
+            let mut row = vec![
+                ascs_eval::TableCell::Number(fraction),
+                ascs_eval::TableCell::from(algo_name),
+            ];
+            for run in &runs {
+                let k = ((fraction * run.alpha_p).round() as usize).max(1);
+                let (_, ranking) = &run.rankings[algo_idx];
+                let mean = ascs_bench::mean_exact_correlation(ranking, &run.exact, k);
+                row.push(mean.into());
+            }
+            table.push_row(row);
+        }
+    }
+
+    emit_table(&table, "table4_top_fraction");
+    println!(
+        "Expected shape (paper Table 4): ASCS matches or beats CS and ASketch at every fraction, \
+         with the largest gains on the small fractions (the strongest signals); all methods decay \
+         as the fraction approaches 1 because weaker signals are inherently harder."
+    );
+}

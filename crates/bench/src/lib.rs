@@ -1,0 +1,200 @@
+//! Shared harness code for the experiment binaries that regenerate the
+//! tables and figures of the ASCS paper.
+//!
+//! Every binary accepts `--scale smoke|paper` (default `smoke`). The smoke
+//! scale shrinks dimensionality, sample counts and replication so that the
+//! entire experiment suite finishes in minutes on a laptop; the paper scale
+//! uses the parameters of Section 8 where that is feasible on a single
+//! machine. The *shape* of the results (who wins, by roughly what factor)
+//! is preserved at both scales; see DESIGN.md and EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+
+use ascs_core::{
+    AscsConfig, CovarianceEstimator, EstimandKind, Sample, SketchBackend, SketchGeometry,
+    UpdateMode,
+};
+use ascs_datasets::{SurrogateDataset, SurrogateSpec};
+use ascs_eval::{ExactMatrix, ExperimentTable};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced dimensionality / replication; finishes in minutes.
+    Smoke,
+    /// Paper-scale parameters where single-machine feasible.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale smoke|paper` from the process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        for window in args.windows(2) {
+            if window[0] == "--scale" && window[1].eq_ignore_ascii_case("paper") {
+                return Self::Paper;
+            }
+        }
+        if args.iter().any(|a| a == "--paper") {
+            return Self::Paper;
+        }
+        Self::Smoke
+    }
+
+    /// Picks between a smoke-scale and a paper-scale value.
+    pub fn pick<T>(self, smoke: T, paper: T) -> T {
+        match self {
+            Self::Smoke => smoke,
+            Self::Paper => paper,
+        }
+    }
+}
+
+/// The five Table 3 surrogate datasets, scaled for the chosen experiment
+/// size. Smoke scale: 300 features and capped sample counts; paper scale:
+/// 1000 features, full sample counts.
+pub fn paper_surrogates(scale: Scale) -> Vec<SurrogateDataset> {
+    SurrogateSpec::all_paper_datasets()
+        .into_iter()
+        .map(|spec| {
+            let dim = scale.pick(300, 1000);
+            let samples = match scale {
+                Scale::Smoke => spec.samples.min(2000),
+                Scale::Paper => spec.samples,
+            };
+            SurrogateDataset::new(spec.scaled(dim, samples))
+        })
+        .collect()
+}
+
+/// Builds the standard run configuration of Section 8.3: `K = 5`,
+/// `R = 20,000` at paper scale (memory ≈ 20 % of the number of unique
+/// pairs), correlation estimand, product updates.
+pub fn section83_config(dataset: &SurrogateDataset, scale: Scale, seed: u64) -> AscsConfig {
+    let dim = dataset.spec().dim;
+    let pairs = dim * (dim - 1) / 2;
+    let range = scale.pick(
+        ((pairs as f64 * 0.2) / 5.0).round() as usize,
+        20_000,
+    );
+    AscsConfig {
+        dim,
+        total_samples: dataset.len(),
+        geometry: SketchGeometry::new(5, range.max(16)),
+        alpha: dataset.spec().alpha,
+        signal_strength: 0.3,
+        sigma: 1.0,
+        delta: 0.05,
+        delta_star: 0.20,
+        tau0: 1e-4,
+        estimand: EstimandKind::Correlation,
+        update_mode: UpdateMode::Product,
+        seed,
+        top_k_capacity: 2000,
+    }
+}
+
+/// Runs a backend over a sample stream and returns the estimator.
+pub fn run_backend(
+    config: AscsConfig,
+    backend: SketchBackend,
+    samples: &[Sample],
+) -> CovarianceEstimator {
+    let (mut estimator, _) = CovarianceEstimator::new_or_fallback(config, backend);
+    for s in samples {
+        estimator.process_sample(s);
+    }
+    estimator
+}
+
+/// Ranked pair keys (best first) reported by an estimator.
+pub fn ranked_keys(estimator: &CovarianceEstimator, k: usize) -> Vec<u64> {
+    estimator.top_pairs(k).into_iter().map(|p| p.key).collect()
+}
+
+/// Ranking over *all* pairs by |estimate| — the evaluation the paper uses
+/// when the exact matrix fits in memory (Section 8.3). Only valid for
+/// moderate dimensionality.
+pub fn full_ranking(estimator: &CovarianceEstimator) -> Vec<u64> {
+    let estimates = estimator.all_estimates();
+    let mut keys: Vec<u64> = (0..estimates.len() as u64).collect();
+    keys.sort_unstable_by(|&x, &y| {
+        estimates[y as usize]
+            .abs()
+            .total_cmp(&estimates[x as usize].abs())
+            .then(x.cmp(&y))
+    });
+    keys
+}
+
+/// Exact correlation matrix of a surrogate's full stream.
+pub fn exact_correlations(samples: &[Sample]) -> ExactMatrix {
+    ExactMatrix::from_samples(samples, EstimandKind::Correlation)
+}
+
+/// Prints a table as markdown and appends it to `target/ascs-experiments/
+/// <slug>.json` for later comparison.
+pub fn emit_table(table: &ExperimentTable, slug: &str) {
+    println!("{}", table.to_markdown());
+    let dir = std::path::Path::new("target/ascs-experiments");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{slug}.json"));
+        if let Err(e) = std::fs::write(&path, table.to_json()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("(wrote {})", path.display());
+        }
+    }
+}
+
+/// Mean of the exact |correlation| of the first `k` ranked keys.
+pub fn mean_exact_correlation(ranked: &[u64], exact: &ExactMatrix, k: usize) -> f64 {
+    ascs_eval::mean_true_value_of_top(ranked, |key| exact.value_by_key(key).abs(), k)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick_selects_correctly() {
+        assert_eq!(Scale::Smoke.pick(1, 2), 1);
+        assert_eq!(Scale::Paper.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn surrogates_cover_the_five_datasets() {
+        let all = paper_surrogates(Scale::Smoke);
+        assert_eq!(all.len(), 5);
+        for ds in &all {
+            assert_eq!(ds.spec().dim, 300);
+            assert!(ds.len() <= 2000);
+        }
+    }
+
+    #[test]
+    fn section83_config_is_valid_for_every_surrogate() {
+        for ds in paper_surrogates(Scale::Smoke) {
+            let cfg = section83_config(&ds, Scale::Smoke, 1);
+            assert_eq!(cfg.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn full_ranking_orders_by_estimate_magnitude() {
+        let ds = &paper_surrogates(Scale::Smoke)[0];
+        let samples = ds.samples(200);
+        let mut cfg = section83_config(ds, Scale::Smoke, 2);
+        cfg.total_samples = samples.len() as u64;
+        let est = run_backend(cfg, SketchBackend::VanillaCs, &samples);
+        let ranking = full_ranking(&est);
+        assert_eq!(ranking.len() as u64, est.indexer().num_pairs());
+        let estimates = est.all_estimates();
+        for w in ranking.windows(2).take(200) {
+            assert!(
+                estimates[w[0] as usize].abs() >= estimates[w[1] as usize].abs() - 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Augmented Sketch (ASketch) baseline — Roy, Khan & Alonso, SIGMOD 2016.
+//!
+//! ASketch places a small *filter* of exactly tracked hot items in front of
+//! a count sketch. Updates to filtered items bypass the sketch entirely
+//! (removing their collision noise); updates to other items go to the sketch
+//! and an item is promoted into the filter when its sketch estimate exceeds
+//! the smallest estimate currently held by the filter. On promotion the
+//! evicted item's filter-accumulated delta is flushed back into the sketch
+//! so no mass is lost.
+//!
+//! The original ASketch counts non-negative frequencies; covariance streams
+//! carry signed real-valued updates, so "hotness" is judged by the absolute
+//! value of the accumulated estimate, exactly as the paper's Table 4
+//! comparison requires (it reports ASketch on the same correlation streams).
+
+use crate::{CountSketch, PointSketch};
+
+/// One filter slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    /// Current best estimate of the item's total accumulated weight.
+    value: f64,
+    /// Portion of `value` that is already reflected inside the backing
+    /// sketch (the estimate it carried when promoted). The difference
+    /// `value - in_sketch` is flushed to the sketch on eviction.
+    in_sketch: f64,
+}
+
+/// Augmented Sketch: exact filter for hot items + count sketch for the rest.
+#[derive(Debug, Clone)]
+pub struct AugmentedSketch {
+    sketch: CountSketch,
+    filter: Vec<Slot>,
+    filter_capacity: usize,
+}
+
+impl AugmentedSketch {
+    /// Creates an ASketch with a filter of `filter_capacity` slots in front
+    /// of a count sketch with `rows × range` buckets.
+    ///
+    /// # Panics
+    /// Panics if `filter_capacity == 0` (use a plain [`CountSketch`] then).
+    pub fn new(rows: usize, range: usize, filter_capacity: usize, seed: u64) -> Self {
+        assert!(filter_capacity > 0, "ASketch filter needs at least one slot");
+        Self {
+            sketch: CountSketch::new(rows, range, seed),
+            filter: Vec::with_capacity(filter_capacity),
+            filter_capacity,
+        }
+    }
+
+    /// Builds an ASketch from a total memory budget measured in float slots,
+    /// spending `filter_fraction` of it on the filter (two words per slot:
+    /// key + value) and the rest on the count sketch.
+    pub fn with_budget(
+        rows: usize,
+        budget_words: usize,
+        filter_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        let filter_words = ((budget_words as f64 * filter_fraction) as usize).max(2);
+        let filter_capacity = (filter_words / 2).max(1);
+        let sketch_words = budget_words.saturating_sub(filter_capacity * 2).max(rows);
+        let range = (sketch_words / rows).max(1);
+        Self::new(rows, range, filter_capacity, seed)
+    }
+
+    /// Number of filter slots.
+    pub fn filter_capacity(&self) -> usize {
+        self.filter_capacity
+    }
+
+    /// Number of filter slots currently occupied.
+    pub fn filter_len(&self) -> usize {
+        self.filter.len()
+    }
+
+    /// The backing count sketch.
+    pub fn sketch(&self) -> &CountSketch {
+        &self.sketch
+    }
+
+    fn filter_position(&self, key: u64) -> Option<usize> {
+        self.filter.iter().position(|s| s.key == key)
+    }
+
+    /// Index of the filter slot with the smallest absolute estimate.
+    fn coldest_slot(&self) -> Option<usize> {
+        (0..self.filter.len()).min_by(|&a, &b| {
+            self.filter[a]
+                .value
+                .abs()
+                .total_cmp(&self.filter[b].value.abs())
+        })
+    }
+
+    /// Adds `weight` to item `key`.
+    pub fn update(&mut self, key: u64, weight: f64) {
+        if let Some(pos) = self.filter_position(key) {
+            self.filter[pos].value += weight;
+            return;
+        }
+        self.sketch.update(key, weight);
+        let estimate = self.sketch.estimate(key);
+
+        if self.filter.len() < self.filter_capacity {
+            self.filter.push(Slot {
+                key,
+                value: estimate,
+                in_sketch: estimate,
+            });
+            return;
+        }
+
+        // Promote if this item's estimate now exceeds the coldest filtered
+        // item (by absolute value).
+        let coldest = match self.coldest_slot() {
+            Some(idx) => idx,
+            None => return,
+        };
+        if estimate.abs() > self.filter[coldest].value.abs() {
+            let evicted = self.filter[coldest];
+            // Flush the evicted item's filter-side delta into the sketch so
+            // its mass is preserved.
+            let delta = evicted.value - evicted.in_sketch;
+            if delta != 0.0 {
+                self.sketch.update(evicted.key, delta);
+            }
+            self.filter[coldest] = Slot {
+                key,
+                value: estimate,
+                in_sketch: estimate,
+            };
+        }
+    }
+
+    /// Point query: the filter answers exactly for hot items, the sketch
+    /// answers for everything else.
+    pub fn estimate(&self, key: u64) -> f64 {
+        if let Some(pos) = self.filter_position(key) {
+            self.filter[pos].value
+        } else {
+            self.sketch.estimate(key)
+        }
+    }
+
+    /// Keys currently held by the filter (hottest items), estimate-descending.
+    pub fn filtered_keys(&self) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self.filter.iter().map(|s| (s.key, s.value)).collect();
+        v.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+        v
+    }
+}
+
+impl PointSketch for AugmentedSketch {
+    fn update(&mut self, key: u64, weight: f64) {
+        AugmentedSketch::update(self, key, weight);
+    }
+    fn estimate(&self, key: u64) -> f64 {
+        AugmentedSketch::estimate(self, key)
+    }
+    fn memory_words(&self) -> usize {
+        self.sketch.memory_words() + 2 * self.filter_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn filtered_items_are_exact() {
+        let mut a = AugmentedSketch::new(3, 64, 4, 1);
+        for _ in 0..10 {
+            a.update(42, 1.5);
+        }
+        assert!((a.estimate(42) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_item_gets_promoted_over_cold_ones() {
+        let mut a = AugmentedSketch::new(3, 256, 2, 2);
+        // Fill the filter with two lukewarm items.
+        a.update(1, 1.0);
+        a.update(2, 1.0);
+        // A genuinely hot item arrives later.
+        for _ in 0..100 {
+            a.update(3, 1.0);
+        }
+        let hot: Vec<u64> = a.filtered_keys().into_iter().map(|(k, _)| k).collect();
+        assert!(hot.contains(&3), "hot item not promoted: {hot:?}");
+    }
+
+    #[test]
+    fn eviction_preserves_total_mass() {
+        let mut a = AugmentedSketch::new(5, 1024, 1, 3);
+        // Item 1 enters the filter, accumulates, then is evicted by item 2.
+        for _ in 0..20 {
+            a.update(1, 1.0);
+        }
+        for _ in 0..100 {
+            a.update(2, 1.0);
+        }
+        // Item 1's 20 units must survive (now answered by the sketch).
+        assert!((a.estimate(1) - 20.0).abs() < 2.0);
+        assert!((a.estimate(2) - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn behaves_sensibly_on_signed_streams() {
+        let mut a = AugmentedSketch::new(3, 512, 8, 4);
+        for _ in 0..50 {
+            a.update(7, -2.0);
+        }
+        assert!((a.estimate(7) + 100.0).abs() < 2.0);
+        // A strongly negative item is still "hot" by absolute value.
+        let hot: Vec<u64> = a.filtered_keys().into_iter().map(|(k, _)| k).collect();
+        assert!(hot.contains(&7));
+    }
+
+    #[test]
+    fn accuracy_no_worse_than_plain_cs_for_heavy_items() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let rows = 3;
+        let range = 128;
+        let mut cs = CountSketch::new(rows, range, 9);
+        let mut asketch = AugmentedSketch::new(rows, range, 16, 9);
+        // Heavy items 0..8, background noise on 1000 other keys.
+        for t in 0..3000u64 {
+            let heavy = t % 8;
+            cs.update(heavy, 1.0);
+            asketch.update(heavy, 1.0);
+            let noise_key = 100 + (rng.gen::<u64>() % 1000);
+            let w = rng.gen_range(-0.5..0.5);
+            cs.update(noise_key, w);
+            asketch.update(noise_key, w);
+        }
+        let truth = 3000.0 / 8.0;
+        let cs_err: f64 = (0..8u64).map(|k| (cs.estimate(k) - truth).abs()).sum();
+        let as_err: f64 = (0..8u64).map(|k| (asketch.estimate(k) - truth).abs()).sum();
+        assert!(
+            as_err <= cs_err + 1e-6,
+            "ASketch error {as_err} worse than CS {cs_err}"
+        );
+    }
+
+    #[test]
+    fn memory_accounts_for_filter_and_sketch() {
+        let a = AugmentedSketch::new(2, 100, 10, 6);
+        assert_eq!(a.memory_words(), 200 + 20);
+    }
+
+    #[test]
+    fn budget_constructor_respects_total() {
+        let budget = 10_000;
+        let a = AugmentedSketch::with_budget(5, budget, 0.1, 7);
+        assert!(a.memory_words() <= budget + 10);
+        assert!(a.filter_capacity() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_filter_capacity_panics() {
+        let _ = AugmentedSketch::new(2, 16, 0, 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Count-Min sketch (Cormode & Muthukrishnan 2005).
+//!
+//! Count-Min stores non-negative accumulations and answers point queries
+//! with the *minimum* over rows, giving a one-sided (over-estimating)
+//! guarantee. In this reproduction it serves two purposes: it is the
+//! low-part filter inside [`ColdFilter`](crate::ColdFilter), and it is an
+//! ablation baseline showing why the signed count *sketch* (not count-min)
+//! is the right substrate for covariance streams whose updates can be
+//! negative.
+
+use crate::PointSketch;
+use ascs_sketch_hash::HashFamily;
+
+/// A count-min sketch over non-negative weights.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    family: HashFamily,
+    table: Vec<f64>,
+    rows: usize,
+    range: usize,
+    conservative: bool,
+    updates: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `rows` rows of `range` buckets.
+    pub fn new(rows: usize, range: usize, seed: u64) -> Self {
+        let family = HashFamily::new(rows, range, seed);
+        Self {
+            family,
+            table: vec![0.0; rows * range],
+            rows,
+            range,
+            conservative: false,
+            updates: 0,
+        }
+    }
+
+    /// Enables conservative update (only raise the buckets that currently
+    /// equal the minimum), which tightens over-estimation for skewed
+    /// streams at no memory cost.
+    pub fn with_conservative_update(mut self) -> Self {
+        self.conservative = true;
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Buckets per row.
+    pub fn range(&self) -> usize {
+        self.range
+    }
+
+    /// Whether conservative update is enabled.
+    pub fn is_conservative(&self) -> bool {
+        self.conservative
+    }
+
+    /// Total updates applied.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Adds `weight ≥ 0` to item `key`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `weight` is negative — count-min cannot
+    /// represent signed accumulations.
+    #[inline]
+    pub fn update(&mut self, key: u64, weight: f64) {
+        debug_assert!(weight >= 0.0, "count-min requires non-negative weights");
+        self.updates += 1;
+        if self.conservative {
+            let current = self.estimate(key);
+            let target = current + weight;
+            for row in 0..self.rows {
+                let bucket = self.family.bucket(row, key);
+                let cell = &mut self.table[row * self.range + bucket];
+                if *cell < target {
+                    *cell = target;
+                }
+            }
+        } else {
+            for row in 0..self.rows {
+                let bucket = self.family.bucket(row, key);
+                self.table[row * self.range + bucket] += weight;
+            }
+        }
+    }
+
+    /// Point query: minimum over rows (never under-estimates).
+    #[inline]
+    pub fn estimate(&self, key: u64) -> f64 {
+        let mut best = f64::INFINITY;
+        for row in 0..self.rows {
+            let bucket = self.family.bucket(row, key);
+            let v = self.table[row * self.range + bucket];
+            if v < best {
+                best = v;
+            }
+        }
+        if best.is_finite() {
+            best
+        } else {
+            0.0
+        }
+    }
+
+    /// Resets the table.
+    pub fn clear(&mut self) {
+        self.table.iter_mut().for_each(|v| *v = 0.0);
+        self.updates = 0;
+    }
+}
+
+impl PointSketch for CountMinSketch {
+    fn update(&mut self, key: u64, weight: f64) {
+        CountMinSketch::update(self, key, weight);
+    }
+    fn estimate(&self, key: u64) -> f64 {
+        CountMinSketch::estimate(self, key)
+    }
+    fn memory_words(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMinSketch::new(3, 64, 1);
+        let mut truth = std::collections::HashMap::new();
+        for key in 0..500u64 {
+            let w = (key % 5) as f64;
+            cm.update(key, w);
+            *truth.entry(key).or_insert(0.0) += w;
+        }
+        for (key, want) in truth {
+            assert!(cm.estimate(key) >= want - 1e-12, "underestimated key {key}");
+        }
+    }
+
+    #[test]
+    fn exact_without_collisions() {
+        let mut cm = CountMinSketch::new(4, 4096, 2);
+        for key in 0..50u64 {
+            cm.update(key, 2.0);
+            cm.update(key, 3.0);
+        }
+        for key in 0..50u64 {
+            assert!((cm.estimate(key) - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conservative_update_is_no_worse() {
+        let mut plain = CountMinSketch::new(2, 32, 3);
+        let mut cons = CountMinSketch::new(2, 32, 3).with_conservative_update();
+        let stream: Vec<(u64, f64)> = (0..2000).map(|i| (i % 200, 1.0)).collect();
+        for &(k, w) in &stream {
+            plain.update(k, w);
+            cons.update(k, w);
+        }
+        for key in 0..200u64 {
+            assert!(cons.estimate(key) <= plain.estimate(key) + 1e-9);
+            assert!(cons.estimate(key) >= 10.0 - 1e-9); // true count
+        }
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let cm = CountMinSketch::new(3, 16, 4);
+        assert_eq!(cm.estimate(99), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cm = CountMinSketch::new(2, 16, 5);
+        cm.update(1, 7.0);
+        cm.clear();
+        assert_eq!(cm.estimate(1), 0.0);
+        assert_eq!(cm.update_count(), 0);
+    }
+
+    #[test]
+    fn memory_words_reports_table_size() {
+        let cm = CountMinSketch::new(5, 100, 6);
+        assert_eq!(cm.memory_words(), 500);
+    }
+}

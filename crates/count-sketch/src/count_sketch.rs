@@ -1,0 +1,365 @@
+//! The Count Sketch data structure (Charikar, Chen, Farach-Colton 2002).
+
+use crate::PointSketch;
+use ascs_sketch_hash::HashFamily;
+
+/// A count sketch `W ∈ R^{K×R}`.
+///
+/// Each update `(i, w)` adds `w · s_e(i)` to bucket `h_e(i)` of every row
+/// `e`; a point query returns the median over rows of `W[e, h_e(i)] · s_e(i)`
+/// (equation (1) of the paper). The sketch is an unbiased estimator of the
+/// accumulated weight per item, with error governed by the mass of colliding
+/// items — which is exactly the noise term ASCS's active sampling shrinks.
+///
+/// ```
+/// use ascs_count_sketch::{CountSketch, PointSketch};
+/// let mut cs = CountSketch::new(5, 1024, 42);
+/// for _ in 0..100 {
+///     cs.update(7, 1.0);
+/// }
+/// cs.update(9, 3.0);
+/// assert!((cs.estimate(7) - 100.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    family: HashFamily,
+    /// Row-major `K × R` table of accumulated signed weights.
+    table: Vec<f64>,
+    rows: usize,
+    range: usize,
+    seed: u64,
+    updates: u64,
+}
+
+impl CountSketch {
+    /// Creates a sketch with `rows` hash tables (`K`) of `range` buckets
+    /// (`R`) each, seeded deterministically.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `range == 0`.
+    pub fn new(rows: usize, range: usize, seed: u64) -> Self {
+        let family = HashFamily::new(rows, range, seed);
+        Self {
+            family,
+            table: vec![0.0; rows * range],
+            rows,
+            range,
+            seed,
+            updates: 0,
+        }
+    }
+
+    /// Creates a sketch from a total memory budget of `budget_words` float
+    /// slots split across `rows` rows (`R = budget / K`), the convention of
+    /// Section 8.1 / Table 5 of the paper.
+    pub fn with_budget(rows: usize, budget_words: usize, seed: u64) -> Self {
+        assert!(rows > 0, "budget split needs at least one row");
+        let range = (budget_words / rows).max(1);
+        Self::new(rows, range, seed)
+    }
+
+    /// Number of rows `K`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Buckets per row `R`.
+    pub fn range(&self) -> usize {
+        self.range
+    }
+
+    /// Seed used to derive the hash family.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total number of updates applied.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// The underlying hash family (shared with ASCS so that the active
+    /// sampling query and the insertion hit the same buckets).
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// Raw table access for diagnostics and tests.
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Resets all buckets to zero (keeps the hash family).
+    pub fn clear(&mut self) {
+        self.table.iter_mut().for_each(|v| *v = 0.0);
+        self.updates = 0;
+    }
+
+    /// Adds `weight` to item `key` in every row.
+    #[inline]
+    pub fn update(&mut self, key: u64, weight: f64) {
+        for row in 0..self.rows {
+            let hasher = &self.family.row_hashers()[row];
+            let bucket = hasher.bucket(key, self.range);
+            let sign = hasher.sign_f64(key);
+            self.table[row * self.range + bucket] += weight * sign;
+        }
+        self.updates += 1;
+    }
+
+    /// Point query: median across rows of the signed bucket contents.
+    #[inline]
+    pub fn estimate(&self, key: u64) -> f64 {
+        // K is small (≤ ~10); use a fixed-capacity buffer on the stack for
+        // the common case and fall back to a Vec otherwise.
+        const STACK_ROWS: usize = 16;
+        if self.rows <= STACK_ROWS {
+            let mut buf = [0.0f64; STACK_ROWS];
+            for row in 0..self.rows {
+                buf[row] = self.row_estimate(row, key);
+            }
+            ascs_numerics_median(&mut buf[..self.rows])
+        } else {
+            let mut buf: Vec<f64> = (0..self.rows).map(|row| self.row_estimate(row, key)).collect();
+            ascs_numerics_median(&mut buf)
+        }
+    }
+
+    /// Estimate taken from a single row (no median) — exposed for the
+    /// one-table analysis of Theorems 1–3 and for ablation benchmarks.
+    #[inline]
+    pub fn row_estimate(&self, row: usize, key: u64) -> f64 {
+        let hasher = &self.family.row_hashers()[row];
+        let bucket = hasher.bucket(key, self.range);
+        let sign = hasher.sign_f64(key);
+        self.table[row * self.range + bucket] * sign
+    }
+
+    /// Merges another sketch built with the same `(rows, range, seed)`.
+    ///
+    /// # Panics
+    /// Panics when the configurations differ — merging incompatible
+    /// sketches would silently corrupt estimates.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.rows, other.rows, "row count mismatch in merge");
+        assert_eq!(self.range, other.range, "range mismatch in merge");
+        assert_eq!(self.seed, other.seed, "seed mismatch in merge");
+        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a += b;
+        }
+        self.updates += other.updates;
+    }
+
+    /// The L2 norm of one row — a cheap proxy for the total noise energy in
+    /// the sketch, used in diagnostics.
+    pub fn row_l2(&self, row: usize) -> f64 {
+        self.table[row * self.range..(row + 1) * self.range]
+            .iter()
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl PointSketch for CountSketch {
+    fn update(&mut self, key: u64, weight: f64) {
+        CountSketch::update(self, key, weight);
+    }
+    fn estimate(&self, key: u64) -> f64 {
+        CountSketch::estimate(self, key)
+    }
+    fn memory_words(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// Median of a small mutable slice (insertion sort; K ≤ 16 in practice).
+#[inline]
+fn ascs_numerics_median(rows: &mut [f64]) -> f64 {
+    debug_assert!(!rows.is_empty());
+    for i in 1..rows.len() {
+        let mut j = i;
+        while j > 0 && rows[j - 1] > rows[j] {
+            rows.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    let n = rows.len();
+    if n % 2 == 1 {
+        rows[n / 2]
+    } else {
+        0.5 * (rows[n / 2 - 1] + rows[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_when_items_fit_without_collisions() {
+        // More buckets than items and several rows: estimates should be
+        // essentially exact.
+        let mut cs = CountSketch::new(5, 4096, 1);
+        for key in 0..100u64 {
+            cs.update(key, key as f64);
+        }
+        for key in 0..100u64 {
+            assert!(
+                (cs.estimate(key) - key as f64).abs() < 1e-9,
+                "key {key} estimate {}",
+                cs.estimate(key)
+            );
+        }
+    }
+
+    #[test]
+    fn unqueried_items_estimate_near_zero() {
+        let mut cs = CountSketch::new(5, 4096, 2);
+        for key in 0..50u64 {
+            cs.update(key, 1.0);
+        }
+        // Keys never inserted should mostly read ~0 (median kills the rare
+        // collision).
+        let mut nonzero = 0;
+        for key in 1000..1100u64 {
+            if cs.estimate(key).abs() > 0.5 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero <= 2, "{nonzero} phantom heavy estimates");
+    }
+
+    #[test]
+    fn negative_and_fractional_weights_accumulate() {
+        let mut cs = CountSketch::new(3, 512, 3);
+        cs.update(10, 2.5);
+        cs.update(10, -1.0);
+        cs.update(10, 0.25);
+        assert!((cs.estimate(10) - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_hitter_recovered_under_noise() {
+        // One strong signal among many small noise items, sketch heavily
+        // compressed: the signal estimate should dominate.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut cs = CountSketch::new(5, 256, 4);
+        let signal_key = 123_456u64;
+        for t in 0..2000 {
+            cs.update(signal_key, 1.0);
+            // 50 noise items per step with zero-mean weights.
+            for j in 0..50u64 {
+                let key = 10_000 + (t * 50 + j) % 5000;
+                cs.update(key, rng.gen_range(-0.5..0.5));
+            }
+        }
+        let est = cs.estimate(signal_key);
+        assert!(est > 1500.0, "signal estimate too low: {est}");
+    }
+
+    #[test]
+    fn estimator_is_unbiased_over_seeds() {
+        // Average the estimate of a fixed key over many independent sketches:
+        // should converge to the true value even with heavy collisions.
+        let truth = 10.0;
+        let mut sum = 0.0;
+        let seeds = 200;
+        for seed in 0..seeds {
+            let mut cs = CountSketch::new(1, 16, seed);
+            cs.update(1, truth);
+            for key in 2..50u64 {
+                // Symmetric noise items.
+                cs.update(key, if key % 2 == 0 { 1.0 } else { -1.0 });
+            }
+            sum += cs.estimate(1);
+        }
+        let avg = sum / seeds as f64;
+        assert!(
+            (avg - truth).abs() < 1.5,
+            "mean estimate {avg} deviates from {truth}"
+        );
+    }
+
+    #[test]
+    fn budget_constructor_splits_memory() {
+        let cs = CountSketch::with_budget(5, 100_000, 9);
+        assert_eq!(cs.rows(), 5);
+        assert_eq!(cs.range(), 20_000);
+        assert_eq!(cs.memory_words(), 100_000);
+    }
+
+    #[test]
+    fn merge_matches_sequential_ingestion() {
+        let mut whole = CountSketch::new(4, 128, 11);
+        let mut part1 = CountSketch::new(4, 128, 11);
+        let mut part2 = CountSketch::new(4, 128, 11);
+        for key in 0..200u64 {
+            let w = (key % 7) as f64 - 3.0;
+            whole.update(key, w);
+            if key < 100 {
+                part1.update(key, w);
+            } else {
+                part2.update(key, w);
+            }
+        }
+        part1.merge(&part2);
+        for key in (0..200u64).step_by(17) {
+            assert!((part1.estimate(key) - whole.estimate(key)).abs() < 1e-9);
+        }
+        assert_eq!(part1.update_count(), whole.update_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn merge_rejects_different_seeds() {
+        let mut a = CountSketch::new(2, 64, 1);
+        let b = CountSketch::new(2, 64, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn clear_resets_estimates() {
+        let mut cs = CountSketch::new(3, 64, 5);
+        cs.update(42, 10.0);
+        cs.clear();
+        assert_eq!(cs.estimate(42), 0.0);
+        assert_eq!(cs.update_count(), 0);
+    }
+
+    #[test]
+    fn row_estimate_feeds_median() {
+        let mut cs = CountSketch::new(5, 1024, 6);
+        cs.update(77, 4.0);
+        let mut rows: Vec<f64> = (0..5).map(|r| cs.row_estimate(r, 77)).collect();
+        rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(cs.estimate(77), rows[2]);
+    }
+
+    #[test]
+    fn single_row_single_bucket_degenerate_case() {
+        let mut cs = CountSketch::new(1, 1, 0);
+        cs.update(1, 1.0);
+        cs.update(2, 1.0);
+        // Everything lands in the same bucket; estimate is the signed sum.
+        let est = cs.estimate(1).abs();
+        assert!(est <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn memory_words_matches_table_size() {
+        let cs = CountSketch::new(7, 33, 8);
+        assert_eq!(cs.memory_words(), 7 * 33);
+    }
+
+    #[test]
+    fn row_l2_tracks_inserted_energy() {
+        let mut cs = CountSketch::new(2, 128, 13);
+        assert_eq!(cs.row_l2(0), 0.0);
+        cs.update(5, 3.0);
+        assert!((cs.row_l2(0) - 3.0).abs() < 1e-12);
+        assert!((cs.row_l2(1) - 3.0).abs() < 1e-12);
+    }
+}

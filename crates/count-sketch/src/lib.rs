@@ -1,0 +1,53 @@
+//! Count-sketch family of streaming summaries.
+//!
+//! This crate provides the sketching substrate of the ASCS reproduction:
+//!
+//! * [`CountSketch`] — the classic Charikar–Chen–Farach-Colton sketch with
+//!   `K` rows of `R` signed buckets and median-of-rows retrieval. This is
+//!   the structure both vanilla CS (Algorithm 1 of the paper) and ASCS
+//!   (Algorithm 2) write into; ASCS differs only in *which* updates are
+//!   inserted.
+//! * [`CountMinSketch`] — a non-negative counterpart used by the Cold
+//!   Filter baseline's first stage and available for ablations.
+//! * [`AugmentedSketch`] — the ASketch baseline of Roy et al. (SIGMOD '16):
+//!   a small exact filter for hot items in front of a count sketch.
+//! * [`ColdFilter`] — the Zhou et al. (SIGMOD '18) meta-framework: a cheap
+//!   two-layer filter absorbs cold items and forwards hot ones to the main
+//!   sketch.
+//! * [`TopKTracker`] — a bounded tracker of the largest estimates, used to
+//!   report the top correlation pairs without a second pass over the item
+//!   universe.
+//!
+//! All structures are generic over `u64` item identifiers (the ASCS core
+//! maps covariance pairs `(a, b)` to such identifiers) and real-valued
+//! increments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asketch;
+pub mod cold_filter;
+pub mod count_min;
+pub mod count_sketch;
+pub mod topk;
+
+pub use asketch::AugmentedSketch;
+pub use cold_filter::ColdFilter;
+pub use count_min::CountMinSketch;
+pub use count_sketch::CountSketch;
+pub use topk::TopKTracker;
+
+/// Common interface of sketches that ingest `(item, weight)` updates and
+/// answer point queries, letting the evaluation harness treat CS, ASketch
+/// and Cold Filter uniformly.
+pub trait PointSketch {
+    /// Adds `weight` to item `key`.
+    fn update(&mut self, key: u64, weight: f64);
+
+    /// Estimates the accumulated weight of item `key`.
+    fn estimate(&self, key: u64) -> f64;
+
+    /// Number of 64-bit words of state the sketch owns (memory footprint in
+    /// float-equivalents, the unit the paper's Table 5 budgets use).
+    fn memory_words(&self) -> usize;
+}

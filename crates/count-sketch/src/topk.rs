@@ -1,0 +1,215 @@
+//! Bounded tracking of the items with the largest estimates.
+//!
+//! After one pass over the stream, the paper reports the "top 1000
+//! correlation pairs" (Table 2) or the top `f · α · p` pairs (Table 4). For
+//! small universes the evaluation layer can simply query every pair at the
+//! end, but at trillion scale that second enumeration is impossible, so the
+//! tracker below maintains the current top set online: every time a pair is
+//! touched its fresh estimate is offered to the tracker, which keeps the
+//! `capacity` largest values seen.
+
+use std::collections::HashMap;
+
+/// A bounded map from item to its latest offered estimate, retaining only
+/// the `capacity` items with the largest estimates.
+///
+/// Offers are idempotent per item (a newer offer replaces the older value),
+/// so repeatedly offering the same heavy pair does not crowd out others.
+///
+/// ```
+/// use ascs_count_sketch::TopKTracker;
+/// let mut t = TopKTracker::new(2);
+/// t.offer(1, 0.5);
+/// t.offer(2, 0.9);
+/// t.offer(3, 0.1); // evicts nothing yet? capacity 2 -> evicts the smallest
+/// let top = t.descending();
+/// assert_eq!(top.len(), 2);
+/// assert_eq!(top[0].0, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopKTracker {
+    capacity: usize,
+    entries: HashMap<u64, f64>,
+    /// Admission bar: the smallest retained value observed at the last
+    /// eviction. Offers for *new* keys below this bar are rejected without
+    /// touching the map, which keeps the per-offer cost O(1) on the hot
+    /// ingestion path (the bar is a lower bound on what could survive, so
+    /// the retained top set is unaffected for the monotone-growing
+    /// estimates the sketches produce).
+    admission_bar: f64,
+    offers: u64,
+}
+
+impl TopKTracker {
+    /// Creates a tracker retaining at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "top-k tracker needs positive capacity");
+        Self {
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+            admission_bar: f64::NEG_INFINITY,
+            offers: 0,
+        }
+    }
+
+    /// Maximum number of retained items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of offers received.
+    pub fn offers(&self) -> u64 {
+        self.offers
+    }
+
+    /// Offers `(key, estimate)`. If the key is already tracked its estimate
+    /// is updated; otherwise it is inserted and, when over capacity, the
+    /// smallest-estimate item is evicted.
+    pub fn offer(&mut self, key: u64, estimate: f64) {
+        self.offers += 1;
+        if estimate.is_nan() {
+            return;
+        }
+        // Fast path: the tracker is full, the key is new, and the estimate
+        // cannot beat what is already retained.
+        if self.entries.len() >= self.capacity
+            && estimate < self.admission_bar
+            && !self.entries.contains_key(&key)
+        {
+            return;
+        }
+        self.entries.insert(key, estimate);
+        if self.entries.len() > self.capacity {
+            // Evict the current minimum. The linear scan only runs when an
+            // offer actually clears the admission bar.
+            if let Some((&evict_key, _)) = self
+                .entries
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+            {
+                self.entries.remove(&evict_key);
+            }
+            // The new minimum becomes the admission bar for future offers.
+            self.admission_bar = self
+                .entries
+                .values()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+        }
+    }
+
+    /// Current estimate for `key`, if tracked.
+    pub fn get(&self, key: u64) -> Option<f64> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Retained `(key, estimate)` pairs sorted by estimate descending.
+    pub fn descending(&self) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self.entries.iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Just the keys, largest estimate first.
+    pub fn keys_descending(&self) -> Vec<u64> {
+        self.descending().into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Smallest retained estimate (the current admission bar once full).
+    pub fn threshold(&self) -> Option<f64> {
+        self.entries.values().copied().min_by(f64::total_cmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_largest_items() {
+        let mut t = TopKTracker::new(3);
+        for (k, v) in [(1, 0.1), (2, 0.9), (3, 0.5), (4, 0.7), (5, 0.2)] {
+            t.offer(k, v);
+        }
+        let keys = t.keys_descending();
+        assert_eq!(keys, vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn re_offering_updates_in_place() {
+        let mut t = TopKTracker::new(2);
+        t.offer(1, 0.1);
+        t.offer(2, 0.2);
+        t.offer(1, 0.9); // key 1 grows, must not duplicate
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.keys_descending(), vec![1, 2]);
+        assert_eq!(t.get(1), Some(0.9));
+    }
+
+    #[test]
+    fn eviction_removes_current_minimum() {
+        let mut t = TopKTracker::new(2);
+        t.offer(10, 5.0);
+        t.offer(20, 1.0);
+        t.offer(30, 3.0); // evicts 20
+        assert_eq!(t.get(20), None);
+        assert!(t.get(10).is_some() && t.get(30).is_some());
+    }
+
+    #[test]
+    fn threshold_is_smallest_retained() {
+        let mut t = TopKTracker::new(3);
+        assert_eq!(t.threshold(), None);
+        t.offer(1, 0.4);
+        t.offer(2, 0.6);
+        assert_eq!(t.threshold(), Some(0.4));
+    }
+
+    #[test]
+    fn nan_offers_are_ignored() {
+        let mut t = TopKTracker::new(2);
+        t.offer(1, f64::NAN);
+        assert!(t.is_empty());
+        assert_eq!(t.offers(), 1);
+    }
+
+    #[test]
+    fn descending_breaks_ties_by_key() {
+        let mut t = TopKTracker::new(4);
+        t.offer(7, 1.0);
+        t.offer(3, 1.0);
+        t.offer(5, 1.0);
+        let d = t.descending();
+        assert_eq!(d.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![3, 5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_panics() {
+        let _ = TopKTracker::new(0);
+    }
+
+    #[test]
+    fn stress_capacity_is_respected() {
+        let mut t = TopKTracker::new(100);
+        for i in 0..10_000u64 {
+            t.offer(i, (i % 997) as f64);
+        }
+        assert_eq!(t.len(), 100);
+        // The retained minimum must be among the largest residues.
+        assert!(t.threshold().unwrap() >= 900.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Stream plumbing: buffered shuffling, bootstrap resampling and prefix
+//! splits.
+//!
+//! The paper's analysis assumes i.i.d. samples and notes that real streams
+//! can be brought close to that by buffering and shuffling incoming data
+//! (Section 3) — the same device PyTorch/TensorFlow data loaders use.
+//! [`ShuffleBuffer`] implements exactly that. [`BootstrapResampler`]
+//! reproduces the replication device of Section 6.2, which bootstraps the
+//! "gisette" dataset into thousands of pseudo-datasets to study the
+//! distribution of empirical covariance entries.
+
+use ascs_core::Sample;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A bounded shuffle buffer: samples are pushed in stream order and popped
+/// in (locally) randomised order, approximating an i.i.d. stream from a
+/// correlated one.
+#[derive(Debug)]
+pub struct ShuffleBuffer {
+    capacity: usize,
+    buffer: Vec<Sample>,
+    rng: ChaCha8Rng,
+}
+
+impl ShuffleBuffer {
+    /// Creates a buffer holding at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "shuffle buffer needs positive capacity");
+        Self {
+            capacity,
+            buffer: Vec::with_capacity(capacity),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of samples currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Pushes a sample. If the buffer is full, a uniformly random buffered
+    /// sample is evicted and returned (the classic reservoir-style shuffle
+    /// used by streaming data loaders).
+    pub fn push(&mut self, sample: Sample) -> Option<Sample> {
+        if self.buffer.len() < self.capacity {
+            self.buffer.push(sample);
+            return None;
+        }
+        let idx = self.rng.gen_range(0..self.buffer.len());
+        let evicted = std::mem::replace(&mut self.buffer[idx], sample);
+        Some(evicted)
+    }
+
+    /// Drains the remaining buffered samples in random order.
+    pub fn drain(&mut self) -> Vec<Sample> {
+        let mut out = std::mem::take(&mut self.buffer);
+        // Fisher–Yates with the buffer's RNG.
+        for i in (1..out.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            out.swap(i, j);
+        }
+        out
+    }
+
+    /// Convenience: shuffles an entire finite stream through the buffer and
+    /// returns it in the randomised order.
+    pub fn shuffle_all(mut self, samples: impl IntoIterator<Item = Sample>) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for s in samples {
+            if let Some(evicted) = self.push(s) {
+                out.push(evicted);
+            }
+        }
+        out.extend(self.drain());
+        out
+    }
+}
+
+/// Bootstrap resampler over a base dataset: each replicate draws `n`
+/// samples with replacement, mimicking Section 6.2's construction of
+/// thousands of pseudo-datasets from a single real dataset.
+#[derive(Debug, Clone)]
+pub struct BootstrapResampler {
+    base: Vec<Sample>,
+    seed: u64,
+}
+
+impl BootstrapResampler {
+    /// Creates a resampler over `base` samples.
+    ///
+    /// # Panics
+    /// Panics if `base` is empty.
+    pub fn new(base: Vec<Sample>, seed: u64) -> Self {
+        assert!(!base.is_empty(), "cannot bootstrap an empty dataset");
+        Self { base, seed }
+    }
+
+    /// Number of base samples.
+    pub fn base_len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Draws replicate `replicate_id` of length `n` (deterministic per id).
+    pub fn replicate(&self, replicate_id: u64, n: usize) -> Vec<Sample> {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ 0xB007 ^ replicate_id.wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        (0..n)
+            .map(|_| self.base[rng.gen_range(0..self.base.len())].clone())
+            .collect()
+    }
+}
+
+/// Splits a sample stream into a pilot prefix (used to estimate `μ̂`, `σ`,
+/// `u` — Section 8.1 uses the first 5 %) and the remaining stream.
+pub fn pilot_split(samples: &[Sample], pilot_fraction: f64) -> (&[Sample], &[Sample]) {
+    let f = pilot_fraction.clamp(0.0, 1.0);
+    let cut = ((samples.len() as f64) * f).round() as usize;
+    samples.split_at(cut.min(samples.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbered_samples(n: usize) -> Vec<Sample> {
+        (0..n).map(|i| Sample::dense(vec![i as f64, 0.0])).collect()
+    }
+
+    fn first_coordinate(s: &Sample) -> f64 {
+        s.value(0)
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let samples = numbered_samples(100);
+        let shuffled = ShuffleBuffer::new(16, 1).shuffle_all(samples.clone());
+        assert_eq!(shuffled.len(), 100);
+        let mut orig: Vec<f64> = samples.iter().map(first_coordinate).collect();
+        let mut got: Vec<f64> = shuffled.iter().map(first_coordinate).collect();
+        orig.sort_by(f64::total_cmp);
+        got.sort_by(f64::total_cmp);
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn shuffle_actually_permutes() {
+        let samples = numbered_samples(200);
+        let shuffled = ShuffleBuffer::new(64, 2).shuffle_all(samples.clone());
+        let displaced = shuffled
+            .iter()
+            .zip(samples.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(displaced > 100, "only {displaced} samples moved");
+    }
+
+    #[test]
+    fn buffer_does_not_exceed_capacity() {
+        let mut buf = ShuffleBuffer::new(4, 3);
+        let mut emitted = 0;
+        for s in numbered_samples(20) {
+            if buf.push(s).is_some() {
+                emitted += 1;
+            }
+            assert!(buf.len() <= 4);
+        }
+        assert_eq!(emitted, 16);
+        assert_eq!(buf.drain().len(), 4);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_buffer_panics() {
+        ShuffleBuffer::new(0, 0);
+    }
+
+    #[test]
+    fn bootstrap_replicates_are_deterministic_and_distinct() {
+        let resampler = BootstrapResampler::new(numbered_samples(50), 7);
+        let a = resampler.replicate(0, 30);
+        let b = resampler.replicate(0, 30);
+        let c = resampler.replicate(1, 30);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 30);
+        assert_eq!(resampler.base_len(), 50);
+    }
+
+    #[test]
+    fn bootstrap_only_draws_from_base() {
+        let resampler = BootstrapResampler::new(numbered_samples(10), 8);
+        for s in resampler.replicate(3, 100) {
+            let v = first_coordinate(&s);
+            assert!(v >= 0.0 && v < 10.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn bootstrap_of_empty_base_panics() {
+        BootstrapResampler::new(Vec::new(), 0);
+    }
+
+    #[test]
+    fn pilot_split_fractions() {
+        let samples = numbered_samples(100);
+        let (pilot, rest) = pilot_split(&samples, 0.05);
+        assert_eq!(pilot.len(), 5);
+        assert_eq!(rest.len(), 95);
+        let (all, none) = pilot_split(&samples, 1.5);
+        assert_eq!(all.len(), 100);
+        assert!(none.is_empty());
+        let (zero, everything) = pilot_split(&samples, -0.1);
+        assert!(zero.is_empty());
+        assert_eq!(everything.len(), 100);
+    }
+}

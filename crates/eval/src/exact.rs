@@ -1,0 +1,292 @@
+//! Exact covariance / correlation matrices for moderate dimensionality.
+//!
+//! The paper's rigorous evaluation restricts itself to 1000 features so the
+//! exact empirical correlation matrix (≈ 500k unique entries) can be
+//! computed and used as ground truth. [`ExactMatrix`] does exactly that
+//! with a single pass of Welford-style accumulators per pair.
+
+use ascs_core::{num_pairs, EstimandKind, PairIndexer, Sample};
+use ascs_numerics::percentile;
+
+/// The exact upper-triangular covariance or correlation matrix of a sample
+/// collection, stored as a flat vector indexed by the linear pair key.
+#[derive(Debug, Clone)]
+pub struct ExactMatrix {
+    indexer: PairIndexer,
+    values: Vec<f64>,
+    estimand: EstimandKind,
+    samples: u64,
+}
+
+impl ExactMatrix {
+    /// Computes the exact matrix from a sample collection.
+    ///
+    /// Complexity is `O(n · d²)`; intended for `d` up to a few thousand.
+    ///
+    /// # Panics
+    /// Panics if the collection is empty, dimensionalities disagree, or `d`
+    /// is large enough that the dense pair storage would not fit in memory.
+    pub fn from_samples(samples: &[Sample], estimand: EstimandKind) -> Self {
+        assert!(!samples.is_empty(), "cannot compute an exact matrix of nothing");
+        let dim = samples[0].dim();
+        assert!(dim >= 2, "need at least two features");
+        assert!(
+            dim <= 20_000,
+            "dense exact matrix for d = {dim} would need more than 1.6 GB; \
+             restrict the feature set first (the paper uses 1000 features)"
+        );
+        let p = num_pairs(dim) as usize;
+        let n = samples.len() as f64;
+
+        // Single pass: accumulate per-feature sums and per-pair product sums.
+        let d = dim as usize;
+        let mut sum = vec![0.0f64; d];
+        let mut sum_sq = vec![0.0f64; d];
+        let mut cross = vec![0.0f64; p];
+        let indexer = PairIndexer::new(dim);
+
+        let mut dense_scratch = vec![0.0f64; d];
+        for sample in samples {
+            assert_eq!(sample.dim(), dim, "inconsistent sample dimensionality");
+            // Materialise the sample densely once (cheap at d ≤ 20k).
+            for v in dense_scratch.iter_mut() {
+                *v = 0.0;
+            }
+            for (i, v) in sample.nonzeros() {
+                dense_scratch[i as usize] = v;
+            }
+            for a in 0..d {
+                let va = dense_scratch[a];
+                sum[a] += va;
+                sum_sq[a] += va * va;
+                if va == 0.0 {
+                    continue;
+                }
+                // Only pairs whose first coordinate is non-zero can change;
+                // the inner loop still has to visit non-zero b's only.
+                for b in (a + 1)..d {
+                    let vb = dense_scratch[b];
+                    if vb != 0.0 {
+                        cross[indexer.index(a as u64, b as u64) as usize] += va * vb;
+                    }
+                }
+            }
+        }
+
+        let mean: Vec<f64> = sum.iter().map(|s| s / n).collect();
+        let var: Vec<f64> = sum_sq
+            .iter()
+            .zip(mean.iter())
+            .map(|(ss, m)| (ss / n - m * m).max(0.0))
+            .collect();
+
+        let mut values = vec![0.0f64; p];
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let key = indexer.index(a as u64, b as u64) as usize;
+                let cov = cross[key] / n - mean[a] * mean[b];
+                values[key] = match estimand {
+                    EstimandKind::Covariance => cov,
+                    EstimandKind::Correlation => {
+                        let denom = (var[a] * var[b]).sqrt();
+                        if denom > 0.0 {
+                            cov / denom
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+            }
+        }
+
+        Self {
+            indexer,
+            values,
+            estimand,
+            samples: samples.len() as u64,
+        }
+    }
+
+    /// What the stored values are (covariance or correlation).
+    pub fn estimand(&self) -> EstimandKind {
+        self.estimand
+    }
+
+    /// Number of samples the matrix was computed from.
+    pub fn sample_count(&self) -> u64 {
+        self.samples
+    }
+
+    /// Dimensionality `d`.
+    pub fn dim(&self) -> u64 {
+        self.indexer.dim()
+    }
+
+    /// Number of unique pairs `p`.
+    pub fn num_pairs(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Exact value for the pair `(a, b)`.
+    pub fn value(&self, a: u64, b: u64) -> f64 {
+        self.values[self.indexer.index(a, b) as usize]
+    }
+
+    /// Exact value for a linear pair key.
+    pub fn value_by_key(&self, key: u64) -> f64 {
+        self.values[key as usize]
+    }
+
+    /// The flat upper-triangular value vector (indexed by pair key).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Keys of the `k` pairs with the largest absolute exact value, sorted
+    /// descending by |value| (ties broken by key for determinism).
+    pub fn top_keys_by_magnitude(&self, k: usize) -> Vec<u64> {
+        let mut keys: Vec<u64> = (0..self.values.len() as u64).collect();
+        keys.sort_unstable_by(|&x, &y| {
+            self.values[y as usize]
+                .abs()
+                .total_cmp(&self.values[x as usize].abs())
+                .then(x.cmp(&y))
+        });
+        keys.truncate(k);
+        keys
+    }
+
+    /// The keys whose absolute value is at least `threshold` — the signal
+    /// set induced by a magnitude cut.
+    pub fn signal_keys_above(&self, threshold: f64) -> Vec<u64> {
+        (0..self.values.len() as u64)
+            .filter(|&k| self.values[k as usize].abs() >= threshold)
+            .collect()
+    }
+
+    /// The signal set defined as the top `alpha · p` pairs by magnitude —
+    /// the definition Section 8.1 uses when the exact matrix is available.
+    pub fn signal_keys_top_alpha(&self, alpha: f64) -> Vec<u64> {
+        let count = ((self.values.len() as f64) * alpha.clamp(0.0, 1.0)).round() as usize;
+        self.top_keys_by_magnitude(count)
+    }
+
+    /// The `(1 − alpha)` percentile of the absolute values — the signal
+    /// strength `u` of Section 8.1.
+    pub fn signal_strength(&self, alpha: f64) -> f64 {
+        let abs: Vec<f64> = self.values.iter().map(|v| v.abs()).collect();
+        percentile(&abs, (1.0 - alpha.clamp(0.0, 1.0)) * 100.0).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascs_core::Sample;
+
+    fn toy_samples() -> Vec<Sample> {
+        // Feature 1 = 2 * feature 0; feature 2 independent-ish pattern.
+        vec![
+            Sample::dense(vec![1.0, 2.0, 5.0]),
+            Sample::dense(vec![2.0, 4.0, -1.0]),
+            Sample::dense(vec![3.0, 6.0, 4.0]),
+            Sample::dense(vec![4.0, 8.0, 0.0]),
+        ]
+    }
+
+    #[test]
+    fn covariance_matches_hand_computation() {
+        let m = ExactMatrix::from_samples(&toy_samples(), EstimandKind::Covariance);
+        // Feature 0: values 1..4, mean 2.5, population var 1.25.
+        // Cov(0, 1) = 2 * Var(0) = 2.5.
+        assert!((m.value(0, 1) - 2.5).abs() < 1e-12);
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.num_pairs(), 3);
+        assert_eq!(m.sample_count(), 4);
+    }
+
+    #[test]
+    fn correlation_of_linearly_dependent_features_is_one() {
+        let m = ExactMatrix::from_samples(&toy_samples(), EstimandKind::Correlation);
+        assert!((m.value(0, 1) - 1.0).abs() < 1e-12);
+        assert!(m.value(0, 2).abs() < 1.0);
+    }
+
+    #[test]
+    fn value_by_key_matches_pair_lookup() {
+        let m = ExactMatrix::from_samples(&toy_samples(), EstimandKind::Correlation);
+        let indexer = PairIndexer::new(3);
+        for a in 0..3u64 {
+            for b in (a + 1)..3u64 {
+                assert_eq!(m.value(a, b), m.value_by_key(indexer.index(a, b)));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_samples_agree() {
+        let dense = vec![
+            Sample::dense(vec![1.0, 0.0, 3.0, 0.0]),
+            Sample::dense(vec![0.0, 2.0, 0.0, 1.0]),
+            Sample::dense(vec![2.0, 1.0, 3.0, 0.0]),
+        ];
+        let sparse = vec![
+            Sample::sparse(4, vec![(0, 1.0), (2, 3.0)]),
+            Sample::sparse(4, vec![(1, 2.0), (3, 1.0)]),
+            Sample::sparse(4, vec![(0, 2.0), (1, 1.0), (2, 3.0)]),
+        ];
+        let md = ExactMatrix::from_samples(&dense, EstimandKind::Covariance);
+        let ms = ExactMatrix::from_samples(&sparse, EstimandKind::Covariance);
+        for key in 0..md.num_pairs() {
+            assert!((md.value_by_key(key) - ms.value_by_key(key)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_variance_feature_has_zero_correlation() {
+        let samples = vec![
+            Sample::dense(vec![5.0, 1.0]),
+            Sample::dense(vec![5.0, 2.0]),
+            Sample::dense(vec![5.0, 3.0]),
+        ];
+        let m = ExactMatrix::from_samples(&samples, EstimandKind::Correlation);
+        assert_eq!(m.value(0, 1), 0.0);
+    }
+
+    #[test]
+    fn top_keys_are_sorted_by_magnitude() {
+        let samples = toy_samples();
+        let m = ExactMatrix::from_samples(&samples, EstimandKind::Correlation);
+        let top = m.top_keys_by_magnitude(3);
+        assert_eq!(top.len(), 3);
+        let vals: Vec<f64> = top.iter().map(|&k| m.value_by_key(k).abs()).collect();
+        assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
+        // Top-1 must be the perfectly correlated pair (0, 1) = key 0.
+        assert_eq!(top[0], 0);
+    }
+
+    #[test]
+    fn signal_selection_by_threshold_and_alpha() {
+        let m = ExactMatrix::from_samples(&toy_samples(), EstimandKind::Correlation);
+        let strong = m.signal_keys_above(0.99);
+        assert_eq!(strong, vec![0]);
+        let top_third = m.signal_keys_top_alpha(1.0 / 3.0);
+        assert_eq!(top_third.len(), 1);
+        assert_eq!(top_third[0], 0);
+        let u = m.signal_strength(1.0 / 3.0);
+        assert!(u > 0.5, "u = {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing")]
+    fn empty_sample_set_panics() {
+        let _ = ExactMatrix::from_samples(&[], EstimandKind::Covariance);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent sample dimensionality")]
+    fn mismatched_dimensions_panic() {
+        let samples = vec![Sample::dense(vec![1.0, 2.0]), Sample::dense(vec![1.0])];
+        let _ = ExactMatrix::from_samples(&samples, EstimandKind::Covariance);
+    }
+}

@@ -1,0 +1,26 @@
+//! Evaluation layer of the ASCS reproduction.
+//!
+//! The paper measures two things (Section 3):
+//!
+//! 1. the **mean true correlation** of the pairs an algorithm reports as
+//!    its top set (Tables 2, 4, 5), and
+//! 2. the **accuracy of classifying pairs as signal vs noise**, summarised
+//!    as the maximum F1 score over report-set sizes (Figure 6).
+//!
+//! Both need ground truth. For the small "rigorous evaluation" datasets the
+//! ground truth is the exact empirical correlation matrix computed from the
+//! full dataset ([`exact`]); for the simulation it can also be the planted
+//! structure. [`metrics`] implements the two scores plus precision/recall
+//! curves, and [`report`] provides the serialisable tables the experiment
+//! binaries emit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod metrics;
+pub mod report;
+
+pub use exact::ExactMatrix;
+pub use metrics::{max_f1_score, mean_true_value_of_top, precision_recall_curve, PrCurvePoint};
+pub use report::{ExperimentTable, TableCell};

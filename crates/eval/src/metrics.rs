@@ -1,0 +1,186 @@
+//! Evaluation metrics of Section 3: mean true value of the reported top
+//! set, and the (maximum) F1 score of signal identification.
+
+use std::collections::HashSet;
+
+/// Mean of the true (ground-truth) values of the `k` pairs an algorithm
+/// reported as its top set.
+///
+/// * `reported` — pair keys ordered by the algorithm's estimate, best
+///   first (e.g. the output of `CovarianceEstimator::top_pairs`);
+/// * `true_value` — lookup of the exact value for a key (usually the
+///   absolute exact correlation);
+/// * `k` — how many of the reported pairs to score (Table 2 uses 1000,
+///   Table 4 uses fractions of `α·p`).
+///
+/// Returns `None` when nothing was reported.
+pub fn mean_true_value_of_top(
+    reported: &[u64],
+    mut true_value: impl FnMut(u64) -> f64,
+    k: usize,
+) -> Option<f64> {
+    let take = k.min(reported.len());
+    if take == 0 {
+        return None;
+    }
+    let sum: f64 = reported[..take].iter().map(|&key| true_value(key)).sum();
+    Some(sum / take as f64)
+}
+
+/// One point of a precision/recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrCurvePoint {
+    /// Number of reported pairs at this point (the cut-off rank).
+    pub reported: usize,
+    /// Precision among the reported pairs.
+    pub precision: f64,
+    /// Recall of the true signal set.
+    pub recall: f64,
+    /// F1 score at this cut-off.
+    pub f1: f64,
+}
+
+/// Precision/recall/F1 as the report-set size sweeps from 1 to
+/// `ranked.len()`.
+///
+/// * `ranked` — pair keys ordered by the algorithm's estimate, best first;
+/// * `signal_keys` — the ground-truth signal set.
+///
+/// Returns an empty vector when either input is empty.
+pub fn precision_recall_curve(ranked: &[u64], signal_keys: &HashSet<u64>) -> Vec<PrCurvePoint> {
+    if ranked.is_empty() || signal_keys.is_empty() {
+        return Vec::new();
+    }
+    let total_signals = signal_keys.len() as f64;
+    let mut hits = 0usize;
+    let mut out = Vec::with_capacity(ranked.len());
+    for (i, key) in ranked.iter().enumerate() {
+        if signal_keys.contains(key) {
+            hits += 1;
+        }
+        let reported = i + 1;
+        let precision = hits as f64 / reported as f64;
+        let recall = hits as f64 / total_signals;
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        out.push(PrCurvePoint {
+            reported,
+            precision,
+            recall,
+            f1,
+        });
+    }
+    out
+}
+
+/// The maximum F1 score over all report-set sizes — the y-axis of Figure 6.
+///
+/// Returns 0 when either input is empty.
+pub fn max_f1_score(ranked: &[u64], signal_keys: &HashSet<u64>) -> f64 {
+    precision_recall_curve(ranked, signal_keys)
+        .iter()
+        .map(|p| p.f1)
+        .fold(0.0, f64::max)
+}
+
+/// F1 score at a fixed report-set size `k` (used when the paper fixes the
+/// number of reported pairs, e.g. "top 500 signal correlations").
+pub fn f1_at_k(ranked: &[u64], signal_keys: &HashSet<u64>, k: usize) -> f64 {
+    let curve = precision_recall_curve(ranked, signal_keys);
+    if curve.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let idx = k.min(curve.len()) - 1;
+    curve[idx].f1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_true_value_scores_the_prefix() {
+        let reported = vec![10, 20, 30, 40];
+        let truth = |k: u64| match k {
+            10 => 0.9,
+            20 => 0.8,
+            30 => 0.1,
+            _ => 0.0,
+        };
+        let top2 = mean_true_value_of_top(&reported, truth, 2).unwrap();
+        assert!((top2 - 0.85).abs() < 1e-12);
+        let all = mean_true_value_of_top(&reported, truth, 10).unwrap();
+        assert!((all - 0.45).abs() < 1e-12);
+        assert_eq!(mean_true_value_of_top(&[], truth, 3), None);
+    }
+
+    #[test]
+    fn perfect_ranking_reaches_f1_of_one() {
+        let signals: HashSet<u64> = [1, 2, 3].into_iter().collect();
+        let ranked = vec![2, 3, 1, 7, 8, 9];
+        let best = max_f1_score(&ranked, &signals);
+        assert!((best - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_ranking_scores_low() {
+        let signals: HashSet<u64> = (0..10).collect();
+        let ranked: Vec<u64> = (100..200).collect(); // no signal ever reported
+        assert_eq!(max_f1_score(&ranked, &signals), 0.0);
+    }
+
+    #[test]
+    fn interleaved_ranking_has_intermediate_f1() {
+        let signals: HashSet<u64> = [1, 2, 3, 4].into_iter().collect();
+        let ranked = vec![1, 100, 2, 101, 3, 102, 4];
+        let best = max_f1_score(&ranked, &signals);
+        assert!(best > 0.5 && best < 1.0, "best = {best}");
+    }
+
+    #[test]
+    fn curve_recall_is_monotone_and_ends_at_total_recall() {
+        let signals: HashSet<u64> = [5, 6, 7].into_iter().collect();
+        let ranked = vec![5, 1, 6, 2, 7, 3];
+        let curve = precision_recall_curve(&ranked, &signals);
+        assert_eq!(curve.len(), 6);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+        }
+        assert!((curve.last().unwrap().recall - 1.0).abs() < 1e-12);
+        // Precision at the first point is 1 (first reported key is a signal).
+        assert_eq!(curve[0].precision, 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_curve_and_zero_f1() {
+        let signals: HashSet<u64> = [1].into_iter().collect();
+        assert!(precision_recall_curve(&[], &signals).is_empty());
+        assert_eq!(max_f1_score(&[], &signals), 0.0);
+        let empty: HashSet<u64> = HashSet::new();
+        assert_eq!(max_f1_score(&[1, 2], &empty), 0.0);
+    }
+
+    #[test]
+    fn f1_at_k_matches_curve() {
+        let signals: HashSet<u64> = [1, 2].into_iter().collect();
+        let ranked = vec![1, 9, 2, 8];
+        let curve = precision_recall_curve(&ranked, &signals);
+        assert_eq!(f1_at_k(&ranked, &signals, 3), curve[2].f1);
+        // k beyond the ranking length clamps to the last point.
+        assert_eq!(f1_at_k(&ranked, &signals, 50), curve[3].f1);
+        assert_eq!(f1_at_k(&ranked, &signals, 0), 0.0);
+    }
+
+    #[test]
+    fn max_f1_is_at_least_f1_at_any_k() {
+        let signals: HashSet<u64> = [2, 4, 6, 8].into_iter().collect();
+        let ranked = vec![2, 3, 4, 5, 6, 7, 8, 9];
+        let best = max_f1_score(&ranked, &signals);
+        for k in 1..=ranked.len() {
+            assert!(best >= f1_at_k(&ranked, &signals, k) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Serialisable experiment tables.
+//!
+//! Every experiment binary in `ascs-bench` emits one or more
+//! [`ExperimentTable`]s: a title, column headers and rows of cells. Tables
+//! can be rendered as GitHub-flavoured markdown (for EXPERIMENTS.md) or
+//! serialised to JSON (for machine comparison between runs).
+
+use serde::{Deserialize, Serialize};
+
+/// One table cell: either text or a number (numbers are formatted with a
+/// table-wide precision when rendered).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableCell {
+    /// Free-form text.
+    Text(String),
+    /// A numeric value.
+    Number(f64),
+    /// An integer count.
+    Integer(i64),
+}
+
+impl From<&str> for TableCell {
+    fn from(s: &str) -> Self {
+        Self::Text(s.to_owned())
+    }
+}
+
+impl From<String> for TableCell {
+    fn from(s: String) -> Self {
+        Self::Text(s)
+    }
+}
+
+impl From<f64> for TableCell {
+    fn from(v: f64) -> Self {
+        Self::Number(v)
+    }
+}
+
+impl From<i64> for TableCell {
+    fn from(v: i64) -> Self {
+        Self::Integer(v)
+    }
+}
+
+impl From<u64> for TableCell {
+    fn from(v: u64) -> Self {
+        Self::Integer(v as i64)
+    }
+}
+
+impl From<usize> for TableCell {
+    fn from(v: usize) -> Self {
+        Self::Integer(v as i64)
+    }
+}
+
+/// A titled table of experiment results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentTable {
+    /// Table title (e.g. "Table 2: mean of top-1000 correlations").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells; each row must have exactly `columns.len()` cells.
+    pub rows: Vec<Vec<TableCell>>,
+    /// Decimal places used when rendering numbers.
+    pub precision: usize,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+            precision: 3,
+        }
+    }
+
+    /// Sets the numeric rendering precision.
+    pub fn with_precision(mut self, precision: usize) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header width.
+    pub fn push_row(&mut self, row: Vec<TableCell>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} does not match the {} columns of '{}'",
+            row.len(),
+            self.columns.len(),
+            self.title
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn render_cell(&self, cell: &TableCell) -> String {
+        match cell {
+            TableCell::Text(s) => s.clone(),
+            TableCell::Number(v) => format!("{:.*}", self.precision, v),
+            TableCell::Integer(v) => v.to_string(),
+        }
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| self.render_cell(c)).collect();
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        out
+    }
+
+    /// Serialises the table to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("experiment tables always serialise")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> ExperimentTable {
+        let mut t = ExperimentTable::new("Demo", vec!["dataset", "CS", "ASCS"]);
+        t.push_row(vec!["gisette".into(), 0.35_f64.into(), 0.97_f64.into()]);
+        t.push_row(vec!["url".into(), 0.439_f64.into(), 0.979_f64.into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_rendering_has_header_and_rows() {
+        let md = sample_table().to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| dataset | CS | ASCS |"));
+        assert!(md.contains("| gisette | 0.350 | 0.970 |"));
+        assert!(md.lines().count() >= 5);
+    }
+
+    #[test]
+    fn precision_is_configurable() {
+        let t = sample_table().with_precision(1);
+        assert!(t.to_markdown().contains("| url | 0.4 | 1.0 |"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample_table();
+        let json = t.to_json();
+        let back: ExperimentTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn cell_conversions() {
+        assert_eq!(TableCell::from("x"), TableCell::Text("x".into()));
+        assert_eq!(TableCell::from(2.5), TableCell::Number(2.5));
+        assert_eq!(TableCell::from(7u64), TableCell::Integer(7));
+        assert_eq!(TableCell::from(7usize), TableCell::Integer(7));
+        assert_eq!(TableCell::from(-3i64), TableCell::Integer(-3));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = ExperimentTable::new("Empty", vec!["a"]);
+        assert!(t.is_empty());
+        t.push_row(vec![1u64.into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = ExperimentTable::new("Bad", vec!["a", "b"]);
+        t.push_row(vec![1u64.into()]);
+    }
+}

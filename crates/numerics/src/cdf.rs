@@ -1,0 +1,175 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 1 and 2 of the paper plot, for each dataset, the empirical
+//! proportion of values whose magnitude lies below a threshold
+//! (`y = P̂[|value| ≤ x]`). [`EmpiricalCdf`] stores a sorted sample and
+//! evaluates that proportion at arbitrary points, and can emit an evenly
+//! spaced curve ready for plotting or tabulation.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF built from a finite sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF from a sample (NaNs are dropped).
+    pub fn new(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().filter(|v| !v.is_nan()).collect();
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+        Self { sorted }
+    }
+
+    /// Builds the CDF of absolute values, as used by Figures 1–2.
+    pub fn of_absolute_values(values: impl IntoIterator<Item = f64>) -> Self {
+        Self::new(values.into_iter().map(f64::abs))
+    }
+
+    /// Number of retained observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample was empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P̂[X ≤ x]`: fraction of the sample less than or equal to `x`.
+    ///
+    /// Returns 0 for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of elements <= x because the
+        // predicate is monotone over the sorted sample.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Value below which a fraction `q ∈ [0, 1]` of the sample lies
+    /// (empirical quantile, inverse of [`eval`](Self::eval)).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(crate::quantiles::percentile_sorted(
+            &self.sorted,
+            q.clamp(0.0, 1.0) * 100.0,
+        ))
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Emits `points` evenly spaced `(x, P̂[X ≤ x])` pairs spanning the
+    /// sample range, ready for plotting Figure 1 / Figure 2 style curves.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        if points == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Fraction of the sample whose value is strictly greater than `x`.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_counts_inclusive() {
+        let cdf = EmpiricalCdf::new([1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(2.5), 0.75);
+        assert_eq!(cdf.eval(3.0), 1.0);
+        assert_eq!(cdf.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn absolute_value_constructor() {
+        let cdf = EmpiricalCdf::of_absolute_values([-0.5, 0.5, -1.0, 0.1]);
+        assert_eq!(cdf.eval(0.5), 0.75);
+        assert_eq!(cdf.min(), Some(0.1));
+        assert_eq!(cdf.max(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_sample_is_safe() {
+        let cdf = EmpiricalCdf::new(std::iter::empty());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert!(cdf.curve(10).is_empty());
+    }
+
+    #[test]
+    fn nans_are_dropped() {
+        let cdf = EmpiricalCdf::new([1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.eval(1.5), 0.5);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cdf = EmpiricalCdf::new(xs);
+        let q50 = cdf.quantile(0.5).unwrap();
+        assert!((q50 - 49.5).abs() < 1e-9);
+        assert!((cdf.eval(q50) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let xs: Vec<f64> = (0..50).map(|i| ((i * 31) % 17) as f64 / 17.0).collect();
+        let cdf = EmpiricalCdf::new(xs);
+        let curve = cdf.curve(25);
+        assert_eq!(curve.len(), 25);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "CDF curve must be non-decreasing");
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sample_curve() {
+        let cdf = EmpiricalCdf::new([2.0, 2.0, 2.0]);
+        let curve = cdf.curve(5);
+        assert_eq!(curve, vec![(2.0, 1.0)]);
+    }
+
+    #[test]
+    fn survival_complements_eval() {
+        let cdf = EmpiricalCdf::new([0.0, 1.0, 2.0, 3.0, 4.0]);
+        for &x in &[-1.0, 0.0, 2.0, 4.5] {
+            assert!((cdf.eval(x) + cdf.survival(x) - 1.0).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Fixed-width histograms.
+//!
+//! Figure 3 of the paper is a histogram of the absolute cross-correlations
+//! between empirical covariance entries (the independence-assumption check).
+//! [`Histogram`] provides the uniform-bin counting used there and by the
+//! dataset-statistics binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniformly spaced bins over `[lo, hi)`.
+///
+/// Values below `lo` are clamped into the first bin and values at or above
+/// `hi` into the last bin, so the total count always equals the number of
+/// observations pushed (NaNs excepted — they are dropped and counted
+/// separately).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    dropped_nan: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-degenerate");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            dropped_nan: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of (non-NaN) observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of NaN observations that were dropped.
+    pub fn dropped_nan(&self) -> u64 {
+        self.dropped_nan
+    }
+
+    /// Index of the bin a value falls into (after clamping).
+    fn bin_index(&self, x: f64) -> usize {
+        let n = self.counts.len();
+        if x <= self.lo {
+            return 0;
+        }
+        if x >= self.hi {
+            return n - 1;
+        }
+        let w = (self.hi - self.lo) / n as f64;
+        (((x - self.lo) / w) as usize).min(n - 1)
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            self.dropped_nan += 1;
+            return;
+        }
+        let idx = self.bin_index(x);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Records every value of an iterator.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin centres, aligned with [`counts`](Self::counts).
+    pub fn centres(&self) -> Vec<f64> {
+        let n = self.counts.len();
+        let w = (self.hi - self.lo) / n as f64;
+        (0..n).map(|i| self.lo + w * (i as f64 + 0.5)).collect()
+    }
+
+    /// Normalised bin frequencies (each count divided by the total); all
+    /// zeros when nothing was recorded.
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Fraction of recorded observations falling at or below `x`
+    /// (bin-resolution approximation of the CDF).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let idx = self.bin_index(x);
+        let below: u64 = self.counts[..=idx].iter().sum();
+        below as f64 / self.total as f64
+    }
+
+    /// `(centre, count)` pairs, convenient for serialisation.
+    pub fn to_pairs(&self) -> Vec<(f64, u64)> {
+        self.centres().into_iter().zip(self.counts.iter().copied()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(0.1); // bin 0
+        h.push(0.3); // bin 1
+        h.push(0.6); // bin 2
+        h.push(0.9); // bin 3
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-5.0);
+        h.push(7.0);
+        h.push(1.0); // hi itself goes to last bin
+        assert_eq!(h.counts(), &[1, 2]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn nan_is_dropped_not_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(f64::NAN);
+        h.push(0.5);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.dropped_nan(), 1);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let mut h = Histogram::new(-1.0, 1.0, 10);
+        h.extend((0..100).map(|i| (i as f64 / 50.0) - 1.0));
+        let sum: f64 = h.frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_has_zero_frequencies() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.frequencies(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(h.fraction_below(0.5), 0.0);
+    }
+
+    #[test]
+    fn centres_are_uniformly_spaced() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        let c = h.centres();
+        assert_eq!(c.len(), 4);
+        assert!((c[0] - 0.125).abs() < 1e-12);
+        assert!((c[3] - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_is_monotone() {
+        let mut h = Histogram::new(0.0, 10.0, 20);
+        h.extend((0..1000).map(|i| (i % 10) as f64 + 0.5));
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let f = h.fraction_below(i as f64);
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!((h.fraction_below(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn degenerate_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn to_pairs_aligns_centres_and_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.push(0.5);
+        h.push(1.5);
+        h.push(1.6);
+        let pairs = h.to_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].1, 1);
+        assert_eq!(pairs[1].1, 2);
+    }
+}

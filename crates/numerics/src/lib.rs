@@ -1,0 +1,35 @@
+//! Numerical substrate for the ASCS reproduction.
+//!
+//! The ASCS paper leans on a small amount of classical numerical machinery:
+//!
+//! * the standard normal distribution (`Φ`, its density and its quantile
+//!   function) — every bound in Theorems 1–3 is expressed through `Φ`;
+//! * running (single-pass) estimates of means, variances and covariances —
+//!   both the streaming covariance engine and the evaluation layer need
+//!   them;
+//! * order statistics: medians (count-sketch retrieval is a median of `K`
+//!   rows), percentiles (the signal strength `u` is chosen as a percentile
+//!   of the estimated mean vector), and empirical CDFs (Figures 1–2);
+//! * histograms and QQ-plot helpers (Figures 3–4).
+//!
+//! Everything here is implemented from scratch on top of `std` so that the
+//! core crates carry no numerical dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod erf;
+pub mod hist;
+pub mod normal;
+pub mod qq;
+pub mod quantiles;
+pub mod welford;
+
+pub use cdf::EmpiricalCdf;
+pub use erf::{erf, erfc};
+pub use hist::Histogram;
+pub use normal::{normal_cdf, normal_pdf, normal_quantile, StandardNormal};
+pub use qq::{qq_correlation, qq_points, QqPoint};
+pub use quantiles::{median, median_in_place, percentile, percentile_sorted};
+pub use welford::{RunningCovariance, RunningMoments};

@@ -1,0 +1,296 @@
+//! Standard normal distribution: density, CDF `Φ`, and quantile `Φ⁻¹`.
+//!
+//! Every theorem bound in the ASCS paper (Theorems 1–3) is stated through
+//! the standard normal CDF, and Algorithm 3 inverts those bounds to pick the
+//! exploration length `T0` and the threshold slope `θ`. The evaluation layer
+//! additionally needs `Φ⁻¹` for QQ plots (Figure 4).
+
+use crate::erf::{erf, erfc};
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+const SQRT_2: f64 = std::f64::consts::SQRT_2;
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// Density of the standard normal distribution at `x`.
+///
+/// ```
+/// use ascs_numerics::normal_pdf;
+/// assert!((normal_pdf(0.0) - 0.3989422804014327).abs() < 1e-15);
+/// ```
+pub fn normal_pdf(x: f64) -> f64 {
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// The standard normal CDF `Φ(x) = P[Z ≤ x]`.
+///
+/// Implemented through `erfc` so that the lower tail keeps full relative
+/// precision: `Φ(-8) ≈ 6.2e-16` is returned exactly rather than rounding to
+/// zero the way `0.5 * (1 + erf(x/√2))` would.
+///
+/// ```
+/// use ascs_numerics::normal_cdf;
+/// assert!((normal_cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((normal_cdf(1.959963984540054) - 0.975).abs() < 1e-12);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x * FRAC_1_SQRT_2)
+}
+
+/// Upper tail of the standard normal distribution, `P[Z > x] = 1 - Φ(x)`.
+///
+/// Kept as a separate function because the theorem bounds subtract survival
+/// probabilities and the naive `1.0 - normal_cdf(x)` loses precision for
+/// large `x`.
+pub fn normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x * FRAC_1_SQRT_2)
+}
+
+/// Quantile function (inverse CDF) of the standard normal distribution.
+///
+/// Uses Peter Acklam's rational approximation refined by one step of
+/// Halley's method against [`normal_cdf`], which brings the result to full
+/// double precision across `p ∈ (0, 1)`.
+///
+/// Returns `-∞` for `p = 0`, `+∞` for `p = 1`, and `NaN` outside `[0, 1]`.
+///
+/// ```
+/// use ascs_numerics::{normal_cdf, normal_quantile};
+/// for &p in &[0.01, 0.1, 0.5, 0.9, 0.975, 0.999] {
+///     assert!((normal_cdf(normal_quantile(p)) - p).abs() < 1e-12);
+/// }
+/// ```
+pub fn normal_quantile(p: f64) -> f64 {
+    if p.is_nan() || p < 0.0 || p > 1.0 {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against the high-precision CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+/// Convenience wrapper bundling the standard normal distribution functions.
+///
+/// Useful when a distribution object is expected generically (e.g. QQ-plot
+/// reference quantiles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardNormal;
+
+impl StandardNormal {
+    /// Density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        normal_pdf(x)
+    }
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        normal_cdf(x)
+    }
+    /// Survival function at `x`.
+    pub fn sf(&self, x: f64) -> f64 {
+        normal_sf(x)
+    }
+    /// Quantile at probability `p`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        normal_quantile(p)
+    }
+}
+
+/// CDF of a `N(mu, sigma²)` variable evaluated at `x`.
+///
+/// `sigma` must be strictly positive; a degenerate (zero-variance)
+/// distribution is handled as a point mass at `mu`.
+pub fn gaussian_cdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return if x < mu { 0.0 } else { 1.0 };
+    }
+    normal_cdf((x - mu) / sigma)
+}
+
+/// Two-sided tail probability `P[|Z| > x]` for the standard normal.
+pub fn normal_two_sided_tail(x: f64) -> f64 {
+    let ax = x.abs();
+    erfc(ax * FRAC_1_SQRT_2)
+}
+
+/// `Φ(x)` expressed through `erf`, retained for cross-checking in tests.
+#[doc(hidden)]
+pub fn normal_cdf_via_erf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_values() {
+        // (x, Φ(x)) pairs from standard tables / mpmath.
+        let cases = [
+            (-3.0, 0.0013498980316300933),
+            (-1.959963984540054, 0.025),
+            (-1.0, 0.15865525393145707),
+            (0.0, 0.5),
+            (0.5, 0.6914624612740131),
+            (1.0, 0.8413447460685429),
+            (1.6448536269514722, 0.95),
+            (2.3263478740408408, 0.99),
+            (3.090232306167813, 0.999),
+        ];
+        for (x, want) in cases {
+            let got = normal_cdf(x);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "Phi({x}) = {got}, expected {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_and_sf_sum_to_one() {
+        for &x in &[-5.0, -2.0, -0.3, 0.0, 0.7, 2.5, 6.0] {
+            assert!((normal_cdf(x) + normal_sf(x) - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        for &x in &[0.1, 0.9, 1.7, 3.3] {
+            assert!((normal_cdf(-x) - normal_sf(x)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn deep_lower_tail_keeps_relative_precision() {
+        let v = normal_cdf(-8.0);
+        assert!(v > 0.0);
+        // Φ(-8) ≈ 6.22096e-16
+        assert!((v / 6.220960574271786e-16 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_round_trips_cdf() {
+        for i in 1..200 {
+            let p = i as f64 / 200.0;
+            let x = normal_quantile(p);
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-12,
+                "round trip failed at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_known_points() {
+        assert!((normal_quantile(0.5)).abs() < 1e-14);
+        assert!((normal_quantile(0.975) - 1.959963984540054).abs() < 1e-10);
+        assert!((normal_quantile(0.0013498980316300933) + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(normal_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(normal_quantile(1.0), f64::INFINITY);
+        assert!(normal_quantile(-0.1).is_nan());
+        assert!(normal_quantile(1.1).is_nan());
+        assert!(normal_quantile(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_on_grid() {
+        // Simple trapezoid check that the density is normalised.
+        let mut sum = 0.0;
+        let h = 1e-3;
+        let mut x = -10.0;
+        while x < 10.0 {
+            sum += 0.5 * (normal_pdf(x) + normal_pdf(x + h)) * h;
+            x += h;
+        }
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_cdf_standardises() {
+        assert!((gaussian_cdf(3.0, 1.0, 2.0) - normal_cdf(1.0)).abs() < 1e-15);
+        // Degenerate sigma behaves like a step function at mu.
+        assert_eq!(gaussian_cdf(0.9, 1.0, 0.0), 0.0);
+        assert_eq!(gaussian_cdf(1.0, 1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn erf_and_erfc_paths_agree_in_centre() {
+        for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+            assert!((normal_cdf(x) - normal_cdf_via_erf(x)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn two_sided_tail_matches_direct_sum() {
+        for &x in &[0.5, 1.0, 2.0, 3.0] {
+            let direct = normal_cdf(-x) + normal_sf(x);
+            assert!((normal_two_sided_tail(x) - direct).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn standard_normal_struct_delegates() {
+        let n = StandardNormal;
+        assert_eq!(n.cdf(0.3), normal_cdf(0.3));
+        assert_eq!(n.pdf(0.3), normal_pdf(0.3));
+        assert_eq!(n.sf(0.3), normal_sf(0.3));
+        assert_eq!(n.quantile(0.3), normal_quantile(0.3));
+    }
+}

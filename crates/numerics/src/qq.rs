@@ -1,0 +1,154 @@
+//! QQ-plot helpers.
+//!
+//! Figure 4 of the paper compares the marginal distribution of empirical
+//! covariance entries against a normal distribution using quantile-quantile
+//! plots. [`qq_points`] produces the `(theoretical, sample)` quantile pairs
+//! and [`qq_correlation`] summarises how straight the plot is (a value near
+//! 1 means the sample is close to normal), which lets the reproduction turn
+//! the paper's visual argument into a checkable number.
+
+use crate::normal::normal_quantile;
+use serde::{Deserialize, Serialize};
+
+/// One point of a QQ plot: the theoretical quantile of the reference
+/// distribution and the matching sample order statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QqPoint {
+    /// Quantile of the reference (standard normal) distribution.
+    pub theoretical: f64,
+    /// Matching order statistic of the standardised sample.
+    pub sample: f64,
+}
+
+/// Produces QQ-plot points of `values` against the standard normal.
+///
+/// The sample is standardised (centred by its mean, scaled by its standard
+/// deviation) so that a perfectly normal sample of any location/scale falls
+/// on the `y = x` line. Plotting positions follow the common
+/// `(i + 0.5) / n` convention. Returns an empty vector when fewer than two
+/// distinct observations are available.
+pub fn qq_points(values: &[f64]) -> Vec<QqPoint> {
+    let clean: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    let n = clean.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = clean.iter().sum::<f64>() / n as f64;
+    let var = clean.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let std = var.sqrt();
+    if std == 0.0 {
+        return Vec::new();
+    }
+    let mut sorted = clean;
+    sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| QqPoint {
+            theoretical: normal_quantile((i as f64 + 0.5) / n as f64),
+            sample: (x - mean) / std,
+        })
+        .collect()
+}
+
+/// Pearson correlation between theoretical and sample quantiles of a QQ
+/// plot — the classic probability-plot correlation coefficient (PPCC).
+///
+/// Values close to 1 indicate the sample is well approximated by a normal
+/// distribution; heavy skew or tails pull the value down. Returns 0 when
+/// the plot could not be formed.
+pub fn qq_correlation(values: &[f64]) -> f64 {
+    let pts = qq_points(values);
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let n = pts.len() as f64;
+    let mx = pts.iter().map(|p| p.theoretical).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.sample).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for p in &pts {
+        let dx = p.theoretical - mx;
+        let dy = p.sample - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    let denom = (sxx * syy).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        sxy / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic "pseudo-normal" sample built from the quantile function
+    /// itself — by construction it lies exactly on the reference line.
+    fn exact_normal_sample(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| normal_quantile((i as f64 + 0.5) / n as f64))
+            .collect()
+    }
+
+    #[test]
+    fn exact_normal_sample_gives_unit_ppcc() {
+        let sample = exact_normal_sample(500);
+        let r = qq_correlation(&sample);
+        assert!(r > 0.9999, "PPCC of an exact normal sample was {r}");
+    }
+
+    #[test]
+    fn points_are_sorted_and_standardised() {
+        let sample = [10.0, 12.0, 14.0, 16.0, 18.0];
+        let pts = qq_points(&sample);
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[1].theoretical > w[0].theoretical);
+            assert!(w[1].sample >= w[0].sample);
+        }
+        // Standardised sample has mean ~0.
+        let mean: f64 = pts.iter().map(|p| p.sample).sum::<f64>() / 5.0;
+        assert!(mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn location_and_scale_invariance() {
+        let base = exact_normal_sample(200);
+        let shifted: Vec<f64> = base.iter().map(|x| 3.0 + 7.0 * x).collect();
+        let r1 = qq_correlation(&base);
+        let r2 = qq_correlation(&shifted);
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_tailed_sample_scores_lower() {
+        // Cubing normal quantiles produces a markedly heavier-tailed sample.
+        let heavy: Vec<f64> = exact_normal_sample(500).iter().map(|x| x.powi(3)).collect();
+        let r_normal = qq_correlation(&exact_normal_sample(500));
+        let r_heavy = qq_correlation(&heavy);
+        assert!(r_heavy < r_normal);
+        assert!(r_heavy < 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert!(qq_points(&[]).is_empty());
+        assert!(qq_points(&[1.0]).is_empty());
+        assert!(qq_points(&[2.0, 2.0, 2.0]).is_empty());
+        assert_eq!(qq_correlation(&[]), 0.0);
+        assert_eq!(qq_correlation(&[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn nan_values_are_ignored() {
+        let mut sample = exact_normal_sample(100);
+        sample.push(f64::NAN);
+        let r = qq_correlation(&sample);
+        assert!(r > 0.999);
+    }
+}

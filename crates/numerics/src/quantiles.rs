@@ -1,0 +1,213 @@
+//! Medians and percentiles.
+//!
+//! Count-sketch retrieval takes the median across `K` hash rows, and the
+//! ASCS hyperparameter heuristics of Section 8.1 pick the signal strength
+//! `u` as the `(1 - α)` percentile of the (estimated) mean vector `μ̂` and
+//! the initial threshold `τ(T0)` as a small percentile of the same vector.
+
+/// Median of a small slice without modifying it (the slice is copied).
+///
+/// The even-length convention is the average of the two middle order
+/// statistics. Returns `None` for an empty slice. `NaN`s are not expected by
+/// callers and are sorted to the end.
+///
+/// ```
+/// use ascs_numerics::median;
+/// assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+/// assert_eq!(median(&[]), None);
+/// ```
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut buf = values.to_vec();
+    Some(median_in_place(&mut buf))
+}
+
+/// Median of a mutable slice using `select_nth_unstable` (O(n) expected, no
+/// allocation). The slice order is scrambled. Panics on an empty slice.
+pub fn median_in_place(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let n = values.len();
+    let mid = n / 2;
+    let total_cmp = |a: &f64, b: &f64| a.total_cmp(b);
+    if n % 2 == 1 {
+        *values.select_nth_unstable_by(mid, total_cmp).1
+    } else {
+        let hi = *values.select_nth_unstable_by(mid, total_cmp).1;
+        // After the first selection everything left of `mid` is <= hi, so the
+        // lower middle element is the maximum of the left partition.
+        let lo = values[..mid]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        0.5 * (lo + hi)
+    }
+}
+
+/// Median of exactly `K` sketch-row readings given in a fixed-size buffer.
+///
+/// This is the hot path of count-sketch retrieval; it avoids allocation and
+/// handles the common small `K` (≤ 10) with a simple insertion sort.
+#[inline]
+pub fn median_of_rows(rows: &mut [f64]) -> f64 {
+    debug_assert!(!rows.is_empty());
+    // Insertion sort: K is tiny (typically 4-10), branch-predictable, and
+    // faster than the general selection machinery at that size.
+    for i in 1..rows.len() {
+        let mut j = i;
+        while j > 0 && rows[j - 1] > rows[j] {
+            rows.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    let n = rows.len();
+    if n % 2 == 1 {
+        rows[n / 2]
+    } else {
+        0.5 * (rows[n / 2 - 1] + rows[n / 2])
+    }
+}
+
+/// Percentile (in `[0, 100]`) of an unsorted slice using linear
+/// interpolation between order statistics (the "linear" / type-7 method).
+///
+/// Returns `None` for an empty slice.
+///
+/// ```
+/// use ascs_numerics::percentile;
+/// let xs = [15.0, 20.0, 35.0, 40.0, 50.0];
+/// assert_eq!(percentile(&xs, 0.0), Some(15.0));
+/// assert_eq!(percentile(&xs, 100.0), Some(50.0));
+/// assert_eq!(percentile(&xs, 50.0), Some(35.0));
+/// ```
+pub fn percentile(values: &[f64], pct: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut buf = values.to_vec();
+    buf.sort_unstable_by(|a, b| a.total_cmp(b));
+    Some(percentile_sorted(&buf, pct))
+}
+
+/// Percentile of an already ascending-sorted slice. Panics if empty.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let pct = pct.clamp(0.0, 100.0);
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Returns the `k` largest values of `values` in descending order.
+///
+/// Used by the evaluation layer to pick the top reported pairs. `k` larger
+/// than the slice length returns the whole slice sorted descending.
+pub fn top_k(values: &[f64], k: usize) -> Vec<f64> {
+    let mut buf = values.to_vec();
+    buf.sort_unstable_by(|a, b| b.total_cmp(a));
+    buf.truncate(k);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[5.0]), Some(5.0));
+        assert_eq!(median(&[1.0, 2.0]), Some(1.5));
+        assert_eq!(median(&[9.0, 1.0, 5.0, 3.0, 7.0]), Some(5.0));
+        assert_eq!(median(&[4.0, 2.0, 8.0, 6.0]), Some(5.0));
+    }
+
+    #[test]
+    fn median_empty_is_none() {
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn median_in_place_matches_sort_based() {
+        let data: Vec<f64> = (0..101).map(|i| ((i * 73) % 101) as f64).collect();
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect = sorted[50];
+        let mut buf = data;
+        assert_eq!(median_in_place(&mut buf), expect);
+    }
+
+    #[test]
+    fn median_of_rows_small_k() {
+        let mut k5 = [0.3, -1.0, 0.7, 0.1, 0.2];
+        assert_eq!(median_of_rows(&mut k5), 0.2);
+        let mut k4 = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median_of_rows(&mut k4), 2.5);
+        let mut k1 = [7.0];
+        assert_eq!(median_of_rows(&mut k1), 7.0);
+    }
+
+    #[test]
+    fn median_of_rows_is_order_invariant() {
+        let base = [0.9, -0.4, 0.0, 2.2, -1.7, 0.3, 0.3];
+        let mut a = base;
+        let mut b = base;
+        b.reverse();
+        assert_eq!(median_of_rows(&mut a), median_of_rows(&mut b));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        // Rank = 0.25 * 3 = 0.75 -> 10 + 0.75*(20-10) = 17.5
+        assert_eq!(percentile(&xs, 25.0), Some(17.5));
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let xs = [40.0, 10.0, 30.0, 20.0];
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+    }
+
+    #[test]
+    fn percentile_empty_and_singleton() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[3.0], 0.0), Some(3.0));
+        assert_eq!(percentile(&[3.0], 99.0), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_pct() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -5.0), Some(1.0));
+        assert_eq!(percentile(&xs, 150.0), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_sorted_panics_on_empty() {
+        let r = std::panic::catch_unwind(|| percentile_sorted(&[], 50.0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn top_k_returns_descending_prefix() {
+        let xs = [0.1, 0.9, -0.5, 0.7, 0.3];
+        assert_eq!(top_k(&xs, 2), vec![0.9, 0.7]);
+        assert_eq!(top_k(&xs, 10).len(), 5);
+        assert_eq!(top_k(&xs, 0), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,410 @@
+//! Single-pass (online) estimation of means, variances and covariances.
+//!
+//! The streaming setting of the ASCS paper forbids a second pass over the
+//! data, so every moment the algorithm needs — per-feature means and
+//! standard deviations for the correlation normalisation of eq. (2), and the
+//! average variance `σ²` used by the hyperparameter solver — must be
+//! maintained incrementally. [`RunningMoments`] implements Welford's
+//! numerically stable update; [`RunningCovariance`] extends it to a pair of
+//! variables.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable running mean / variance accumulator (Welford).
+///
+/// ```
+/// use ascs_numerics::RunningMoments;
+/// let mut m = RunningMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 8);
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`); 0 when fewer than one sample.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`); 0 when fewer than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation seen (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation seen (`-∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford / Chan).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Running covariance between two jointly observed variables.
+///
+/// Each call to [`RunningCovariance::push`] consumes one paired observation
+/// `(x, y)`. The accumulator keeps the cross second moment in the same
+/// numerically stable form Welford uses for the variance.
+///
+/// ```
+/// use ascs_numerics::RunningCovariance;
+/// let mut c = RunningCovariance::new();
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [2.0, 4.0, 6.0, 8.0]; // y = 2x, perfectly correlated
+/// for (x, y) in xs.iter().zip(ys.iter()) {
+///     c.push(*x, *y);
+/// }
+/// assert!((c.correlation() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningCovariance {
+    count: u64,
+    mean_x: f64,
+    mean_y: f64,
+    m2_x: f64,
+    m2_y: f64,
+    c2: f64,
+}
+
+impl RunningCovariance {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one paired observation.
+    #[inline]
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.count += 1;
+        let n = self.count as f64;
+        let dx = x - self.mean_x;
+        let dy = y - self.mean_y;
+        self.mean_x += dx / n;
+        self.mean_y += dy / n;
+        // dx uses the *old* mean_x, (y - mean_y) uses the *new* mean_y; that
+        // combination keeps E[c2] exactly n * Cov.
+        self.c2 += dx * (y - self.mean_y);
+        self.m2_x += dx * (x - self.mean_x);
+        self.m2_y += dy * (y - self.mean_y);
+    }
+
+    /// Number of paired observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the first variable.
+    pub fn mean_x(&self) -> f64 {
+        self.mean_x
+    }
+
+    /// Mean of the second variable.
+    pub fn mean_y(&self) -> f64 {
+        self.mean_y
+    }
+
+    /// Population covariance (divides by `n`).
+    pub fn population_covariance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.c2 / self.count as f64
+        }
+    }
+
+    /// Sample covariance (divides by `n - 1`).
+    pub fn sample_covariance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.c2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Pearson correlation coefficient; 0 when either variance is 0.
+    pub fn correlation(&self) -> f64 {
+        let denom = (self.m2_x * self.m2_y).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.c2 / denom
+        }
+    }
+
+    /// Merges another accumulator (parallel combination).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        let dx = other.mean_x - self.mean_x;
+        let dy = other.mean_y - self.mean_y;
+        self.c2 += other.c2 + dx * dy * n1 * n2 / total;
+        self.m2_x += other.m2_x + dx * dx * n1 * n2 / total;
+        self.m2_y += other.m2_y + dy * dy * n1 * n2 / total;
+        self.mean_x += dx * n2 / total;
+        self.mean_y += dy * n2 / total;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pass_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37 % 101) as f64).sin() * 5.0).collect();
+        let mut m = RunningMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let (mean, var) = two_pass_mean_var(&xs);
+        assert!((m.mean() - mean).abs() < 1e-10);
+        assert!((m.population_variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_accumulator_is_safe() {
+        let m = RunningMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.min(), f64::INFINITY);
+        assert_eq!(m.max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut m = RunningMoments::new();
+        m.push(42.0);
+        assert_eq!(m.mean(), 42.0);
+        assert_eq!(m.population_variance(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.min(), 42.0);
+        assert_eq!(m.max(), 42.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).cos() * 3.0 + 1.0).collect();
+        let mut whole = RunningMoments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (a, b) = xs.split_at(200);
+        let mut m1 = RunningMoments::new();
+        let mut m2 = RunningMoments::new();
+        for &x in a {
+            m1.push(x);
+        }
+        for &x in b {
+            m2.push(x);
+        }
+        m1.merge(&m2);
+        assert_eq!(m1.count(), whole.count());
+        assert!((m1.mean() - whole.mean()).abs() < 1e-12);
+        assert!((m1.population_variance() - whole.population_variance()).abs() < 1e-12);
+        assert_eq!(m1.min(), whole.min());
+        assert_eq!(m1.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = RunningMoments::new();
+        m.push(1.0);
+        m.push(2.0);
+        let before = m;
+        m.merge(&RunningMoments::new());
+        assert_eq!(m, before);
+
+        let mut empty = RunningMoments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn covariance_matches_two_pass() {
+        let xs: Vec<f64> = (0..800).map(|i| (i as f64 * 0.113).sin()).collect();
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| 0.5 * x + (i as f64 * 0.071).cos()).collect();
+        let mut c = RunningCovariance::new();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            c.push(*x, *y);
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n;
+        assert!((c.population_covariance() - cov).abs() < 1e-10);
+        assert!((c.mean_x() - mx).abs() < 1e-12);
+        assert!((c.mean_y() - my).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_bounds_and_signs() {
+        let mut pos = RunningCovariance::new();
+        let mut neg = RunningCovariance::new();
+        for i in 0..100 {
+            let x = i as f64;
+            pos.push(x, 3.0 * x + 1.0);
+            neg.push(x, -2.0 * x + 5.0);
+        }
+        assert!((pos.correlation() - 1.0).abs() < 1e-10);
+        assert!((neg.correlation() + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_variance_correlation_is_zero() {
+        let mut c = RunningCovariance::new();
+        for i in 0..10 {
+            c.push(5.0, i as f64);
+        }
+        assert_eq!(c.correlation(), 0.0);
+    }
+
+    #[test]
+    fn covariance_merge_equals_sequential() {
+        let pairs: Vec<(f64, f64)> = (0..300)
+            .map(|i| ((i as f64 * 0.17).sin(), (i as f64 * 0.29).cos()))
+            .collect();
+        let mut whole = RunningCovariance::new();
+        for &(x, y) in &pairs {
+            whole.push(x, y);
+        }
+        let (a, b) = pairs.split_at(137);
+        let mut c1 = RunningCovariance::new();
+        let mut c2 = RunningCovariance::new();
+        for &(x, y) in a {
+            c1.push(x, y);
+        }
+        for &(x, y) in b {
+            c2.push(x, y);
+        }
+        c1.merge(&c2);
+        assert!((c1.population_covariance() - whole.population_covariance()).abs() < 1e-12);
+        assert!((c1.correlation() - whole.correlation()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_moments_shift_invariance_of_variance() {
+        let xs: Vec<f64> = (0..256).map(|i| (i % 17) as f64).collect();
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        for &x in &xs {
+            a.push(x);
+            b.push(x + 1e6);
+        }
+        assert!((a.population_variance() - b.population_variance()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,286 @@
+//! Per-row hashers and the `K`-row hash family used by sketches.
+
+use crate::mix::{avalanche64, splitmix64, SplitMix64};
+
+/// The location an item hashes to in one sketch row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowLocation {
+    /// Row (hash table) index, `0 ≤ row < K`.
+    pub row: usize,
+    /// Bucket within the row, `0 ≤ bucket < R`.
+    pub bucket: usize,
+    /// Sign hash value, `+1` or `-1`.
+    pub sign: i8,
+}
+
+/// One sketch row's pair of hash functions: a bucket hash `h : u64 → [R]`
+/// and a sign hash `s : u64 → {+1, −1}`.
+///
+/// Bucket and sign are derived from two *different* mixers over
+/// seed-perturbed keys so that they behave as independent functions — using
+/// a single mixer for both would correlate the bucket choice with the sign
+/// and bias the count-sketch estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowHasher {
+    bucket_seed: u64,
+    sign_seed: u64,
+}
+
+impl RowHasher {
+    /// Creates a row hasher from a seed.
+    pub fn new(seed: u64) -> Self {
+        // Derive two decorrelated sub-seeds.
+        let bucket_seed = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
+        let sign_seed = splitmix64(seed ^ 0xE703_7ED1_A0B4_28DB);
+        Self {
+            bucket_seed,
+            sign_seed,
+        }
+    }
+
+    /// Bucket index for `key` among `range` buckets.
+    ///
+    /// Uses the fixed-point multiply trick (`(hash * range) >> 64`) instead
+    /// of a modulo, which is both faster and avoids the slight bias a modulo
+    /// introduces when `range` does not divide `2^64`.
+    #[inline]
+    pub fn bucket(&self, key: u64, range: usize) -> usize {
+        debug_assert!(range > 0, "bucket range must be positive");
+        let h = splitmix64(key ^ self.bucket_seed);
+        (((h as u128) * (range as u128)) >> 64) as usize
+    }
+
+    /// Sign hash for `key`: `+1` or `-1`.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i8 {
+        let h = avalanche64(key ^ self.sign_seed);
+        if h & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Sign as `f64` (`+1.0` / `-1.0`), the form the sketch arithmetic uses.
+    #[inline]
+    pub fn sign_f64(&self, key: u64) -> f64 {
+        f64::from(self.sign(key))
+    }
+}
+
+/// A family of `K` independent [`RowHasher`]s sharing one bucket range `R`.
+///
+/// ```
+/// use ascs_sketch_hash::HashFamily;
+/// let family = HashFamily::new(5, 1 << 10, 42);
+/// assert_eq!(family.rows(), 5);
+/// assert_eq!(family.range(), 1024);
+/// let locations: Vec<_> = family.locate(987654321).collect();
+/// assert_eq!(locations.len(), 5);
+/// for loc in locations {
+///     assert!(loc.bucket < 1024);
+///     assert!(loc.sign == 1 || loc.sign == -1);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashFamily {
+    rows: Vec<RowHasher>,
+    range: usize,
+    seed: u64,
+}
+
+impl HashFamily {
+    /// Creates a family with `rows` hash rows of `range` buckets each,
+    /// derived deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `range == 0`.
+    pub fn new(rows: usize, range: usize, seed: u64) -> Self {
+        assert!(rows > 0, "a hash family needs at least one row");
+        assert!(range > 0, "a hash family needs at least one bucket");
+        let mut derive = SplitMix64::new(seed);
+        let rows = (0..rows).map(|_| RowHasher::new(derive.next_u64())).collect();
+        Self { rows, range, seed }
+    }
+
+    /// Number of rows `K`.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Buckets per row `R`.
+    pub fn range(&self) -> usize {
+        self.range
+    }
+
+    /// Seed the family was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The row hashers themselves.
+    pub fn row_hashers(&self) -> &[RowHasher] {
+        &self.rows
+    }
+
+    /// Bucket of `key` in row `row`.
+    #[inline]
+    pub fn bucket(&self, row: usize, key: u64) -> usize {
+        self.rows[row].bucket(key, self.range)
+    }
+
+    /// Sign of `key` in row `row`.
+    #[inline]
+    pub fn sign(&self, row: usize, key: u64) -> i8 {
+        self.rows[row].sign(key)
+    }
+
+    /// Iterates over the `(row, bucket, sign)` locations of `key` in every
+    /// row. Allocation free.
+    #[inline]
+    pub fn locate(&self, key: u64) -> impl Iterator<Item = RowLocation> + '_ {
+        self.rows.iter().enumerate().map(move |(row, hasher)| RowLocation {
+            row,
+            bucket: hasher.bucket(key, self.range),
+            sign: hasher.sign(key),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_stay_in_range() {
+        let family = HashFamily::new(4, 37, 7);
+        for key in 0..10_000u64 {
+            for loc in family.locate(key) {
+                assert!(loc.bucket < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn hashing_is_deterministic_per_seed() {
+        let a = HashFamily::new(3, 100, 11);
+        let b = HashFamily::new(3, 100, 11);
+        let c = HashFamily::new(3, 100, 12);
+        let key = 123_456_789u64;
+        let la: Vec<_> = a.locate(key).collect();
+        let lb: Vec<_> = b.locate(key).collect();
+        let lc: Vec<_> = c.locate(key).collect();
+        assert_eq!(la, lb);
+        assert_ne!(la, lc);
+    }
+
+    #[test]
+    fn rows_are_decorrelated() {
+        // Two rows of the same family should not produce identical bucket
+        // sequences.
+        let family = HashFamily::new(2, 1 << 12, 3);
+        let mut identical = 0;
+        for key in 0..4096u64 {
+            if family.bucket(0, key) == family.bucket(1, key) {
+                identical += 1;
+            }
+        }
+        // Random chance of agreement is 1/4096 per key → expect ~1.
+        assert!(identical < 20, "rows look correlated: {identical} agreements");
+    }
+
+    #[test]
+    fn bucket_distribution_is_roughly_uniform() {
+        let range = 64;
+        let family = HashFamily::new(1, range, 5);
+        let n = 64_000u64;
+        let mut counts = vec![0u64; range];
+        for key in 0..n {
+            counts[family.bucket(0, key)] += 1;
+        }
+        let expected = n as f64 / range as f64;
+        // Chi-square statistic against uniform; df = 63, mean 63, std ~11.2.
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 120.0, "bucket distribution chi-square too high: {chi2}");
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let family = HashFamily::new(1, 16, 21);
+        let n = 100_000u64;
+        let mut plus = 0i64;
+        for key in 0..n {
+            plus += i64::from(family.sign(0, key) == 1);
+        }
+        let frac = plus as f64 / n as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.01,
+            "sign hash is unbalanced: fraction of +1 = {frac}"
+        );
+    }
+
+    #[test]
+    fn sign_and_bucket_are_independent() {
+        // P(+1 | bucket parity) should be ~0.5 for both parities.
+        let family = HashFamily::new(1, 128, 33);
+        let mut counts = [[0u64; 2]; 2];
+        for key in 0..100_000u64 {
+            let b = family.bucket(0, key) % 2;
+            let s = usize::from(family.sign(0, key) == 1);
+            counts[b][s] += 1;
+        }
+        for parity in 0..2 {
+            let total = counts[parity][0] + counts[parity][1];
+            let frac = counts[parity][1] as f64 / total as f64;
+            assert!((frac - 0.5).abs() < 0.02, "sign correlated with bucket parity");
+        }
+    }
+
+    #[test]
+    fn sign_f64_matches_sign() {
+        let family = HashFamily::new(2, 8, 77);
+        for key in 0..1000u64 {
+            for row in 0..2 {
+                assert_eq!(
+                    family.row_hashers()[row].sign_f64(key),
+                    f64::from(family.sign(row, key))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_bucket_range_always_maps_to_zero() {
+        let family = HashFamily::new(3, 1, 9);
+        for key in 0..100u64 {
+            for loc in family.locate(key) {
+                assert_eq!(loc.bucket, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_panics() {
+        let _ = HashFamily::new(0, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_range_panics() {
+        let _ = HashFamily::new(1, 0, 1);
+    }
+
+    #[test]
+    fn locate_yields_rows_in_order() {
+        let family = HashFamily::new(6, 50, 4);
+        let rows: Vec<usize> = family.locate(42).map(|l| l.row).collect();
+        assert_eq!(rows, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Seeded hash families for sketching data structures.
+//!
+//! A count sketch needs, for each of its `K` rows, two functions over the
+//! item universe `{0, 1, …, p-1}`:
+//!
+//! * a **bucket hash** `h_e : [p] → [R]` distributing items across the `R`
+//!   buckets of the row, and
+//! * a **sign hash** `s_e : [p] → {+1, −1}` randomising the sign of each
+//!   item's contribution so that colliding items cancel in expectation.
+//!
+//! The ASCS paper works with item universes of up to `p ≈ 1.4 × 10^14`
+//! (pairs of 17M features), so hashing must be branch-free and allocation
+//! free on the per-item path. This crate provides:
+//!
+//! * [`mix`] — 64-bit finalising mixers (SplitMix64 and a Murmur3-style
+//!   avalanche) used as building blocks;
+//! * [`RowHasher`] — one row's bucket + sign hash derived from a seed;
+//! * [`HashFamily`] — `K` independent rows with convenience iteration;
+//! * [`MultiplyShiftHash`] — a 2-universal multiply-shift family matching
+//!   the pairwise-independence assumption used in the paper's analysis.
+//!
+//! All hashers are deterministic functions of their seed, so experiments are
+//! reproducible end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod family;
+pub mod mix;
+pub mod universal;
+
+pub use family::{HashFamily, RowHasher, RowLocation};
+pub use mix::{avalanche64, splitmix64, SplitMix64};
+pub use universal::MultiplyShiftHash;

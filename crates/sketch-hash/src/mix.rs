@@ -1,0 +1,158 @@
+//! 64-bit mixing primitives.
+//!
+//! Both mixers below are bijections on `u64` with strong avalanche
+//! behaviour: flipping any single input bit flips roughly half of the output
+//! bits. That property is what lets a single multiply-xor-shift chain stand
+//! in for the "independent uniform hash functions" of the count-sketch
+//! analysis at a cost of a few nanoseconds per item.
+
+/// SplitMix64 output function (Steele, Lea & Flood; also used by Java's
+/// `SplittableRandom`). A bijective finaliser with excellent avalanche.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// MurmurHash3's 64-bit finaliser (`fmix64`). Another bijective avalanche
+/// mixer, used here to decorrelate the sign hash from the bucket hash.
+#[inline]
+pub fn avalanche64(mut z: u64) -> u64 {
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^= z >> 33;
+    z
+}
+
+/// A tiny deterministic PRNG built on [`splitmix64`].
+///
+/// Used to derive per-row seeds and the odd multipliers of the
+/// multiply-shift family. Not meant for statistical work — the workload
+/// generators use `rand_chacha` instead — but ideal for cheap, reproducible
+/// seed derivation inside the data structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the next odd 64-bit value (multiply-shift hashing requires an
+    /// odd multiplier).
+    #[inline]
+    pub fn next_odd_u64(&mut self) -> u64 {
+        self.next_u64() | 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_is_deterministic() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_eq!(splitmix64(12345), splitmix64(12345));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn splitmix64_known_vector() {
+        // First output of SplitMix64 seeded with 0 (widely published vector).
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn avalanche_flips_about_half_the_bits() {
+        // For a sample of inputs and single-bit flips, the Hamming distance
+        // between outputs should average near 32 bits.
+        let mut total = 0u32;
+        let mut trials = 0u32;
+        for i in 0..64u64 {
+            for bit in 0..64 {
+                let a = splitmix64(i * 0x9E37_79B9);
+                let b = splitmix64((i * 0x9E37_79B9) ^ (1 << bit));
+                total += (a ^ b).count_ones();
+                trials += 1;
+            }
+        }
+        let avg = total as f64 / trials as f64;
+        assert!(
+            (avg - 32.0).abs() < 2.0,
+            "avalanche average Hamming distance was {avg}"
+        );
+    }
+
+    #[test]
+    fn murmur_avalanche_flips_about_half_the_bits() {
+        let mut total = 0u32;
+        let mut trials = 0u32;
+        for i in 0..64u64 {
+            for bit in 0..64 {
+                let a = avalanche64(i.wrapping_mul(0x1234_5678_9ABC_DEF1));
+                let b = avalanche64(i.wrapping_mul(0x1234_5678_9ABC_DEF1) ^ (1 << bit));
+                total += (a ^ b).count_ones();
+                trials += 1;
+            }
+        }
+        let avg = total as f64 / trials as f64;
+        assert!((avg - 32.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn mixers_differ_from_each_other() {
+        let mut same = 0;
+        for i in 0..1000u64 {
+            if splitmix64(i) == avalanche64(i) {
+                same += 1;
+            }
+        }
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn prng_streams_from_different_seeds_differ() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn next_odd_is_odd() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..100 {
+            assert_eq!(rng.next_odd_u64() & 1, 1);
+        }
+    }
+
+    #[test]
+    fn mixers_are_bijective_on_small_domain() {
+        // Injectivity spot check: no collisions among 100k consecutive inputs.
+        use std::collections::HashSet;
+        let mut seen = HashSet::with_capacity(100_000);
+        for i in 0..100_000u64 {
+            assert!(seen.insert(splitmix64(i)));
+        }
+    }
+}

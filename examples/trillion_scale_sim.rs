@@ -1,0 +1,89 @@
+//! A scaled-down rehearsal of the paper's trillion-scale experiment
+//! (Table 2): find the top near-1.0 correlation pairs of a URL-like sparse
+//! stream under aggressive memory compression.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example trillion_scale_sim
+//! ```
+//!
+//! The real URL dataset has 2.4M features (≈ 3·10¹² pairs, 20 TB as a dense
+//! matrix). The surrogate keeps the two properties that drive the CS vs
+//! ASCS comparison — per-sample sparsity and the pairs-per-bucket
+//! compression ratio — at a dimensionality a laptop can verify exactly.
+
+use ascs::prelude::*;
+
+fn main() {
+    let dim = 20_000u64;
+    let dataset = TrillionScaleDataset::new(TrillionSpec::url_like(dim, 5));
+    let total = 3000usize;
+    let samples: Vec<Sample> = (0..total as u64).map(|i| dataset.sample_at(i)).collect();
+    let p = dataset.num_pairs();
+    println!(
+        "URL-like surrogate: d = {dim}, p = {p} unique pairs, avg {:.0} non-zeros per sample",
+        dataset.average_nonzeros(100)
+    );
+
+    // Sweep sketch budgets the way Table 2 sweeps 20MB / 100MB / 200MB.
+    let budgets = [50_000usize, 200_000, 1_000_000];
+    let signal_keys = dataset.signal_keys();
+    println!(
+        "ground truth: {} strongly co-occurring pairs planted\n",
+        signal_keys.len()
+    );
+    println!(
+        "{:>14} {:>14} {:>12} {:>12}",
+        "budget (words)", "compression", "CS hit rate", "ASCS hit rate"
+    );
+
+    for budget in budgets {
+        let geometry = SketchGeometry::from_budget(5, budget);
+        let config = AscsConfig {
+            dim,
+            total_samples: total as u64,
+            geometry,
+            alpha: (signal_keys.len() as f64 / p as f64).max(1e-9),
+            signal_strength: 0.5,
+            sigma: 1.0,
+            delta: 0.05,
+            delta_star: 0.20,
+            tau0: 1e-4,
+            estimand: EstimandKind::Correlation,
+            update_mode: UpdateMode::Product,
+            seed: 17,
+            top_k_capacity: signal_keys.len().max(100),
+        };
+        let mut hit_rates = Vec::new();
+        for backend in [SketchBackend::VanillaCs, SketchBackend::Ascs] {
+            // At this compression ratio and stream length the strict
+            // Theorem 1 target can be infeasible; fall back to the
+            // fixed-fraction exploration of Theorem 3 when it is.
+            let (mut estimator, _fell_back) =
+                CovarianceEstimator::new_or_fallback(config, backend);
+            for sample in &samples {
+                estimator.process_sample(sample);
+            }
+            let reported: Vec<u64> = estimator
+                .top_pairs(signal_keys.len())
+                .into_iter()
+                .map(|pair| pair.key)
+                .collect();
+            let truth: std::collections::HashSet<u64> = signal_keys.iter().copied().collect();
+            let hits = reported.iter().filter(|k| truth.contains(k)).count();
+            hit_rates.push(hits as f64 / signal_keys.len() as f64);
+        }
+        println!(
+            "{:>14} {:>13.0}x {:>11.1}% {:>11.1}%",
+            budget,
+            p as f64 / budget as f64,
+            100.0 * hit_rates[0],
+            100.0 * hit_rates[1]
+        );
+    }
+
+    println!(
+        "\nThe paper's Table 2 shows the same pattern at full scale: at tight budgets vanilla CS \
+         collapses while ASCS keeps finding the near-1.0 pairs; at generous budgets both succeed."
+    );
+}

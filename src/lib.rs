@@ -1,0 +1,89 @@
+//! # ASCS — Active Sampling Count Sketch
+//!
+//! A Rust implementation of *Active Sampling Count Sketch (ASCS) for Online
+//! Sparse Estimation of a Trillion Scale Covariance Matrix* (Dai, Desai,
+//! Heckel & Shrivastava, SIGMOD 2021), together with the substrates it
+//! depends on: count-sketch data structures, baseline sketches, workload
+//! generators and an evaluation harness that regenerates every table and
+//! figure of the paper.
+//!
+//! ## What it does
+//!
+//! Given a stream of samples `Y(1), …, Y(T) ∈ R^d` whose covariance (or
+//! correlation) matrix is sparse, ASCS finds the large matrix entries in a
+//! single pass using memory that is orders of magnitude smaller than the
+//! `d(d−1)/2` unique entries. The trick over a vanilla count sketch is an
+//! *active sampling* rule — after a short exploration phase, only pairs
+//! whose current estimate clears a rising threshold keep being inserted,
+//! which suppresses hash-collision noise and raises the signal-to-noise
+//! ratio of whatever the sketch ingests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ascs::prelude::*;
+//!
+//! // A small planted dataset: 50 features, a few strongly correlated blocks.
+//! let dataset = SimulatedDataset::new(SimulationSpec::smoke(50, 7));
+//! let samples = dataset.samples(0, 2000);
+//!
+//! // Configure ASCS: 5 hash tables, 2000 buckets each, correlation target.
+//! let config = AscsConfig {
+//!     dim: 50,
+//!     total_samples: samples.len() as u64,
+//!     geometry: SketchGeometry::new(5, 2000),
+//!     alpha: dataset.realised_alpha(),
+//!     signal_strength: 0.4,
+//!     sigma: 1.0,
+//!     ..AscsConfig::recommended(50, samples.len() as u64, SketchGeometry::new(5, 2000))
+//! };
+//!
+//! let mut estimator = CovarianceEstimator::new(config, SketchBackend::Ascs).unwrap();
+//! for sample in &samples {
+//!     estimator.process_sample(sample);
+//! }
+//!
+//! // The planted pairs surface at the top of the report.
+//! let top = estimator.top_pairs(10);
+//! assert!(!top.is_empty());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`ascs_core`] | the ASCS algorithm, streaming engine, hyperparameter solver, theory bounds |
+//! | [`ascs_count_sketch`] | Count Sketch, Count-Min, Augmented Sketch, Cold Filter, top-k tracking |
+//! | [`ascs_sketch_hash`] | seeded hash families used by the sketches |
+//! | [`ascs_numerics`] | normal distribution functions, running moments, quantiles, histograms |
+//! | [`ascs_datasets`] | simulation + surrogate workload generators |
+//! | [`ascs_eval`] | exact matrices, mean-top-correlation and F1 metrics, experiment tables |
+//!
+//! The experiment harness that regenerates the paper's tables and figures
+//! lives in the (unpublished) `ascs-bench` crate of the same workspace; see
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ascs_core as core;
+pub use ascs_count_sketch as count_sketch;
+pub use ascs_datasets as datasets;
+pub use ascs_eval as eval;
+pub use ascs_numerics as numerics;
+pub use ascs_sketch_hash as sketch_hash;
+
+/// Convenience re-exports covering the common end-to-end workflow.
+pub mod prelude {
+    pub use ascs_core::{
+        AscsConfig, AscsSketch, CovarianceEstimator, EstimandKind, HyperParameterSolver,
+        HyperParameters, PairIndexer, ReportedPair, Sample, SketchBackend, SketchGeometry,
+        TheoryBounds, ThresholdSchedule, UpdateMode,
+    };
+    pub use ascs_count_sketch::{AugmentedSketch, ColdFilter, CountMinSketch, CountSketch, PointSketch, TopKTracker};
+    pub use ascs_datasets::{
+        BootstrapResampler, ShuffleBuffer, SimulatedDataset, SimulationSpec, SurrogateDataset,
+        SurrogateSpec, TrillionScaleDataset, TrillionSpec,
+    };
+    pub use ascs_eval::{max_f1_score, mean_true_value_of_top, ExactMatrix, ExperimentTable};
+}

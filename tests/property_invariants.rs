@@ -1,0 +1,212 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! workspace: pair indexing, sketch estimation, threshold schedules,
+//! hyperparameter solving, running statistics and the evaluation metrics.
+
+use ascs::prelude::*;
+use ascs_core::{num_pairs, pair_from_index, pair_to_index};
+use ascs_numerics::{normal_cdf, normal_quantile, RunningMoments};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pair codec is a bijection for any dimensionality and index.
+    #[test]
+    fn pair_codec_round_trips(d in 2u64..5000, salt in 0u64..u64::MAX) {
+        let p = num_pairs(d);
+        prop_assume!(p > 0);
+        let index = salt % p;
+        let (a, b) = pair_from_index(index, d);
+        prop_assert!(a < b && b < d);
+        prop_assert_eq!(pair_to_index(a, b, d), index);
+    }
+
+    /// Encoding any valid ordered pair stays within the universe bounds.
+    #[test]
+    fn pair_encoding_is_in_range(d in 2u64..2000, x in 0u64..u64::MAX, y in 0u64..u64::MAX) {
+        let a = x % d;
+        let b = y % d;
+        prop_assume!(a != b);
+        let indexer = PairIndexer::new(d);
+        let key = indexer.index(a, b);
+        prop_assert!(key < indexer.num_pairs());
+    }
+
+    /// A count sketch with plenty of room recovers accumulated weights
+    /// exactly, regardless of the update order and weight signs.
+    #[test]
+    fn count_sketch_is_exact_without_collisions(
+        updates in proptest::collection::vec((0u64..20, -5.0f64..5.0), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let mut cs = CountSketch::new(5, 8192, seed);
+        let mut truth = std::collections::HashMap::new();
+        for &(key, w) in &updates {
+            cs.update(key, w);
+            *truth.entry(key).or_insert(0.0) += w;
+        }
+        for (key, want) in truth {
+            prop_assert!((cs.estimate(key) - want).abs() < 1e-6);
+        }
+    }
+
+    /// Count-sketch estimates never explode beyond the total inserted mass.
+    #[test]
+    fn count_sketch_estimates_are_bounded_by_total_mass(
+        updates in proptest::collection::vec((0u64..500, 0.0f64..1.0), 1..200),
+        seed in 0u64..100,
+    ) {
+        let mut cs = CountSketch::new(3, 64, seed);
+        let mut total = 0.0;
+        for &(key, w) in &updates {
+            cs.update(key, w);
+            total += w;
+        }
+        for key in 0..500u64 {
+            prop_assert!(cs.estimate(key).abs() <= total + 1e-9);
+        }
+    }
+
+    /// The linear threshold schedule is monotone non-decreasing in t and
+    /// bounded by tau0 + theta.
+    #[test]
+    fn linear_schedule_is_monotone_and_bounded(
+        tau0 in 0.0f64..0.5,
+        theta in 0.0f64..2.0,
+        t0 in 1u64..500,
+        extra in 1u64..2000,
+    ) {
+        let total = t0 + extra;
+        let s = ThresholdSchedule::linear(tau0, theta, t0, total);
+        let mut prev = f64::NEG_INFINITY;
+        let step = (extra / 50).max(1);
+        let mut t = 0;
+        while t <= total {
+            let tau = s.tau(t);
+            prop_assert!(tau >= prev - 1e-15);
+            prop_assert!(tau <= tau0 + theta + 1e-12);
+            prev = tau;
+            t += step;
+        }
+    }
+
+    /// Theorem 1's bound is a probability, decreasing in T0, and never below
+    /// the saturation probability.
+    #[test]
+    fn theorem1_bound_behaves_like_a_probability(
+        dim in 50u64..400,
+        range_div in 5usize..50,
+        alpha in 0.001f64..0.1,
+        u in 0.1f64..1.0,
+    ) {
+        let p = num_pairs(dim);
+        let r = ((p as usize) / range_div).max(2);
+        let bounds = TheoryBounds::new(p, r, 5, alpha, 1.0, u, 2000);
+        let sp = bounds.saturation_probability();
+        let mut prev = f64::INFINITY;
+        for t0 in [10u64, 50, 200, 1000, 2000] {
+            let b = bounds.theorem1_miss_bound(t0, 1e-4);
+            prop_assert!((0.0..=1.0).contains(&b));
+            prop_assert!(b <= prev + 1e-12, "bound must not increase with T0");
+            prop_assert!(b >= sp - 1e-12);
+            prev = b;
+        }
+    }
+
+    /// Whenever Algorithm 3 succeeds, its outputs satisfy the bounds they
+    /// were solved against.
+    #[test]
+    fn solver_outputs_respect_their_bounds(
+        dim in 100u64..600,
+        range_div in 10usize..40,
+        alpha in 0.002f64..0.05,
+        u in 0.2f64..1.0,
+    ) {
+        let p = num_pairs(dim);
+        let r = ((p as usize) / range_div).max(2);
+        let bounds = TheoryBounds::new(p, r, 5, alpha, 1.0, u, 3000);
+        let solver = HyperParameterSolver::new(bounds);
+        let delta = solver.default_delta();
+        let delta_star = solver.default_delta_star(delta);
+        if let Ok(hp) = solver.solve(1e-4, delta, delta_star) {
+            prop_assert!(hp.t0 >= 1 && hp.t0 <= 3000);
+            prop_assert!(hp.theta >= 0.0 && hp.theta < u);
+            prop_assert!(bounds.theorem1_miss_bound(hp.t0, hp.tau0) <= delta + 1e-9);
+            prop_assert!(
+                bounds.theorem2_omission_bound(hp.theta, hp.tau0, hp.t0)
+                    <= (delta_star - delta) + 1e-9
+            );
+        }
+    }
+
+    /// Welford running moments agree with the two-pass computation for any
+    /// input sequence.
+    #[test]
+    fn welford_matches_two_pass(values in proptest::collection::vec(-100.0f64..100.0, 1..300)) {
+        let mut m = RunningMoments::new();
+        for &v in &values {
+            m.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((m.mean() - mean).abs() < 1e-8);
+        prop_assert!((m.population_variance() - var).abs() < 1e-6);
+    }
+
+    /// The normal quantile inverts the normal CDF across the unit interval.
+    #[test]
+    fn normal_quantile_inverts_cdf(p in 0.0001f64..0.9999) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-9);
+    }
+
+    /// Max-F1 is 1 exactly when some prefix of the ranking equals the signal
+    /// set; it is bounded by 1 otherwise and monotone under prepending a
+    /// signal key.
+    #[test]
+    fn max_f1_is_bounded_and_improves_with_a_leading_hit(
+        ranked in proptest::collection::vec(0u64..1000, 1..50),
+        signals in proptest::collection::hash_set(0u64..1000, 1..20),
+    ) {
+        let signal_set: HashSet<u64> = signals.clone();
+        let base = max_f1_score(&ranked, &signal_set);
+        prop_assert!((0.0..=1.0).contains(&base));
+        // Prepend a guaranteed signal hit not already leading the ranking.
+        let hit = *signal_set.iter().next().unwrap();
+        let mut boosted = vec![hit];
+        boosted.extend(ranked.iter().copied().filter(|&k| k != hit));
+        let better = max_f1_score(&boosted, &signal_set);
+        prop_assert!(better + 1e-12 >= base);
+    }
+
+    /// TopKTracker never exceeds its capacity, and when the capacity covers
+    /// every distinct key it tracks each key's latest offered value exactly.
+    #[test]
+    fn topk_tracker_respects_capacity_and_latest_values(
+        offers in proptest::collection::vec((0u64..40, 0.0f64..100.0), 1..200),
+        capacity in 1usize..50,
+    ) {
+        let mut tracker = TopKTracker::new(capacity);
+        let mut latest: std::collections::HashMap<u64, f64> = Default::default();
+        for &(k, v) in &offers {
+            tracker.offer(k, v);
+            latest.insert(k, v);
+        }
+        prop_assert!(tracker.len() <= capacity);
+        prop_assert!(tracker.len() <= latest.len());
+        if capacity >= latest.len() {
+            // No eviction can have happened: every key is present with its
+            // latest value.
+            prop_assert_eq!(tracker.len(), latest.len());
+            for (k, v) in &latest {
+                prop_assert_eq!(tracker.get(*k), Some(*v));
+            }
+        }
+        // Whatever is retained must carry a value some offer actually made.
+        for (k, v) in tracker.descending() {
+            prop_assert!(offers.iter().any(|&(ok, ov)| ok == k && (ov - v).abs() < 1e-12));
+        }
+    }
+}
