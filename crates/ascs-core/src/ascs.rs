@@ -5,8 +5,10 @@
 //! * **Exploration** (`t ≤ T0`): every offered update is inserted, exactly
 //!   as vanilla CS would.
 //! * **Sampling** (`t > T0`): the pair's current estimate is read first and
-//!   the update is inserted only when that estimate clears the threshold
-//!   `τ(t − 1)` of the configured [`ThresholdSchedule`].
+//!   the update is inserted only when that estimate — or the would-be
+//!   estimate including the offered update, the cold-start refinement for
+//!   sparse streams documented at [`AscsSketch::offer`] — clears the
+//!   threshold `τ(t − 1)` of the configured [`ThresholdSchedule`].
 //!
 //! Updates are scaled by `1/T` on insertion (Algorithm 2 lines 6 and 12) so
 //! that the retrieval (line 15) directly estimates the mean `μ_i`.
@@ -152,17 +154,35 @@ impl AscsSketch {
 
     /// Offers the update `x = X_i^{(t)}` for item `key` at stream time `t`
     /// (1-based). Returns whether it was ingested.
+    ///
+    /// During the sampling phase the gate accepts when either the current
+    /// estimate **or the would-be estimate including this update**
+    /// (`μ̂_i + x/T`) clears `τ(t − 1)`. The second disjunct is a cold-start
+    /// refinement of Algorithm 2 line 11 for sparse streams, where a pair's
+    /// first co-observation may arrive only after exploration: without it,
+    /// a never-seen pair (estimate exactly 0) could never enter the sketch.
+    /// On dense streams `τ(t)·T` exceeds any single `|x|` within a few
+    /// samples of `T0`, so the paper's original rule takes over almost
+    /// immediately.
     pub fn offer(&mut self, key: u64, x: f64, t: u64) -> OfferOutcome {
         let phase = self.phase(t);
         let accept = match phase {
             AscsPhase::Exploration => true,
             AscsPhase::Sampling => {
                 let estimate = self.sketch.estimate(key);
+                // Gate on the would-be estimate including the offered update.
+                // On dense streams this matches Algorithm 2 line 11 almost
+                // immediately (τ(t)·T exceeds any single |x| within a few
+                // samples of T0); on sparse streams — where a pair's first
+                // co-observation may arrive only after exploration — it lets
+                // one strong update establish the pair instead of rejecting
+                // every never-seen pair forever.
+                let posterior = estimate + x / self.total as f64;
                 let tau = self.schedule.tau(t - 1);
                 if self.absolute_gate {
-                    estimate.abs() >= tau
+                    estimate.abs() >= tau || posterior.abs() >= tau
                 } else {
-                    estimate >= tau
+                    estimate >= tau || posterior >= tau
                 }
             }
         };
@@ -172,7 +192,14 @@ impl AscsSketch {
             // Track the fresh estimate so the top pairs can be reported
             // without a second enumeration pass.
             let fresh = self.sketch.estimate(key);
-            self.tracker.offer(key, if self.absolute_gate { fresh.abs() } else { fresh });
+            self.tracker.offer(
+                key,
+                if self.absolute_gate {
+                    fresh.abs()
+                } else {
+                    fresh
+                },
+            );
         } else {
             self.skipped += 1;
         }
@@ -249,8 +276,9 @@ mod tests {
         let kept = a.offer(1, 1.0, 6);
         assert!(kept.inserted);
         assert_eq!(kept.phase, AscsPhase::Sampling);
-        // estimate(2) = 0 < 0.01 → skipped.
-        let skipped = a.offer(2, 1.0, 6);
+        // estimate(2) = 0 and even the would-be estimate 0 + 0.4/100 stays
+        // below tau = 0.01 → skipped.
+        let skipped = a.offer(2, 0.4, 6);
         assert!(!skipped.inserted);
         assert_eq!(a.skipped_updates(), 1);
         // And the skipped update must not have changed the sketch.

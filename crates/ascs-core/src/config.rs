@@ -38,7 +38,10 @@ pub struct SketchGeometry {
 impl SketchGeometry {
     /// Geometry with `rows` tables of `range` buckets.
     pub fn new(rows: usize, range: usize) -> Self {
-        assert!(rows > 0 && range > 0, "sketch geometry must be non-degenerate");
+        assert!(
+            rows > 0 && range > 0,
+            "sketch geometry must be non-degenerate"
+        );
         Self { rows, range }
     }
 

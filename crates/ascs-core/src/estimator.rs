@@ -492,7 +492,9 @@ mod tests {
         let n = 400usize;
         let samples = correlated_stream(dim as usize, n, 0.95, 21);
         for backend in [
-            SketchBackend::AugmentedSketch { filter_capacity: 32 },
+            SketchBackend::AugmentedSketch {
+                filter_capacity: 32,
+            },
             SketchBackend::ColdFilter {
                 threshold: 1e-3,
                 filter_range: 128,
@@ -523,10 +525,10 @@ mod tests {
         // Late-stream SNR must exceed early-stream SNR because ASCS filters
         // noise progressively.
         let early = probe.windowed_snr(0, 100).unwrap();
-        let late = probe.windowed_snr(n - 100, n);
-        match late {
-            Some(l) => assert!(l > early, "early={early} late={l}"),
-            None => {} // no noise at all ingested late — even stronger
+        // A `None` late window means no noise at all was ingested late,
+        // which is an even stronger form of the claim.
+        if let Some(l) = probe.windowed_snr(n - 100, n) {
+            assert!(l > early, "early={early} late={l}");
         }
     }
 

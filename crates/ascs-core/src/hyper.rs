@@ -87,6 +87,10 @@ pub enum SolveError {
     DeltaBelowSaturation(u64),
     /// Even the full stream length cannot push the bound below `δ`.
     NoFeasibleExploration,
+    /// No slope `θ ≥ 0` keeps the Theorem 2 omission bound within the
+    /// `δ* − δ` budget — even the constant schedule `τ(t) = τ(T0)` omits
+    /// too many signals. Loosen `δ*` or lengthen exploration.
+    NoFeasibleSlope,
 }
 
 impl std::fmt::Display for SolveError {
@@ -100,6 +104,9 @@ impl std::fmt::Display for SolveError {
             ),
             Self::NoFeasibleExploration => {
                 write!(f, "no exploration length satisfies the Theorem 1 bound")
+            }
+            Self::NoFeasibleSlope => {
+                write!(f, "no threshold slope satisfies the Theorem 2 budget")
             }
         }
     }
@@ -149,7 +156,9 @@ impl HyperParameterSolver {
         let total = self.bounds.total as u64;
         let sp = self.bounds.saturation_probability();
         if delta <= sp {
-            return Err(SolveError::DeltaBelowSaturation((sp * 1000.0).round() as u64));
+            return Err(SolveError::DeltaBelowSaturation(
+                (sp * 1000.0).round() as u64
+            ));
         }
         let lo_start = self.gamma.min(total);
         if self.bounds.theorem1_miss_bound(total, tau0) > delta {
@@ -208,7 +217,15 @@ impl HyperParameterSolver {
     ) -> Result<HyperParameters, SolveError> {
         assert!(delta_star > delta, "delta_star must exceed delta");
         let t0 = self.solve_t0(tau0, delta)?;
-        let theta = self.solve_theta(t0, tau0, delta_star - delta);
+        let budget = delta_star - delta;
+        let theta = self.solve_theta(t0, tau0, budget);
+        // A zero slope is only a solution if the constant schedule itself
+        // fits the budget; otherwise the Theorem 2 target is infeasible and
+        // returning θ = 0 would hand back hyperparameters that violate the
+        // bound they were solved against.
+        if theta <= 0.0 && self.bounds.theorem2_omission_bound(0.0, tau0, t0) > budget {
+            return Err(SolveError::NoFeasibleSlope);
+        }
         Ok(HyperParameters {
             t0,
             theta,
@@ -225,14 +242,24 @@ impl HyperParameterSolver {
         self.solve(tau0, delta, delta_star)
     }
 
-    /// Algorithm 3 with a pragmatic fallback. When the Theorem 1 bound
-    /// cannot reach `delta` for any exploration length — which happens at
-    /// very aggressive compression ratios combined with short streams, where
-    /// the bound (correctly) says exploration can never be confident — the
-    /// solver falls back to the fixed-fraction exploration `T0 = c·T` that
-    /// Theorem 3 itself assumes, and still maximises `θ` against the
-    /// Theorem 2 budget. The returned flag reports whether the fallback was
-    /// taken.
+    /// Algorithm 3 with a pragmatic fallback, for callers that must produce
+    /// *some* run configuration even when the targets are infeasible:
+    ///
+    /// * When the Theorem 1 bound cannot reach `delta` for any exploration
+    ///   length — very aggressive compression combined with a short stream,
+    ///   where the bound (correctly) says exploration can never be
+    ///   confident — the exploration falls back to the fixed fraction
+    ///   `T0 = c·T` that Theorem 3 itself assumes, and `θ` is still
+    ///   maximised against the Theorem 2 budget.
+    /// * When only the slope is infeasible
+    ///   ([`SolveError::NoFeasibleSlope`]), the *solved, Theorem-1-feasible*
+    ///   `T0` is kept and the schedule degenerates to the constant threshold
+    ///   `τ(t) = τ(T0)` (`θ = 0`) — the least-omission schedule available,
+    ///   even though no schedule can meet the Theorem 2 budget here.
+    ///
+    /// The returned flag reports whether either fallback was taken; when it
+    /// is `true` the hyperparameters are best-effort and do **not** certify
+    /// the `δ`/`δ*` targets.
     pub fn solve_or_fallback(
         &self,
         tau0: f64,
@@ -242,11 +269,27 @@ impl HyperParameterSolver {
     ) -> (HyperParameters, bool) {
         match self.solve(tau0, delta, delta_star) {
             Ok(hp) => (hp, false),
+            Err(SolveError::NoFeasibleSlope) => {
+                // Theorem 1 was satisfiable — keep its minimal exploration
+                // length rather than discarding it for the fixed fraction.
+                let t0 = self
+                    .solve_t0(tau0, delta)
+                    .expect("NoFeasibleSlope implies solve_t0 succeeded");
+                (
+                    HyperParameters {
+                        t0,
+                        theta: 0.0,
+                        tau0,
+                        delta,
+                        delta_star,
+                    },
+                    true,
+                )
+            }
             Err(_) => {
                 let total = self.bounds.total as u64;
                 let c = fallback_fraction.clamp(0.01, 0.9);
-                let t0 = ((total as f64 * c).round() as u64)
-                    .clamp(self.gamma.min(total), total);
+                let t0 = ((total as f64 * c).round() as u64).clamp(self.gamma.min(total), total);
                 let theta = self.solve_theta(t0, tau0, (delta_star - delta).max(1e-3));
                 (
                     HyperParameters {

@@ -73,7 +73,7 @@ pub fn pair_from_index(index: u64, d: u64) -> (u64, u64) {
     while a > 0 && row_start(a) > index {
         a -= 1;
     }
-    while a + 1 <= d - 2 && row_start(a + 1) <= index {
+    while a < d - 2 && row_start(a + 1) <= index {
         a += 1;
     }
     let b = a + 1 + (index - row_start(a));
@@ -222,6 +222,57 @@ mod tests {
     #[should_panic(expected = "at least two features")]
     fn indexer_needs_two_features() {
         PairIndexer::new(1);
+    }
+
+    #[test]
+    fn round_trip_is_exhaustive_over_all_small_dims() {
+        // Every dimensionality from the smallest legal one up to 40: the
+        // codec must be a bijection onto 0..p with row-major order, through
+        // both the free functions and the `PairIndexer` wrapper.
+        for d in 2..=40u64 {
+            let p = num_pairs(d);
+            let ix = PairIndexer::new(d);
+            assert_eq!(ix.num_pairs(), p);
+            let mut expected = 0u64;
+            for a in 0..d {
+                for b in (a + 1)..d {
+                    let idx = pair_to_index(a, b, d);
+                    assert_eq!(idx, expected, "row-major order broken at d={d} ({a},{b})");
+                    assert_eq!(pair_from_index(idx, d), (a, b));
+                    assert_eq!(ix.index(a, b), idx);
+                    assert_eq!(ix.index(b, a), idx);
+                    assert_eq!(ix.pair(idx), (a, b));
+                    expected += 1;
+                }
+            }
+            assert_eq!(expected, p, "codec did not cover the universe at d={d}");
+        }
+    }
+
+    #[test]
+    fn boundary_pairs_round_trip_across_scales() {
+        // First pair, last pair, and the row boundaries (where the quadratic
+        // initial guess of the decoder is most at risk) for a spread of
+        // dimensionalities up to the paper's DNA k-mer scale.
+        for &d in &[2u64, 3, 10, 1000, 131_072, 1_000_000, 17_000_000] {
+            let p = num_pairs(d);
+            assert_eq!(pair_to_index(0, 1, d), 0);
+            assert_eq!(pair_from_index(0, d), (0, 1));
+            assert_eq!(pair_to_index(d - 2, d - 1, d), p - 1);
+            assert_eq!(pair_from_index(p - 1, d), (d - 2, d - 1));
+            // Row starts and row ends around a mid row.
+            let a = d / 2;
+            if a > 0 && a < d - 1 {
+                let row_first = pair_to_index(a, a + 1, d);
+                let row_last = pair_to_index(a, d - 1, d);
+                assert_eq!(pair_from_index(row_first, d), (a, a + 1));
+                assert_eq!(pair_from_index(row_last, d), (a, d - 1));
+                if row_first > 0 {
+                    let (pa, pb) = pair_from_index(row_first - 1, d);
+                    assert_eq!((pa, pb), (a - 1, d - 1), "row boundary at d={d}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -45,8 +45,14 @@ impl ThresholdSchedule {
     /// The paper's linear schedule.
     pub fn linear(tau0: f64, theta: f64, t0: u64, total: u64) -> Self {
         assert!(total > 0, "total sample count must be positive");
-        assert!(t0 <= total, "exploration period cannot exceed the stream length");
-        assert!(tau0 >= 0.0 && theta >= 0.0, "thresholds must be non-negative");
+        assert!(
+            t0 <= total,
+            "exploration period cannot exceed the stream length"
+        );
+        assert!(
+            tau0 >= 0.0 && theta >= 0.0,
+            "thresholds must be non-negative"
+        );
         Self::Linear {
             tau0,
             theta,
@@ -75,7 +81,11 @@ impl ThresholdSchedule {
                 }
             }
             Self::Constant { tau0 } => tau0,
-            Self::Step { tau0, tau1, step_at } => {
+            Self::Step {
+                tau0,
+                tau1,
+                step_at,
+            } => {
                 if t < step_at {
                     tau0
                 } else {

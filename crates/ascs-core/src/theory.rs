@@ -59,15 +59,7 @@ pub struct TheoryBounds {
 
 impl TheoryBounds {
     /// Builds the calculator from the run configuration.
-    pub fn new(
-        p: u64,
-        r: usize,
-        k: usize,
-        alpha: f64,
-        sigma: f64,
-        u: f64,
-        total: u64,
-    ) -> Self {
+    pub fn new(p: u64, r: usize, k: usize, alpha: f64, sigma: f64, u: f64, total: u64) -> Self {
         assert!(p >= 1 && r >= 1 && k >= 1 && total >= 1);
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
         assert!(sigma > 0.0, "sigma must be positive");
@@ -147,7 +139,8 @@ impl TheoryBounds {
     /// `ω²` of Theorem 2 for a single table:
     /// `σ²(1 + (p−1)(1−α)/(T²(R−α)))`.
     pub fn omega_sq_single(&self) -> f64 {
-        self.sigma * self.sigma
+        self.sigma
+            * self.sigma
             * (1.0
                 + (self.p - 1.0) * (1.0 - self.alpha)
                     / (self.total * self.total * (self.r - self.alpha)))
@@ -160,7 +153,8 @@ impl TheoryBounds {
             return self.omega_sq_single();
         }
         let pi = std::f64::consts::PI;
-        self.sigma * self.sigma
+        self.sigma
+            * self.sigma
             * (1.0
                 + pi * (self.p - 1.0) * (1.0 - self.alpha)
                     / (2.0 * self.k as f64 * self.total * self.total * (self.r - self.alpha)))
@@ -175,7 +169,8 @@ impl TheoryBounds {
             return 1.0;
         }
         let clean = self.collision_free_prob();
-        let arg = -((t0.sqrt() * self.u - self.total * tau0 / t0.sqrt()) / (self.kappa() * self.sigma));
+        let arg =
+            -((t0.sqrt() * self.u - self.total * tau0 / t0.sqrt()) / (self.kappa() * self.sigma));
         (normal_cdf(arg) * clean + (1.0 - clean)).clamp(0.0, 1.0)
     }
 
@@ -187,11 +182,9 @@ impl TheoryBounds {
         let t0 = t0 as f64;
         let omega_sq = self.omega_sq();
         let omega = omega_sq.sqrt();
-        let exp_term =
-            ((self.u - theta) * (tau0 - t0 / self.total * theta) / omega_sq).exp();
-        let phi_term = normal_cdf(
-            (t0 * (2.0 * theta - self.u) - tau0 * self.total) / (t0.sqrt() * omega),
-        );
+        let exp_term = ((self.u - theta) * (tau0 - t0 / self.total * theta) / omega_sq).exp();
+        let phi_term =
+            normal_cdf((t0 * (2.0 * theta - self.u) - tau0 * self.total) / (t0.sqrt() * omega));
         (exp_term * phi_term).clamp(0.0, 1.0)
     }
 
@@ -226,9 +219,9 @@ impl TheoryBounds {
             return 1.0;
         }
         let clean = self.collision_free_prob();
-        let noise_fraction = normal_cdf(-theta * (t.sqrt() - t0.sqrt()) / (self.kappa() * self.sigma))
-            * clean
-            + (1.0 - clean);
+        let noise_fraction =
+            normal_cdf(-theta * (t.sqrt() - t0.sqrt()) / (self.kappa() * self.sigma)) * clean
+                + (1.0 - clean);
         let signal_fraction = (1.0 - delta_star).max(0.0);
         if noise_fraction <= 0.0 {
             return f64::INFINITY;
@@ -399,7 +392,10 @@ mod tests {
         let b = table1_setup();
         let limit = b.theorem3_limit(0.2);
         let far = b.theorem3_snr_ratio_lower_bound(1_000_000_000, 100, 0.2, 0.2);
-        assert!((far - limit).abs() / limit < 0.05, "far={far} limit={limit}");
+        assert!(
+            (far - limit).abs() / limit < 0.05,
+            "far={far} limit={limit}"
+        );
     }
 
     #[test]

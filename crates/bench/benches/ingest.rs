@@ -54,9 +54,11 @@ fn bench_dense_simulation_ingest(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &backend, |b, &backend| {
-            b.iter(|| black_box(run(backend, cfg, &samples)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &backend,
+            |b, &backend| b.iter(|| black_box(run(backend, cfg, &samples))),
+        );
     }
     group.finish();
 }
@@ -72,12 +74,18 @@ fn bench_sparse_surrogate_ingest(c: &mut Criterion) {
         ("vanilla_cs", SketchBackend::VanillaCs),
         ("ascs", SketchBackend::Ascs),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &backend, |b, &backend| {
-            b.iter(|| black_box(run(backend, cfg, &samples)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &backend,
+            |b, &backend| b.iter(|| black_box(run(backend, cfg, &samples))),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_dense_simulation_ingest, bench_sparse_surrogate_ingest);
+criterion_group!(
+    benches,
+    bench_dense_simulation_ingest,
+    bench_sparse_surrogate_ingest
+);
 criterion_main!(benches);

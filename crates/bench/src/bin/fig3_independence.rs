@@ -7,7 +7,9 @@
 
 use ascs_bench::{emit_table, Scale};
 use ascs_core::{EstimandKind, PairIndexer};
-use ascs_datasets::{BootstrapResampler, SimulatedDataset, SimulationSpec, SurrogateDataset, SurrogateSpec};
+use ascs_datasets::{
+    BootstrapResampler, SimulatedDataset, SimulationSpec, SurrogateDataset, SurrogateSpec,
+};
 use ascs_eval::{ExactMatrix, ExperimentTable};
 use ascs_numerics::{Histogram, RunningCovariance};
 
@@ -39,8 +41,8 @@ fn cross_entry_correlations(
     for i in 0..tracked_keys.len() {
         for j in (i + 1)..tracked_keys.len() {
             let mut cov = RunningCovariance::new();
-            for r in 0..replicates as usize {
-                cov.push(values[r][i], values[r][j]);
+            for row in values.iter().take(replicates as usize) {
+                cov.push(row[i], row[j]);
             }
             hist.push(cov.correlation().abs());
         }
@@ -64,20 +66,15 @@ fn main() {
         block_size: 4,
         seed: 33,
     });
-    let sim_hist = cross_entry_correlations(
-        |r| sim.samples(r * t as u64, t),
-        dim,
-        replicates,
-        tracked,
-    );
+    let sim_hist =
+        cross_entry_correlations(|r| sim.samples(r * t as u64, t), dim, replicates, tracked);
 
     // "gisette" replicates: bootstrap resamples of one finite dataset, as in
     // Section 6.2.
     let gisette = SurrogateDataset::new(SurrogateSpec::gisette().scaled(dim, 2000));
     let base = gisette.all_samples();
     let boot = BootstrapResampler::new(base, 77);
-    let gis_hist =
-        cross_entry_correlations(|r| boot.replicate(r, t), dim, replicates, tracked);
+    let gis_hist = cross_entry_correlations(|r| boot.replicate(r, t), dim, replicates, tracked);
 
     let mut table = ExperimentTable::new(
         "Figure 3: fraction of |corr(entry_i, entry_j)| below x (independence check)",

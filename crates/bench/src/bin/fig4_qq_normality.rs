@@ -6,7 +6,9 @@
 
 use ascs_bench::{emit_table, Scale};
 use ascs_core::{EstimandKind, PairIndexer};
-use ascs_datasets::{BootstrapResampler, SimulatedDataset, SimulationSpec, SurrogateDataset, SurrogateSpec};
+use ascs_datasets::{
+    BootstrapResampler, SimulatedDataset, SimulationSpec, SurrogateDataset, SurrogateSpec,
+};
 use ascs_eval::{ExactMatrix, ExperimentTable};
 use ascs_numerics::qq_correlation;
 

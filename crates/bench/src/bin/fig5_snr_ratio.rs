@@ -80,7 +80,8 @@ fn main() {
             (None, Some(_)) => f64::INFINITY, // ASCS ingested no noise at all
             _ => f64::NAN,
         };
-        let theory = bounds.theorem3_snr_ratio_lower_bound(end as u64, hp.t0, hp.theta, hp.delta_star);
+        let theory =
+            bounds.theorem3_snr_ratio_lower_bound(end as u64, hp.t0, hp.theta, hp.delta_star);
         table.push_row(vec![
             (end as u64).into(),
             theory.into(),

@@ -12,8 +12,8 @@
 //! schedule ablation described in DESIGN.md.
 
 use ascs_bench::{
-    emit_table, exact_correlations, full_ranking, paper_surrogates, run_backend,
-    section83_config, Scale,
+    emit_table, exact_correlations, full_ranking, paper_surrogates, run_backend, section83_config,
+    Scale,
 };
 use ascs_core::{CovarianceEstimator, SketchBackend, ThresholdSchedule};
 use ascs_eval::{max_f1_score, ExperimentTable};
@@ -62,8 +62,17 @@ fn run_u_sweep(scale: Scale, sizes: &[usize]) {
         let truth_sets = signal_sets(&exact, sizes);
 
         let mut table = ExperimentTable::new(
-            format!("Figure 6 ({}): max F1 of locating the top-N signal correlations", ds.spec().name),
-            vec!["algorithm", "N=sizes[0]", "N=sizes[1]", "N=sizes[2]", "N=sizes[3]"],
+            format!(
+                "Figure 6 ({}): max F1 of locating the top-N signal correlations",
+                ds.spec().name
+            ),
+            vec![
+                "algorithm",
+                "N=sizes[0]",
+                "N=sizes[1]",
+                "N=sizes[2]",
+                "N=sizes[3]",
+            ],
         );
 
         // Vanilla CS baseline.
@@ -86,7 +95,7 @@ fn run_u_sweep(scale: Scale, sizes: &[usize]) {
                 .max(1e-3);
             let ascs = run_backend(cfg, SketchBackend::Ascs, &samples);
             let ranking = full_ranking(&ascs);
-            let mut row = vec![ascs_eval::TableCell::from(format!("ASCS (u = {pct} %ile))"))];
+            let mut row = vec![ascs_eval::TableCell::from(format!("ASCS (u = {pct} %ile)"))];
             for (_, truth) in &truth_sets {
                 row.push(max_f1_score(&ranking, truth).into());
             }
@@ -110,7 +119,13 @@ fn run_alpha_sweep(scale: Scale, sizes: &[usize]) {
 
     let mut table = ExperimentTable::new(
         "Figure 6 (f): ASCS robustness to the assumed alpha — gisette surrogate",
-        vec!["assumed alpha", "N=sizes[0]", "N=sizes[1]", "N=sizes[2]", "N=sizes[3]"],
+        vec![
+            "assumed alpha",
+            "N=sizes[0]",
+            "N=sizes[1]",
+            "N=sizes[2]",
+            "N=sizes[3]",
+        ],
     );
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let mut cfg = base;
@@ -140,7 +155,13 @@ fn run_schedule_ablation(scale: Scale, sizes: &[usize]) {
 
     let mut table = ExperimentTable::new(
         "Ablation: threshold schedule (linear ramp vs constant) — gisette surrogate",
-        vec!["schedule", "N=sizes[0]", "N=sizes[1]", "N=sizes[2]", "N=sizes[3]"],
+        vec![
+            "schedule",
+            "N=sizes[0]",
+            "N=sizes[1]",
+            "N=sizes[2]",
+            "N=sizes[3]",
+        ],
     );
 
     // Linear (the paper's schedule), via the normal solver path.

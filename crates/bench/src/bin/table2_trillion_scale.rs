@@ -27,8 +27,10 @@ fn exact_correlation_of_pairs(
     pairs: &[(u64, u64)],
     samples: u64,
 ) -> HashMap<(u64, u64), f64> {
-    let mut accum: HashMap<(u64, u64), RunningCovariance> =
-        pairs.iter().map(|&p| (p, RunningCovariance::new())).collect();
+    let mut accum: HashMap<(u64, u64), RunningCovariance> = pairs
+        .iter()
+        .map(|&p| (p, RunningCovariance::new()))
+        .collect();
     for i in 0..samples {
         let s = dataset.sample_at(i);
         for (&(a, b), cov) in accum.iter_mut() {
@@ -48,7 +50,10 @@ fn main() {
     let top_k = scale.pick(200usize, 1000);
 
     let workloads = vec![
-        ("URL-like", TrillionScaleDataset::new(TrillionSpec::url_like(dim, 9))),
+        (
+            "URL-like",
+            TrillionScaleDataset::new(TrillionSpec::url_like(dim, 9)),
+        ),
         (
             "DNA-kmer-like",
             TrillionScaleDataset::new(TrillionSpec::dna_kmer_like(dim, 9)),

@@ -3,8 +3,8 @@
 //! Augmented Sketch and ASCS on the five evaluation datasets.
 
 use ascs_bench::{
-    emit_table, exact_correlations, full_ranking, paper_surrogates, run_backend,
-    section83_config, Scale,
+    emit_table, exact_correlations, full_ranking, paper_surrogates, run_backend, section83_config,
+    Scale,
 };
 use ascs_core::SketchBackend;
 use ascs_eval::ExperimentTable;

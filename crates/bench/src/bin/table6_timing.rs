@@ -3,8 +3,8 @@
 //! estimate query, so the two run at essentially the same speed; absolute
 //! seconds depend on hardware and are not part of the claim.
 
-use ascs_bench::{paper_surrogates, run_backend, section83_config, Scale};
 use ascs_bench::emit_table;
+use ascs_bench::{paper_surrogates, run_backend, section83_config, Scale};
 use ascs_core::SketchBackend;
 use ascs_eval::ExperimentTable;
 use std::time::Instant;

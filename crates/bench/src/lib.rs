@@ -73,10 +73,7 @@ pub fn paper_surrogates(scale: Scale) -> Vec<SurrogateDataset> {
 pub fn section83_config(dataset: &SurrogateDataset, scale: Scale, seed: u64) -> AscsConfig {
     let dim = dataset.spec().dim;
     let pairs = dim * (dim - 1) / 2;
-    let range = scale.pick(
-        ((pairs as f64 * 0.2) / 5.0).round() as usize,
-        20_000,
-    );
+    let range = scale.pick(((pairs as f64 * 0.2) / 5.0).round() as usize, 20_000);
     AscsConfig {
         dim,
         total_samples: dataset.len(),
@@ -149,8 +146,7 @@ pub fn emit_table(table: &ExperimentTable, slug: &str) {
 
 /// Mean of the exact |correlation| of the first `k` ranked keys.
 pub fn mean_exact_correlation(ranked: &[u64], exact: &ExactMatrix, k: usize) -> f64 {
-    ascs_eval::mean_true_value_of_top(ranked, |key| exact.value_by_key(key).abs(), k)
-        .unwrap_or(0.0)
+    ascs_eval::mean_true_value_of_top(ranked, |key| exact.value_by_key(key).abs(), k).unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -192,9 +188,7 @@ mod tests {
         assert_eq!(ranking.len() as u64, est.indexer().num_pairs());
         let estimates = est.all_estimates();
         for w in ranking.windows(2).take(200) {
-            assert!(
-                estimates[w[0] as usize].abs() >= estimates[w[1] as usize].abs() - 1e-12
-            );
+            assert!(estimates[w[0] as usize].abs() >= estimates[w[1] as usize].abs() - 1e-12);
         }
     }
 }

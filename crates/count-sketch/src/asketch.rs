@@ -42,7 +42,10 @@ impl AugmentedSketch {
     /// # Panics
     /// Panics if `filter_capacity == 0` (use a plain [`CountSketch`] then).
     pub fn new(rows: usize, range: usize, filter_capacity: usize, seed: u64) -> Self {
-        assert!(filter_capacity > 0, "ASketch filter needs at least one slot");
+        assert!(
+            filter_capacity > 0,
+            "ASketch filter needs at least one slot"
+        );
         Self {
             sketch: CountSketch::new(rows, range, seed),
             filter: Vec::with_capacity(filter_capacity),
@@ -53,12 +56,7 @@ impl AugmentedSketch {
     /// Builds an ASketch from a total memory budget measured in float slots,
     /// spending `filter_fraction` of it on the filter (two words per slot:
     /// key + value) and the rest on the count sketch.
-    pub fn with_budget(
-        rows: usize,
-        budget_words: usize,
-        filter_fraction: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn with_budget(rows: usize, budget_words: usize, filter_fraction: f64, seed: u64) -> Self {
         let filter_words = ((budget_words as f64 * filter_fraction) as usize).max(2);
         let filter_capacity = (filter_words / 2).max(1);
         let sketch_words = budget_words.saturating_sub(filter_capacity * 2).max(rows);

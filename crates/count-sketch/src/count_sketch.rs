@@ -115,12 +115,14 @@ impl CountSketch {
         const STACK_ROWS: usize = 16;
         if self.rows <= STACK_ROWS {
             let mut buf = [0.0f64; STACK_ROWS];
-            for row in 0..self.rows {
-                buf[row] = self.row_estimate(row, key);
+            for (row, slot) in buf.iter_mut().enumerate().take(self.rows) {
+                *slot = self.row_estimate(row, key);
             }
             ascs_numerics_median(&mut buf[..self.rows])
         } else {
-            let mut buf: Vec<f64> = (0..self.rows).map(|row| self.row_estimate(row, key)).collect();
+            let mut buf: Vec<f64> = (0..self.rows)
+                .map(|row| self.row_estimate(row, key))
+                .collect();
             ascs_numerics_median(&mut buf)
         }
     }

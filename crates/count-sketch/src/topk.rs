@@ -95,19 +95,11 @@ impl TopKTracker {
         if self.entries.len() > self.capacity {
             // Evict the current minimum. The linear scan only runs when an
             // offer actually clears the admission bar.
-            if let Some((&evict_key, _)) = self
-                .entries
-                .iter()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-            {
+            if let Some((&evict_key, _)) = self.entries.iter().min_by(|a, b| a.1.total_cmp(b.1)) {
                 self.entries.remove(&evict_key);
             }
             // The new minimum becomes the admission bar for future offers.
-            self.admission_bar = self
-                .entries
-                .values()
-                .copied()
-                .fold(f64::INFINITY, f64::min);
+            self.admission_bar = self.entries.values().copied().fold(f64::INFINITY, f64::min);
         }
     }
 

@@ -86,8 +86,14 @@ impl SimulatedDataset {
     pub fn new(spec: SimulationSpec) -> Self {
         assert!(spec.dim >= 2, "need at least two features");
         assert!(spec.block_size >= 2, "blocks need at least two features");
-        assert!(spec.block_size <= spec.dim, "block larger than the feature space");
-        assert!(spec.alpha > 0.0 && spec.alpha < 1.0, "alpha must be in (0,1)");
+        assert!(
+            spec.block_size <= spec.dim,
+            "block larger than the feature space"
+        );
+        assert!(
+            spec.alpha > 0.0 && spec.alpha < 1.0,
+            "alpha must be in (0,1)"
+        );
         assert!(
             0.0 < spec.rho_min && spec.rho_min <= spec.rho_max && spec.rho_max < 1.0,
             "signal correlations must satisfy 0 < rho_min <= rho_max < 1"
@@ -97,8 +103,8 @@ impl SimulatedDataset {
         let pairs_per_block = (spec.block_size * (spec.block_size - 1) / 2) as f64;
         let target_pairs = spec.alpha * p;
         let max_blocks = spec.dim / spec.block_size;
-        let num_blocks = ((target_pairs / pairs_per_block).round() as u64)
-            .clamp(1, max_blocks.max(1));
+        let num_blocks =
+            ((target_pairs / pairs_per_block).round() as u64).clamp(1, max_blocks.max(1));
 
         let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
         // Assign the first `num_blocks * block_size` features (after a
@@ -283,7 +289,7 @@ mod tests {
                 assert!((0.0..1.0).contains(&r.abs()) || r == 0.0);
                 if r != 0.0 {
                     nonzero += 1;
-                    assert!(r >= 0.6 && r < 0.95);
+                    assert!((0.6..0.95).contains(&r));
                 }
             }
         }

@@ -202,7 +202,7 @@ mod tests {
         let resampler = BootstrapResampler::new(numbered_samples(10), 8);
         for s in resampler.replicate(3, 100) {
             let v = first_coordinate(&s);
-            assert!(v >= 0.0 && v < 10.0);
+            assert!((0.0..10.0).contains(&v));
         }
     }
 

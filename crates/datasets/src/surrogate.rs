@@ -310,7 +310,10 @@ mod tests {
         let dense_nnz = dense.average_nonzeros(50);
         let sparse_nnz = sparse.average_nonzeros(50);
         assert!(dense_nnz > 70.0, "dense surrogate too sparse: {dense_nnz}");
-        assert!(sparse_nnz < 15.0, "sparse surrogate too dense: {sparse_nnz}");
+        assert!(
+            sparse_nnz < 15.0,
+            "sparse surrogate too dense: {sparse_nnz}"
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub struct TrillionScaleDataset {
 impl TrillionScaleDataset {
     /// Builds the surrogate.
     pub fn new(spec: TrillionSpec) -> Self {
-        assert!(spec.dim >= 16, "trillion surrogate needs a non-trivial dimension");
+        assert!(
+            spec.dim >= 16,
+            "trillion surrogate needs a non-trivial dimension"
+        );
         assert!(
             spec.avg_nonzeros >= 2.0 && spec.avg_nonzeros < spec.dim as f64,
             "avg_nonzeros must be in [2, dim)"
@@ -210,7 +213,8 @@ impl TrillionScaleDataset {
             } else {
                 // Long tail: uniform over the remaining background features.
                 self.popularity_cdf.len() as u64
-                    + (rng.gen::<u64>() % (background_dim - self.popularity_cdf.len() as u64).max(1))
+                    + (rng.gen::<u64>()
+                        % (background_dim - self.popularity_cdf.len() as u64).max(1))
             };
             let value = (rng.gen::<f64>() * 2.0).max(0.05);
             entries.push((feature as u32, value));
@@ -290,10 +294,7 @@ mod tests {
         let pairs = ds.signal_pairs();
         let keys = ds.signal_keys();
         assert_eq!(pairs.len(), keys.len());
-        assert_eq!(
-            keys[0],
-            ds.indexer().index(pairs[0].0, pairs[0].1)
-        );
+        assert_eq!(keys[0], ds.indexer().index(pairs[0].0, pairs[0].1));
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl ExactMatrix {
     /// Panics if the collection is empty, dimensionalities disagree, or `d`
     /// is large enough that the dense pair storage would not fit in memory.
     pub fn from_samples(samples: &[Sample], estimand: EstimandKind) -> Self {
-        assert!(!samples.is_empty(), "cannot compute an exact matrix of nothing");
+        assert!(
+            !samples.is_empty(),
+            "cannot compute an exact matrix of nothing"
+        );
         let dim = samples[0].dim();
         assert!(dim >= 2, "need at least two features");
         assert!(

@@ -75,9 +75,9 @@ fn erf_central(x: f64) -> f64 {
 
 /// Mid-range evaluation of `erfc(|x|)` for `0.46875 <= |x| <= 4`.
 fn erfc_mid(ax: f64) -> f64 {
-    let num = ERF_C[8] * ax
-        + ERF_C[0];
-    let num = (((((((num * ax + ERF_C[1]) * ax + ERF_C[2]) * ax + ERF_C[3]) * ax + ERF_C[4]) * ax
+    let num = ERF_C[8] * ax + ERF_C[0];
+    let num = (((((((num * ax + ERF_C[1]) * ax + ERF_C[2]) * ax + ERF_C[3]) * ax + ERF_C[4])
+        * ax
         + ERF_C[5])
         * ax
         + ERF_C[6])
@@ -99,8 +99,8 @@ fn erfc_mid(ax: f64) -> f64 {
 /// Tail evaluation of `erfc(|x|)` for `|x| > 4`.
 fn erfc_tail(ax: f64) -> f64 {
     let z = 1.0 / (ax * ax);
-    let num = ((((ERF_P[5] * z + ERF_P[0]) * z + ERF_P[1]) * z + ERF_P[2]) * z + ERF_P[3]) * z
-        + ERF_P[4];
+    let num =
+        ((((ERF_P[5] * z + ERF_P[0]) * z + ERF_P[1]) * z + ERF_P[2]) * z + ERF_P[3]) * z + ERF_P[4];
     let den = ((((z + ERF_Q[0]) * z + ERF_Q[1]) * z + ERF_Q[2]) * z + ERF_Q[3]) * z + ERF_Q[4];
     let mut r = z * num / den;
     r = (SQRT_PI_INV - r) / ax;

@@ -122,7 +122,10 @@ impl Histogram {
 
     /// `(centre, count)` pairs, convenient for serialisation.
     pub fn to_pairs(&self) -> Vec<(f64, u64)> {
-        self.centres().into_iter().zip(self.counts.iter().copied()).collect()
+        self.centres()
+            .into_iter()
+            .zip(self.counts.iter().copied())
+            .collect()
     }
 }
 

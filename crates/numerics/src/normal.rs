@@ -60,7 +60,7 @@ pub fn normal_sf(x: f64) -> f64 {
 /// }
 /// ```
 pub fn normal_quantile(p: f64) -> f64 {
-    if p.is_nan() || p < 0.0 || p > 1.0 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
         return f64::NAN;
     }
     if p == 0.0 {

@@ -259,7 +259,9 @@ mod tests {
 
     #[test]
     fn matches_two_pass_computation() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37 % 101) as f64).sin() * 5.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37 % 101) as f64).sin() * 5.0)
+            .collect();
         let mut m = RunningMoments::new();
         for &x in &xs {
             m.push(x);
@@ -293,7 +295,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).cos() * 3.0 + 1.0).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.37).cos() * 3.0 + 1.0)
+            .collect();
         let mut whole = RunningMoments::new();
         for &x in &xs {
             whole.push(x);
@@ -332,7 +336,11 @@ mod tests {
     #[test]
     fn covariance_matches_two_pass() {
         let xs: Vec<f64> = (0..800).map(|i| (i as f64 * 0.113).sin()).collect();
-        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, x)| 0.5 * x + (i as f64 * 0.071).cos()).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 0.5 * x + (i as f64 * 0.071).cos())
+            .collect();
         let mut c = RunningCovariance::new();
         for (x, y) in xs.iter().zip(ys.iter()) {
             c.push(*x, *y);

@@ -1,0 +1,114 @@
+//! Accuracy tests for the numerical substrate: the quantile function must
+//! invert the CDF across the whole usable domain, and `erf`/`erfc` must
+//! match published reference values to near machine precision. The theorem
+//! bounds of the paper evaluate `Φ` deep in the tails, so tail accuracy is
+//! tested explicitly.
+
+// Reference constants are quoted at full published precision on purpose.
+#![allow(clippy::excessive_precision)]
+
+use ascs_numerics::{erf, erfc, normal_cdf, normal_pdf, normal_quantile};
+
+/// Reference values computed with mpmath at 50 decimal digits.
+const ERF_REFERENCE: &[(f64, f64)] = &[
+    (0.0, 0.0),
+    (0.1, 0.1124629160182848922032750717439683832217),
+    (0.25, 0.2763263901682369017170446976637239243311),
+    (0.5, 0.5204998778130465376827466538919645287365),
+    (1.0, 0.8427007929497148693412206350826092592961),
+    (1.5, 0.9661051464753107270669762616459478586814),
+    (2.0, 0.9953222650189527341620692563672529286109),
+    (3.0, 0.9999779095030014145586272238704176796202),
+    (4.0, 0.9999999845827420997199811478403265131160),
+];
+
+const ERFC_REFERENCE: &[(f64, f64)] = &[
+    (0.5, 0.4795001221869534623172533461080354712635),
+    (1.0, 0.1572992070502851306587793649173907407039),
+    (2.0, 0.004677734981046765837930743732747071389108),
+    (3.0, 2.209049699858544137277612958232037975543e-5),
+    (5.0, 1.537459794428034850188343485383378890118e-12),
+    (10.0, 2.088487583762544757000786294957788611561e-45),
+];
+
+#[test]
+fn erf_matches_reference_values() {
+    for &(x, want) in ERF_REFERENCE {
+        let got = erf(x);
+        assert!((got - want).abs() <= 1e-14, "erf({x}) = {got}, want {want}");
+        // Odd symmetry.
+        assert_eq!(erf(-x), -got, "erf must be odd at x = {x}");
+    }
+}
+
+#[test]
+fn erfc_matches_reference_values_with_relative_precision() {
+    for &(x, want) in ERFC_REFERENCE {
+        let got = erfc(x);
+        let rel = ((got - want) / want).abs();
+        assert!(
+            rel <= 1e-12,
+            "erfc({x}) = {got}, want {want} (rel err {rel:.3e})"
+        );
+    }
+}
+
+#[test]
+fn erf_and_erfc_are_complementary() {
+    for i in 0..=200 {
+        let x = -5.0 + i as f64 * 0.05;
+        let sum = erf(x) + erfc(x);
+        assert!((sum - 1.0).abs() <= 1e-14, "erf + erfc = {sum} at x = {x}");
+    }
+}
+
+#[test]
+fn normal_quantile_inverts_cdf_over_a_fine_grid() {
+    // Grid over x: quantile(cdf(x)) must recover x.
+    for i in 0..=240 {
+        let x = -6.0 + i as f64 * 0.05;
+        let p = normal_cdf(x);
+        let back = normal_quantile(p);
+        assert!((back - x).abs() <= 1e-8, "quantile(cdf({x})) = {back}");
+    }
+    // Grid over p including deep tails: cdf(quantile(p)) must recover p.
+    let mut ps = vec![1e-12, 1e-9, 1e-6, 1e-4];
+    for i in 1..100 {
+        ps.push(i as f64 / 100.0);
+    }
+    for &p in &ps {
+        for &q in &[p, 1.0 - p] {
+            let x = normal_quantile(q);
+            let back = normal_cdf(x);
+            let rel = ((back - q) / q.min(1.0 - q).max(f64::MIN_POSITIVE)).abs();
+            assert!(
+                rel <= 1e-6,
+                "cdf(quantile({q})) = {back} (rel err {rel:.3e})"
+            );
+        }
+    }
+}
+
+#[test]
+fn normal_cdf_reference_points() {
+    // Φ(0) = 1/2, Φ(1.959964…) ≈ 0.975, Φ(−1.281552…) ≈ 0.10.
+    assert!((normal_cdf(0.0) - 0.5).abs() <= 1e-15);
+    assert!((normal_cdf(1.959963984540054) - 0.975).abs() <= 1e-12);
+    assert!((normal_cdf(-1.2815515655446004) - 0.10).abs() <= 1e-12);
+    // Deep tail with relative accuracy: Φ(−6) = 9.865876450376946e-10.
+    let tail = normal_cdf(-6.0);
+    let want = 9.865876450376946e-10;
+    assert!(((tail - want) / want).abs() <= 1e-10, "Φ(−6) = {tail}");
+}
+
+#[test]
+fn quantile_edges_and_pdf_shape() {
+    assert_eq!(normal_quantile(0.0), f64::NEG_INFINITY);
+    assert_eq!(normal_quantile(1.0), f64::INFINITY);
+    assert!(normal_quantile(f64::NAN).is_nan());
+    assert!((normal_quantile(0.5)).abs() <= 1e-15);
+    // The density is symmetric, peaks at 0 with value 1/sqrt(2π).
+    let peak = 1.0 / (2.0 * std::f64::consts::PI).sqrt();
+    assert!((normal_pdf(0.0) - peak).abs() <= 1e-15);
+    assert_eq!(normal_pdf(1.3), normal_pdf(-1.3));
+}

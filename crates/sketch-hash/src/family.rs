@@ -99,7 +99,9 @@ impl HashFamily {
         assert!(rows > 0, "a hash family needs at least one row");
         assert!(range > 0, "a hash family needs at least one bucket");
         let mut derive = SplitMix64::new(seed);
-        let rows = (0..rows).map(|_| RowHasher::new(derive.next_u64())).collect();
+        let rows = (0..rows)
+            .map(|_| RowHasher::new(derive.next_u64()))
+            .collect();
         Self { rows, range, seed }
     }
 
@@ -139,11 +141,14 @@ impl HashFamily {
     /// row. Allocation free.
     #[inline]
     pub fn locate(&self, key: u64) -> impl Iterator<Item = RowLocation> + '_ {
-        self.rows.iter().enumerate().map(move |(row, hasher)| RowLocation {
-            row,
-            bucket: hasher.bucket(key, self.range),
-            sign: hasher.sign(key),
-        })
+        self.rows
+            .iter()
+            .enumerate()
+            .map(move |(row, hasher)| RowLocation {
+                row,
+                bucket: hasher.bucket(key, self.range),
+                sign: hasher.sign(key),
+            })
     }
 }
 
@@ -186,7 +191,10 @@ mod tests {
             }
         }
         // Random chance of agreement is 1/4096 per key → expect ~1.
-        assert!(identical < 20, "rows look correlated: {identical} agreements");
+        assert!(
+            identical < 20,
+            "rows look correlated: {identical} agreements"
+        );
     }
 
     #[test]
@@ -207,7 +215,10 @@ mod tests {
                 d * d / expected
             })
             .sum();
-        assert!(chi2 < 120.0, "bucket distribution chi-square too high: {chi2}");
+        assert!(
+            chi2 < 120.0,
+            "bucket distribution chi-square too high: {chi2}"
+        );
     }
 
     #[test]
@@ -235,10 +246,13 @@ mod tests {
             let s = usize::from(family.sign(0, key) == 1);
             counts[b][s] += 1;
         }
-        for parity in 0..2 {
-            let total = counts[parity][0] + counts[parity][1];
-            let frac = counts[parity][1] as f64 / total as f64;
-            assert!((frac - 0.5).abs() < 0.02, "sign correlated with bucket parity");
+        for bucket in &counts {
+            let total = bucket[0] + bucket[1];
+            let frac = bucket[1] as f64 / total as f64;
+            assert!(
+                (frac - 0.5).abs() < 0.02,
+                "sign correlated with bucket parity"
+            );
         }
     }
 

@@ -28,7 +28,10 @@ impl MultiplyShiftHash {
     /// # Panics
     /// Panics if `range` is zero or not a power of two.
     pub fn new(range: usize, seed: u64) -> Self {
-        assert!(range.is_power_of_two(), "multiply-shift range must be a power of two");
+        assert!(
+            range.is_power_of_two(),
+            "multiply-shift range must be a power of two"
+        );
         let bits = range.trailing_zeros();
         let mut rng = SplitMix64::new(seed);
         Self {

@@ -57,7 +57,10 @@ fn main() {
         }
     }
     let sigma = sigma_est.sigma().unwrap_or(1.0);
-    println!("pilot phase: sigma estimate = {sigma:.3} from {} updates", sigma_est.count());
+    println!(
+        "pilot phase: sigma estimate = {sigma:.3} from {} updates",
+        sigma_est.count()
+    );
 
     // ------------------------------------------------------------------
     // 3. Configure and run ASCS with a correlation estimand. The memory
@@ -79,8 +82,14 @@ fn main() {
         seed: 1,
         top_k_capacity: 200,
     };
-    let mut estimator = CovarianceEstimator::new(config, SketchBackend::Ascs)
-        .expect("Algorithm 3 could not find hyperparameters");
+    // At this compression ratio Algorithm 3 may be infeasible (the Theorem 2
+    // budget cannot be met); the estimator then falls back to the
+    // fixed-fraction exploration Theorem 3 analyses.
+    let (mut estimator, fell_back) =
+        CovarianceEstimator::new_or_fallback(config, SketchBackend::Ascs);
+    if fell_back {
+        println!("(Algorithm 3 infeasible at this compression; using fixed-fraction exploration)");
+    }
     println!(
         "sketch: K = {}, R = {} ({} floats for {} gene pairs, {:.0}x compression)",
         geometry.rows,
@@ -101,7 +110,10 @@ fn main() {
     let top = estimator.top_pairs(25);
     let mut true_positives = 0;
     println!("\ntop reported co-expression pairs:");
-    println!("{:>8} {:>8} {:>12} {:>12}", "gene A", "gene B", "estimate", "planted rho");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12}",
+        "gene A", "gene B", "estimate", "planted rho"
+    );
     for pair in &top {
         let rho = dataset.true_correlation(pair.a, pair.b);
         if rho > 0.0 {

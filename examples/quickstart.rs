@@ -103,6 +103,10 @@ fn main() {
     let ascs_f1 = results[1].1;
     println!(
         "\nASCS / CS max-F1 ratio at this memory budget: {:.2}",
-        if cs_f1 > 0.0 { ascs_f1 / cs_f1 } else { f64::INFINITY }
+        if cs_f1 > 0.0 {
+            ascs_f1 / cs_f1
+        } else {
+            f64::INFINITY
+        }
     );
 }

@@ -50,7 +50,12 @@ fn main() {
 
     let backends = [
         ("vanilla CS", SketchBackend::VanillaCs),
-        ("ASketch", SketchBackend::AugmentedSketch { filter_capacity: 256 }),
+        (
+            "ASketch",
+            SketchBackend::AugmentedSketch {
+                filter_capacity: 256,
+            },
+        ),
         (
             "Cold Filter",
             SketchBackend::ColdFilter {
@@ -66,8 +71,9 @@ fn main() {
         "backend", "max F1", "top-100 hit rate", "memory (words)"
     );
     for (name, backend) in backends {
-        let mut estimator = CovarianceEstimator::new(base_config, backend)
-            .expect("configuration should be solvable");
+        // `new_or_fallback` covers the aggressive-compression case where
+        // Algorithm 3's Theorem 2 budget is infeasible for ASCS.
+        let (mut estimator, _) = CovarianceEstimator::new_or_fallback(base_config, backend);
         for sample in &samples {
             estimator.process_sample(sample);
         }

@@ -59,8 +59,7 @@ fn main() {
             // At this compression ratio and stream length the strict
             // Theorem 1 target can be infeasible; fall back to the
             // fixed-fraction exploration of Theorem 3 when it is.
-            let (mut estimator, _fell_back) =
-                CovarianceEstimator::new_or_fallback(config, backend);
+            let (mut estimator, _fell_back) = CovarianceEstimator::new_or_fallback(config, backend);
             for sample in &samples {
                 estimator.process_sample(sample);
             }

@@ -80,7 +80,9 @@ pub mod prelude {
         HyperParameters, PairIndexer, ReportedPair, Sample, SketchBackend, SketchGeometry,
         TheoryBounds, ThresholdSchedule, UpdateMode,
     };
-    pub use ascs_count_sketch::{AugmentedSketch, ColdFilter, CountMinSketch, CountSketch, PointSketch, TopKTracker};
+    pub use ascs_count_sketch::{
+        AugmentedSketch, ColdFilter, CountMinSketch, CountSketch, PointSketch, TopKTracker,
+    };
     pub use ascs_datasets::{
         BootstrapResampler, ShuffleBuffer, SimulatedDataset, SimulationSpec, SurrogateDataset,
         SurrogateSpec, TrillionScaleDataset, TrillionSpec,

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the ASCS property suite uses: the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`, range strategies over integers and
+//! floats, tuple strategies, and `proptest::collection::{vec, hash_set}`.
+//! Cases are generated from a deterministic per-test RNG; there is no
+//! shrinking — a failing case panics with the values' `Debug` rendering
+//! where the assertion message includes them.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::{Rng as _, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property with `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The deterministic RNG driving case generation.
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Builds a per-test RNG whose stream depends only on the test name.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// `prop_assert!`-style failure; the test panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// `Just`-style constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, hash_set}`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a target size drawn from
+    /// `size`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates hash sets of distinct elements from `element`; the target
+    /// size is uniform in `size` (best effort when the element domain is
+    /// small).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.gen_range(self.size.clone());
+            let mut out = HashSet::with_capacity(target);
+            // Cap attempts so a small element domain cannot spin forever.
+            for _ in 0..(target * 100 + 100) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Runs one property body over `config.cases` accepted cases. Used by the
+/// [`proptest!`] macro; not public API in real proptest.
+pub fn run_property<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::deterministic(test_name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = u64::from(config.cases) * 100 + 1_000;
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "property `{test_name}`: too many rejected cases \
+             ({accepted}/{} accepted after {attempts} attempts)",
+            config.cases
+        );
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{test_name}` failed: {msg}")
+            }
+        }
+    }
+}
+
+/// Declares property tests, mirroring proptest's macro of the same name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+
+    /// `prop::...` paths as re-exported by the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}

@@ -1,0 +1,409 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes the ASCS workspace actually uses — non-generic structs with named
+//! fields, tuple structs, and enums with unit / tuple / struct variants —
+//! generating impls of the simplified `serde::Serialize` /
+//! `serde::Deserialize` traits of the vendored `serde` stand-in. Enums use
+//! real serde's externally-tagged representation. No `syn`/`quote`: the item
+//! is parsed directly from the token stream.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// The parsed shape of the derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips attributes (`#[...]`, including expanded doc comments) and
+/// visibility modifiers starting at `i`; returns the new position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a field-list token stream into top-level comma-separated chunks,
+/// tracking angle-bracket depth so commas inside generics don't split.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts the field names from the body of a braces-delimited field list.
+fn named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(tokens) {
+        let i = skip_attrs_and_vis(&chunk, 0);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("generic types are not supported by the vendored serde derive".into());
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Struct {
+                    name,
+                    fields: named_fields(&body)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: split_top_level(&body).len(),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => {
+            let group = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            let body: Vec<TokenTree> = group.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            for chunk in split_top_level(&body) {
+                let mut j = skip_attrs_and_vis(&chunk, 0);
+                let vname = match chunk.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected variant name, found {other:?}")),
+                };
+                j += 1;
+                let kind = match chunk.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let vbody: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Struct(named_fields(&vbody)?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let vbody: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Tuple(split_top_level(&vbody).len())
+                    }
+                    None => VariantKind::Unit,
+                    other => return Err(format!("unsupported variant body: {other:?}")),
+                };
+                variants.push(Variant { name: vname, kind });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![\n"
+            ));
+            for f in fields {
+                out.push_str(&format!(
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            out.push_str("])\n}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\nfn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            if *arity == 1 {
+                out.push_str("::serde::Serialize::to_value(&self.0)\n");
+            } else {
+                out.push_str("::serde::Value::Array(::std::vec![");
+                for idx in 0..*arity {
+                    out.push_str(&format!("::serde::Serialize::to_value(&self.{idx}),"));
+                }
+                out.push_str("])\n");
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\nfn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\nfn to_value(&self) -> ::serde::Value {{\nmatch self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        out.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let inner = if *arity == 1 {
+                            format!("::serde::Serialize::to_value({})", binds[0])
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                        };
+                        out.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), {inner})]),\n",
+                            binds.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            fields.join(","),
+                            entries.join(",")
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let entries = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object\"))?;\n\
+                 ::std::result::Result::Ok(Self {{\n"
+            ));
+            for f in fields {
+                out.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::obj_get(entries, {f:?})?)?,\n"
+                ));
+            }
+            out.push_str("})\n}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            if *arity == 1 {
+                out.push_str(&format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n"
+                ));
+            } else {
+                out.push_str(
+                    "let items = v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array\"))?;\n",
+                );
+                out.push_str(&format!(
+                    "if items.len() != {arity} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong tuple arity\")); }}\n"
+                ));
+                let parts: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                out.push_str(&format!(
+                    "::std::result::Result::Ok({name}({}))\n",
+                    parts.join(",")
+                ));
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name})\n}}\n}}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if let ::std::option::Option::Some(s) = v.as_str() {{\nreturn match s {{\n"
+            ));
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    out.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}};\n}}\n"
+            ));
+            out.push_str(
+                "let entries = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected variant object\"))?;\n\
+                 let (tag, inner) = entries.first().ok_or_else(|| ::serde::DeError::new(\"empty variant object\"))?;\n\
+                 match tag.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        out.push_str(&format!(
+                            "{vn:?} => {{ let _ = inner; ::std::result::Result::Ok({name}::{vn}) }}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        if *arity == 1 {
+                            out.push_str(&format!(
+                                "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                            ));
+                        } else {
+                            let parts: Vec<String> = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            out.push_str(&format!(
+                                "{vn:?} => {{\n\
+                                 let items = inner.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array\"))?;\n\
+                                 if items.len() != {arity} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong variant arity\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                                parts.join(",")
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let parts: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::obj_get(fields, {f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let fields = inner.as_object().ok_or_else(|| ::serde::DeError::new(\"expected variant fields\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}}\n",
+                            parts.join(",")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
