@@ -15,12 +15,17 @@
 //!
 //! The sketch also keeps a bounded [`TopKTracker`] of the largest estimates
 //! seen, so the top pairs can be reported after one pass even when the item
-//! universe is far too large to enumerate.
+//! universe is far too large to enumerate; [`AscsSketch::without_tracking`]
+//! disables it for ingestion benchmarks that never read the top pairs.
+//!
+//! The ingestion hot path is **fused**: one hashing round per offered
+//! update, shared by the gate read, the insertion and the post-insert
+//! estimate (see [`AscsSketch::offer`]).
 
 use crate::config::SketchGeometry;
 use crate::hyper::HyperParameters;
 use crate::schedule::ThresholdSchedule;
-use ascs_count_sketch::{CountSketch, TopKTracker};
+use ascs_count_sketch::{median_in_place, CountSketch, TopKTracker, MAX_ROWS};
 use serde::{Deserialize, Serialize};
 
 /// Which phase of Algorithm 2 the sketch is in at a given stream time.
@@ -42,6 +47,19 @@ pub struct OfferOutcome {
     pub phase: AscsPhase,
 }
 
+/// The per-sample invariants of the sampling gate: the phase at stream time
+/// `t` and the threshold `τ(t − 1)` in force. Both depend only on `t`, so a
+/// caller expanding one sample into `O(d²)` pair updates computes the gate
+/// **once** via [`AscsSketch::sample_gate`] and reuses it for every update
+/// of that sample instead of re-deriving phase and threshold per pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleGate {
+    /// Phase at the gate's stream time.
+    pub phase: AscsPhase,
+    /// Threshold `τ(t − 1)` (meaningful during sampling; `τ0` otherwise).
+    pub tau: f64,
+}
+
 /// Active Sampling Count Sketch (Algorithm 2 of the paper).
 #[derive(Debug, Clone)]
 pub struct AscsSketch {
@@ -56,6 +74,16 @@ pub struct AscsSketch {
     /// using the absolute value also recovers strongly *negative*
     /// covariances, so it is the default.
     absolute_gate: bool,
+    /// Precomputed `1 / T` so the per-update scaling is a multiply, not a
+    /// division, on the hot path.
+    inv_total: f64,
+    /// Whether the top-k tracker is fed at all (benchmarks that only
+    /// measure raw ingestion disable it — for a vanilla-CS run it is pure
+    /// overhead when the top pairs are never read). Tracking covers *every*
+    /// insert, exploration included: on sparse streams a pair's
+    /// co-observations can be concentrated in the exploration window, and
+    /// skipping it there would silently drop such pairs from the report.
+    tracking_enabled: bool,
     inserted: u64,
     skipped: u64,
 }
@@ -82,6 +110,8 @@ impl AscsSketch {
             total: total_samples,
             tracker: TopKTracker::new(top_k_capacity),
             absolute_gate: true,
+            inv_total: 1.0 / total_samples as f64,
+            tracking_enabled: true,
             inserted: 0,
             skipped: 0,
         }
@@ -111,6 +141,25 @@ impl AscsSketch {
     pub fn with_signed_gate(mut self) -> Self {
         self.absolute_gate = false;
         self
+    }
+
+    /// Disables the top-k tracker entirely. [`AscsSketch::top_pairs`] will
+    /// return nothing; use this for ingestion benchmarks (and vanilla-CS
+    /// runs that never read the top pairs), where feeding the tracker is
+    /// pure overhead.
+    pub fn without_tracking(mut self) -> Self {
+        self.tracking_enabled = false;
+        self
+    }
+
+    /// Whether the gate compares `|μ̂|` (the default) or the signed `μ̂`.
+    pub fn absolute_gate(&self) -> bool {
+        self.absolute_gate
+    }
+
+    /// Capacity of the top-k tracker.
+    pub fn top_k_capacity(&self) -> usize {
+        self.tracker.capacity()
     }
 
     /// Exploration length `T0`.
@@ -152,6 +201,18 @@ impl AscsSketch {
         &self.sketch
     }
 
+    /// The per-sample gate invariants at stream time `t` (1-based). Callers
+    /// expanding one sample into many pair updates compute this once and
+    /// pass it to [`AscsSketch::offer_gated`] for every update of the
+    /// sample.
+    pub fn sample_gate(&self, t: u64) -> SampleGate {
+        let phase = self.phase(t);
+        SampleGate {
+            phase,
+            tau: self.schedule.tau(t.saturating_sub(1)),
+        }
+    }
+
     /// Offers the update `x = X_i^{(t)}` for item `key` at stream time `t`
     /// (1-based). Returns whether it was ingested.
     ///
@@ -164,19 +225,133 @@ impl AscsSketch {
     /// On dense streams `τ(t)·T` exceeds any single `|x|` within a few
     /// samples of `T0`, so the paper's original rule takes over almost
     /// immediately.
+    ///
+    /// The implementation follows a **hash-once, read-once** discipline:
+    /// the key is hashed a single time into stack-allocated row locations,
+    /// the gate reads the per-row values once, and the post-insert estimate
+    /// fed to the top-k tracker is derived *algebraically* from those same
+    /// reads (`new_row_est = old_row_est + w`, since `s² = 1`; the shift by
+    /// a common `w` also preserves the sort order, so the fresh median
+    /// falls out of the already-sorted gate values) — no second hashing
+    /// round, no second table traversal, no second sort. Accept decisions
+    /// and table contents match the pre-fusion
+    /// [`AscsSketch::offer_reference`] bit for bit whenever `T` is a power
+    /// of two (see there for the single rounding caveat).
     pub fn offer(&mut self, key: u64, x: f64, t: u64) -> OfferOutcome {
+        let gate = self.sample_gate(t);
+        self.offer_gated(key, x, gate)
+    }
+
+    /// [`AscsSketch::offer`] with the per-sample invariants precomputed via
+    /// [`AscsSketch::sample_gate`] — the form the `O(d²)` pair-update loop
+    /// of a sample expansion uses.
+    #[inline]
+    pub fn offer_gated(&mut self, key: u64, x: f64, gate: SampleGate) -> OfferOutcome {
+        if self.sketch.rows() > MAX_ROWS {
+            // Degenerate geometries beyond the stack buffer take the
+            // unfused (but still correct) path.
+            return self.offer_unfused(key, x, gate);
+        }
+        let w = x * self.inv_total;
+        let track = self.tracking_enabled;
+        match gate.phase {
+            AscsPhase::Exploration if !track => {
+                // Nothing reads the table: a plain single-hash insert.
+                self.sketch.update(key, w);
+                self.inserted += 1;
+            }
+            AscsPhase::Exploration => {
+                let locs = self.sketch.locate(key);
+                let mut rows = [0.0f64; MAX_ROWS];
+                let n = self.sketch.row_values_at(&locs, &mut rows);
+                self.sketch.update_at(&locs, w);
+                self.inserted += 1;
+                // Post-insert row estimates follow algebraically from the
+                // reads: (W[e,b] + w·s)·s = W[e,b]·s + w since s² = 1.
+                for v in rows.iter_mut().take(n) {
+                    *v += w;
+                }
+                let fresh = median_in_place(&mut rows[..n]);
+                self.track_offer(key, fresh);
+            }
+            AscsPhase::Sampling => {
+                let locs = self.sketch.locate(key);
+                let mut rows = [0.0f64; MAX_ROWS];
+                let n = self.sketch.row_values_at(&locs, &mut rows);
+                let estimate = median_in_place(&mut rows[..n]);
+                let posterior = estimate + w;
+                let accept = if self.absolute_gate {
+                    estimate.abs() >= gate.tau || posterior.abs() >= gate.tau
+                } else {
+                    estimate >= gate.tau || posterior >= gate.tau
+                };
+                if !accept {
+                    self.skipped += 1;
+                    return OfferOutcome {
+                        inserted: false,
+                        phase: gate.phase,
+                    };
+                }
+                self.sketch.update_at(&locs, w);
+                self.inserted += 1;
+                if track {
+                    // The insert adds the *same* `w` to every row estimate
+                    // (s² = 1), a monotone shift that commutes with the
+                    // median — so for odd K the fresh median is just the
+                    // gate median shifted: no second table traversal, no
+                    // second median reduction. (Even K averages the two
+                    // middle values, where the shift does not commute
+                    // bit-exactly; re-reduce the shifted values there.)
+                    let fresh = if n % 2 == 1 {
+                        estimate + w
+                    } else {
+                        for v in rows.iter_mut().take(n) {
+                            *v += w;
+                        }
+                        median_in_place(&mut rows[..n])
+                    };
+                    self.track_offer(key, fresh);
+                }
+            }
+        }
+        OfferOutcome {
+            inserted: true,
+            phase: gate.phase,
+        }
+    }
+
+    /// Feeds the tracker with a freshly derived estimate.
+    #[inline]
+    fn track_offer(&mut self, key: u64, fresh: f64) {
+        self.tracker.offer(
+            key,
+            if self.absolute_gate {
+                fresh.abs()
+            } else {
+                fresh
+            },
+        );
+    }
+
+    /// The **pre-fusion** offer path, kept verbatim as the baseline the
+    /// throughput harness measures speedups against: three table passes per
+    /// accepted update (estimate → update → estimate), the `1/T` scaling as
+    /// a per-update division, phase and `τ(t − 1)` re-derived per update,
+    /// and the top-k tracker fed on *every* insert with a full fresh
+    /// point query.
+    ///
+    /// The accept decisions, the resulting sketch **table** and the tracker
+    /// contents match [`AscsSketch::offer`] exactly whenever `T` is a power
+    /// of two (then `x / T` and `x · (1/T)` round identically). The one
+    /// concession to the present codebase is
+    /// [`AscsSketch::without_tracking`], which this path honours so
+    /// tracker-free variants measure like for like.
+    pub fn offer_reference(&mut self, key: u64, x: f64, t: u64) -> OfferOutcome {
         let phase = self.phase(t);
         let accept = match phase {
             AscsPhase::Exploration => true,
             AscsPhase::Sampling => {
                 let estimate = self.sketch.estimate(key);
-                // Gate on the would-be estimate including the offered update.
-                // On dense streams this matches Algorithm 2 line 11 almost
-                // immediately (τ(t)·T exceeds any single |x| within a few
-                // samples of T0); on sparse streams — where a pair's first
-                // co-observation may arrive only after exploration — it lets
-                // one strong update establish the pair instead of rejecting
-                // every never-seen pair forever.
                 let posterior = estimate + x / self.total as f64;
                 let tau = self.schedule.tau(t - 1);
                 if self.absolute_gate {
@@ -189,23 +364,46 @@ impl AscsSketch {
         if accept {
             self.sketch.update(key, x / self.total as f64);
             self.inserted += 1;
-            // Track the fresh estimate so the top pairs can be reported
-            // without a second enumeration pass.
-            let fresh = self.sketch.estimate(key);
-            self.tracker.offer(
-                key,
-                if self.absolute_gate {
-                    fresh.abs()
-                } else {
-                    fresh
-                },
-            );
+            if self.tracking_enabled {
+                let fresh = self.sketch.estimate(key);
+                self.track_offer(key, fresh);
+            }
         } else {
             self.skipped += 1;
         }
         OfferOutcome {
             inserted: accept,
             phase,
+        }
+    }
+
+    fn offer_unfused(&mut self, key: u64, x: f64, gate: SampleGate) -> OfferOutcome {
+        let w = x * self.inv_total;
+        let accept = match gate.phase {
+            AscsPhase::Exploration => true,
+            AscsPhase::Sampling => {
+                let estimate = self.sketch.estimate(key);
+                let posterior = estimate + w;
+                if self.absolute_gate {
+                    estimate.abs() >= gate.tau || posterior.abs() >= gate.tau
+                } else {
+                    estimate >= gate.tau || posterior >= gate.tau
+                }
+            }
+        };
+        if accept {
+            self.sketch.update(key, w);
+            self.inserted += 1;
+            if self.tracking_enabled {
+                let fresh = self.sketch.estimate(key);
+                self.track_offer(key, fresh);
+            }
+        } else {
+            self.skipped += 1;
+        }
+        OfferOutcome {
+            inserted: accept,
+            phase: gate.phase,
         }
     }
 
@@ -374,5 +572,98 @@ mod tests {
     fn memory_words_reports_sketch_table() {
         let a = small_ascs(10, 100);
         assert_eq!(a.memory_words(), 5 * 512);
+    }
+
+    /// With a power-of-two stream length (`x / T` and `x · (1/T)` round
+    /// identically) the fused offer and the pre-fusion reference must make
+    /// the same accept decisions, build bit-identical tables and retain the
+    /// same tracker contents.
+    #[test]
+    fn fused_offer_matches_reference_bit_for_bit() {
+        let build = || {
+            AscsSketch::new(
+                SketchGeometry::new(5, 128),
+                &hyper(20, 0.4, 1e-3),
+                256,
+                16,
+                13,
+            )
+        };
+        let mut fused = build();
+        let mut reference = build();
+        for t in 1..=256u64 {
+            for key in 0..12u64 {
+                let x = ((key as f64) - 4.0) * 0.3 * (1.0 + (t % 7) as f64 * 0.1);
+                let a = fused.offer(key, x, t);
+                let b = reference.offer_reference(key, x, t);
+                assert_eq!(a, b, "outcome diverged at t={t}, key={key}");
+            }
+        }
+        let fa = fused.sketch().table();
+        let fb = reference.sketch().table();
+        assert!(
+            fa.iter().zip(fb).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "sketch tables diverged"
+        );
+        assert_eq!(fused.inserted_updates(), reference.inserted_updates());
+        assert_eq!(fused.skipped_updates(), reference.skipped_updates());
+        assert_eq!(fused.top_pairs(), reference.top_pairs());
+    }
+
+    #[test]
+    fn oversized_row_count_falls_back_to_the_unfused_path() {
+        let geometry = SketchGeometry::new(17, 64); // beyond MAX_ROWS
+        let mut a = AscsSketch::new(geometry, &hyper(5, 0.3, 1e-3), 50, 8, 3);
+        for t in 1..=50 {
+            a.offer(7, 1.0, t);
+        }
+        assert!((a.estimate(7) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn without_tracking_reports_no_top_pairs() {
+        let mut a = small_ascs(10, 100).without_tracking();
+        for t in 1..=100 {
+            a.offer(1, 1.0, t);
+        }
+        assert!(a.top_pairs().is_empty());
+        assert_eq!(a.inserted_updates(), 100);
+        assert!((a.estimate(1) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exploration_inserts_are_tracked_on_gated_runs() {
+        // On sparse streams a pair's co-observations can be confined to the
+        // exploration window; it must still surface in the report.
+        let mut a = small_ascs(10, 100);
+        for t in 1..=10 {
+            a.offer(5, 1.0, t); // exploration only
+        }
+        let top = a.top_pairs();
+        assert_eq!(top.len(), 1, "exploration-only pair was dropped");
+        assert_eq!(top[0].0, 5);
+    }
+
+    #[test]
+    fn vanilla_runs_track_throughout() {
+        let mut a = AscsSketch::vanilla(SketchGeometry::new(5, 512), 50, 8, 2);
+        for t in 1..=50 {
+            a.offer(3, 0.5, t);
+        }
+        let top = a.top_pairs();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, 3);
+    }
+
+    #[test]
+    fn sample_gate_reflects_phase_and_threshold() {
+        let a = small_ascs(10, 100);
+        let g = a.sample_gate(5);
+        assert_eq!(g.phase, AscsPhase::Exploration);
+        let g = a.sample_gate(50);
+        assert_eq!(g.phase, AscsPhase::Sampling);
+        assert_eq!(g.tau, a.schedule().tau(49));
+        assert_eq!(a.top_k_capacity(), 16);
+        assert!(a.absolute_gate());
     }
 }

@@ -11,6 +11,7 @@ use crate::ascs::AscsSketch;
 use crate::config::AscsConfig;
 use crate::hyper::{HyperParameterSolver, HyperParameters, SolveError};
 use crate::pair::PairIndexer;
+use crate::sharded::{ShardUpdate, ShardedAscs};
 use crate::snr::SnrProbe;
 use crate::stream::{Sample, StreamContext};
 use crate::theory::TheoryBounds;
@@ -22,6 +23,14 @@ use serde::{Deserialize, Serialize};
 pub enum SketchBackend {
     /// Active Sampling Count Sketch (the paper's contribution).
     Ascs,
+    /// ASCS sharded across `shards` key-partitioned worker sketches that
+    /// ingest on parallel OS threads and answer queries as if merged (see
+    /// [`ShardedAscs`]). Note: the per-update SNR probe is not supported on
+    /// this backend (ingestion is deferred to a per-sample batch).
+    ShardedAscs {
+        /// Number of worker shards (each owns a full-geometry sketch).
+        shards: usize,
+    },
     /// Vanilla count sketch (Algorithm 1) — the primary baseline.
     VanillaCs,
     /// Augmented Sketch baseline (Roy et al. 2016) with the given filter
@@ -56,6 +65,12 @@ pub struct ReportedPair {
 
 enum BackendState {
     Ascs(AscsSketch),
+    Sharded {
+        sketch: ShardedAscs,
+        /// Per-sample update batch, flushed through
+        /// [`ShardedAscs::offer_batch`] at the end of each sample.
+        pending: Vec<ShardUpdate>,
+    },
     Asketch {
         sketch: AugmentedSketch,
         tracker: TopKTracker,
@@ -70,32 +85,16 @@ impl BackendState {
     fn estimate(&self, key: u64) -> f64 {
         match self {
             Self::Ascs(a) => a.estimate(key),
+            Self::Sharded { sketch, .. } => sketch.estimate(key),
             Self::Asketch { sketch, .. } => sketch.estimate(key),
             Self::Cold { sketch, .. } => sketch.estimate(key),
-        }
-    }
-
-    /// Routes one scaled-by-`1/T` update; returns whether it was ingested by
-    /// the main structure (ASCS may skip it, the baselines never do).
-    fn offer(&mut self, key: u64, raw_value: f64, t: u64, total: u64) -> bool {
-        match self {
-            Self::Ascs(a) => a.offer(key, raw_value, t).inserted,
-            Self::Asketch { sketch, tracker } => {
-                sketch.update(key, raw_value / total as f64);
-                tracker.offer(key, sketch.estimate(key).abs());
-                true
-            }
-            Self::Cold { sketch, tracker } => {
-                sketch.update(key, raw_value / total as f64);
-                tracker.offer(key, sketch.estimate(key).abs());
-                true
-            }
         }
     }
 
     fn top_pairs(&self) -> Vec<(u64, f64)> {
         match self {
             Self::Ascs(a) => a.top_pairs(),
+            Self::Sharded { sketch, .. } => sketch.top_pairs(),
             Self::Asketch { tracker, .. } | Self::Cold { tracker, .. } => tracker.descending(),
         }
     }
@@ -103,6 +102,7 @@ impl BackendState {
     fn memory_words(&self) -> usize {
         match self {
             Self::Ascs(a) => a.memory_words(),
+            Self::Sharded { sketch, .. } => sketch.memory_words(),
             Self::Asketch { sketch, .. } => sketch.memory_words(),
             Self::Cold { sketch, .. } => sketch.memory_words(),
         }
@@ -130,7 +130,7 @@ impl CovarianceEstimator {
             .validate()
             .unwrap_or_else(|e| panic!("invalid ASCS configuration: {e}"));
         let hyper = match backend {
-            SketchBackend::Ascs => {
+            SketchBackend::Ascs | SketchBackend::ShardedAscs { .. } => {
                 let bounds = TheoryBounds::new(
                     config.num_pairs(),
                     config.geometry.range,
@@ -159,7 +159,7 @@ impl CovarianceEstimator {
             .validate()
             .unwrap_or_else(|e| panic!("invalid ASCS configuration: {e}"));
         let (hyper, fell_back) = match backend {
-            SketchBackend::Ascs => {
+            SketchBackend::Ascs | SketchBackend::ShardedAscs { .. } => {
                 let bounds = TheoryBounds::new(
                     config.num_pairs(),
                     config.geometry.range,
@@ -201,6 +201,20 @@ impl CovarianceEstimator {
                     config.top_k_capacity,
                     config.seed,
                 ))
+            }
+            SketchBackend::ShardedAscs { shards } => {
+                let hp = hyper.expect("sharded ASCS backend requires hyperparameters");
+                BackendState::Sharded {
+                    sketch: ShardedAscs::new(
+                        config.geometry,
+                        &hp,
+                        config.total_samples,
+                        config.top_k_capacity,
+                        config.seed,
+                        shards,
+                    ),
+                    pending: Vec::new(),
+                }
             }
             SketchBackend::VanillaCs => BackendState::Ascs(AscsSketch::vanilla(
                 config.geometry,
@@ -245,7 +259,19 @@ impl CovarianceEstimator {
 
     /// Attaches an SNR probe that knows the ground-truth signal keys
     /// (Figure 5 instrumentation).
+    ///
+    /// # Panics
+    /// Panics on the [`SketchBackend::ShardedAscs`] backend: sharded
+    /// ingestion defers updates to a per-sample batch, so per-update
+    /// insertion outcomes are not observable and the probe would silently
+    /// record nothing — a meaningless (all-zero) SNR series. Probe a
+    /// sequential backend instead.
     pub fn with_snr_probe(mut self, signal_keys: impl IntoIterator<Item = u64>) -> Self {
+        assert!(
+            !matches!(self.backend_kind, SketchBackend::ShardedAscs { .. }),
+            "the SNR probe is not supported on the sharded backend \
+             (per-update insertion outcomes are batched away)"
+        );
         self.probe = Some(SnrProbe::new(signal_keys));
         self
     }
@@ -290,6 +316,9 @@ impl CovarianceEstimator {
     pub fn update_counts(&self) -> (u64, u64) {
         match &self.backend {
             BackendState::Ascs(a) => (a.inserted_updates(), a.skipped_updates()),
+            BackendState::Sharded { sketch, .. } => {
+                (sketch.inserted_updates(), sketch.skipped_updates())
+            }
             BackendState::Asketch { sketch, .. } => (sketch.sketch().update_count(), 0),
             BackendState::Cold { sketch, .. } => {
                 (sketch.promoted_updates() + sketch.cold_updates(), 0)
@@ -298,23 +327,60 @@ impl CovarianceEstimator {
     }
 
     /// Processes one sample; returns the number of pair updates it emitted.
+    ///
+    /// The per-sample invariants — the sampling gate (`τ(t−1)`, phase) and
+    /// the `1/T` scaling — are hoisted out of the `O(d²)` pair-update loop:
+    /// they depend only on `t`, so they are computed once here rather than
+    /// once per emitted pair.
     pub fn process_sample(&mut self, sample: &Sample) -> u64 {
         self.t += 1;
         let t = self.t;
-        let total = self.config.total_samples;
+        let inv_total = 1.0 / self.config.total_samples as f64;
+        let gate = match &self.backend {
+            BackendState::Ascs(a) => Some(a.sample_gate(t)),
+            _ => None,
+        };
         let backend = &mut self.backend;
         let probe = &mut self.probe;
         if let Some(p) = probe.as_mut() {
             p.begin_sample();
         }
         let emitted = self.ctx.ingest(sample, |update| {
-            let inserted = backend.offer(update.key, update.value, t, total);
+            let inserted = match backend {
+                BackendState::Ascs(a) => {
+                    a.offer_gated(update.key, update.value, gate.expect("gate set for ASCS"))
+                        .inserted
+                }
+                BackendState::Sharded { pending, .. } => {
+                    // Deferred: the batch is flushed (in parallel) below.
+                    pending.push(ShardUpdate {
+                        key: update.key,
+                        value: update.value,
+                        t,
+                    });
+                    false
+                }
+                BackendState::Asketch { sketch, tracker } => {
+                    sketch.update(update.key, update.value * inv_total);
+                    tracker.offer(update.key, sketch.estimate(update.key).abs());
+                    true
+                }
+                BackendState::Cold { sketch, tracker } => {
+                    sketch.update(update.key, update.value * inv_total);
+                    tracker.offer(update.key, sketch.estimate(update.key).abs());
+                    true
+                }
+            };
             if inserted {
                 if let Some(p) = probe.as_mut() {
                     p.record_inserted(update.key, update.value);
                 }
             }
         });
+        if let BackendState::Sharded { sketch, pending } = &mut self.backend {
+            sketch.offer_batch(pending);
+            pending.clear();
+        }
         if let Some(p) = probe.as_mut() {
             p.end_sample();
         }
@@ -507,6 +573,45 @@ mod tests {
             assert!(!top.is_empty());
             assert_eq!((top[0].a, top[0].b), (0, 1), "{backend:?}: {top:?}");
         }
+    }
+
+    #[test]
+    fn sharded_backend_recovers_the_signal_like_sequential_ascs() {
+        let dim = 30u64;
+        let n = 1200usize;
+        let samples = correlated_stream(dim as usize, n, 0.95, 7);
+        let cfg = config(dim, n as u64, 4000);
+        let mut seq = CovarianceEstimator::new(cfg, SketchBackend::Ascs).unwrap();
+        let mut sharded =
+            CovarianceEstimator::new(cfg, SketchBackend::ShardedAscs { shards: 3 }).unwrap();
+        for s in &samples {
+            seq.process_sample(s);
+            sharded.process_sample(s);
+        }
+        let top = sharded.top_pairs(5);
+        assert!(!top.is_empty());
+        assert_eq!((top[0].a, top[0].b), (0, 1), "sharded missed the signal");
+        // Both gates see the same signal stream; the estimates of the
+        // planted pair should be close (shard-local gating differs only in
+        // collision noise visibility).
+        let delta = (seq.estimate_pair(0, 1) - sharded.estimate_pair(0, 1)).abs();
+        assert!(
+            delta < 0.05,
+            "sequential vs sharded estimate drifted: {delta}"
+        );
+        let (inserted, skipped) = sharded.update_counts();
+        assert!(inserted > 0);
+        assert!(skipped > 0, "sharded gate never engaged");
+        assert_eq!(sharded.memory_words(), 3 * 5 * 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported on the sharded backend")]
+    fn snr_probe_rejects_the_sharded_backend() {
+        let cfg = config(20, 100, 500);
+        let _ = CovarianceEstimator::new(cfg, SketchBackend::ShardedAscs { shards: 2 })
+            .unwrap()
+            .with_snr_probe([0]);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! * [`theory`] — closed-form probability bounds of Theorems 1–3;
 //! * [`hyper`] — Algorithm 3: choosing the exploration length `T0` and the
 //!   threshold slope `θ` from the bounds;
-//! * [`ascs`] — the sketch itself (Algorithm 2);
+//! * [`ascs`] — the sketch itself (Algorithm 2), with a fused hash-once
+//!   ingestion hot path;
+//! * [`sharded`] — key-partitioned parallel ingestion across `std::thread`
+//!   workers, merged via the count sketch's linearity;
 //! * [`estimator`] — a high-level one-pass covariance estimator that can be
 //!   backed by ASCS, vanilla CS, ASketch or Cold Filter (used by every
 //!   experiment);
@@ -39,16 +42,18 @@ pub mod estimator;
 pub mod hyper;
 pub mod pair;
 pub mod schedule;
+pub mod sharded;
 pub mod snr;
 pub mod stream;
 pub mod theory;
 
-pub use ascs::{AscsPhase, AscsSketch};
+pub use ascs::{AscsPhase, AscsSketch, OfferOutcome, SampleGate};
 pub use config::{AscsConfig, EstimandKind, SketchGeometry, UpdateMode};
 pub use estimator::{CovarianceEstimator, ReportedPair, SketchBackend};
 pub use hyper::{HyperParameterSolver, HyperParameters, SignalModel};
 pub use pair::{num_pairs, pair_from_index, pair_to_index, PairIndexer};
 pub use schedule::ThresholdSchedule;
+pub use sharded::{ShardUpdate, ShardedAscs};
 pub use snr::SnrProbe;
 pub use stream::{PairUpdate, Sample, StreamContext};
 pub use theory::TheoryBounds;

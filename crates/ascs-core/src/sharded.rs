@@ -1,0 +1,415 @@
+//! Sharded parallel ingestion: N worker [`AscsSketch`]es partitioned by
+//! key, merged via the count sketch's linearity.
+//!
+//! A count sketch is a linear function of its update stream, so a stream
+//! partitioned **by key** across `N` workers and merged at the end produces
+//! *exactly* the table a single sequential sketch would have built (the
+//! per-bucket sums are the same numbers, reassociated). [`ShardedAscs`]
+//! exploits this to scale the single hottest path of the system — trillion
+//! scale pair-update ingestion — across OS threads with `std::thread`
+//! scoped workers and no cross-thread synchronisation on the per-update
+//! path: each worker owns its sketch outright and simply skips updates that
+//! are not its own.
+//!
+//! For gated (ASCS) runs each worker applies the sampling gate against its
+//! **shard-local** estimate. Keys are disjoint across shards, so a key's
+//! own mass is fully visible to its worker; what a worker does not see is
+//! the *collision noise* contributed by other shards' keys, which makes the
+//! shard-local gate slightly **cleaner** than the sequential one (fewer
+//! noise-inflated accepts). When no cross-key bucket collisions occur the
+//! gate decisions — and therefore the merged estimates — are identical to
+//! sequential ingestion; the equivalence tests pin both properties down.
+
+use crate::ascs::{AscsSketch, SampleGate};
+use crate::config::SketchGeometry;
+use crate::hyper::HyperParameters;
+use ascs_count_sketch::{median_in_place, CountSketch, MAX_ROWS};
+use ascs_sketch_hash::splitmix64;
+
+/// One pair update routed through the sharded ingestion layer: the linear
+/// pair key, the raw update value `x` (not yet scaled by `1/T`) and the
+/// 1-based stream time `t` it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardUpdate {
+    /// Linear pair key (the sketch item identifier).
+    pub key: u64,
+    /// Raw update value `X_i^{(t)}`.
+    pub value: f64,
+    /// 1-based stream time of the sample the update came from.
+    pub t: u64,
+}
+
+/// Salt decorrelating the shard router from the sketch hash family, so that
+/// shard assignment never aligns with bucket assignment.
+const ROUTER_SALT: u64 = 0x9E6C_63D4_7D5F_B1A3;
+
+/// Batch size below which [`ShardedAscs::offer_batch`] stays on the calling
+/// thread — spawning workers for a handful of updates costs more than the
+/// updates themselves.
+const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
+
+#[inline]
+fn shard_for(key: u64, salt: u64, shards: usize) -> usize {
+    if shards == 1 {
+        0
+    } else {
+        (splitmix64(key ^ salt) % shards as u64) as usize
+    }
+}
+
+/// `N` key-partitioned [`AscsSketch`] workers that ingest in parallel and
+/// answer queries as if their tables had been merged.
+#[derive(Debug, Clone)]
+pub struct ShardedAscs {
+    workers: Vec<AscsSketch>,
+    router_salt: u64,
+    parallel_threshold: usize,
+    /// Reusable per-shard staging buffers for [`ShardedAscs::offer_batch`]:
+    /// the batch is routed **once** on the calling thread, then each worker
+    /// consumes only its own slice — no per-worker rescans of the batch.
+    scratch: Vec<Vec<ShardUpdate>>,
+}
+
+impl ShardedAscs {
+    /// Creates `shards` gated workers sharing one `(geometry, seed)` so
+    /// their tables are mergeable, with the same hyperparameters and stream
+    /// length a sequential [`AscsSketch::new`] would get.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or the arguments would make
+    /// [`AscsSketch::new`] panic.
+    pub fn new(
+        geometry: SketchGeometry,
+        hyper: &HyperParameters,
+        total_samples: u64,
+        top_k_capacity: usize,
+        seed: u64,
+        shards: usize,
+    ) -> Self {
+        assert!(shards > 0, "sharded ingestion needs at least one shard");
+        let workers = (0..shards)
+            .map(|_| AscsSketch::new(geometry, hyper, total_samples, top_k_capacity, seed))
+            .collect();
+        Self {
+            workers,
+            router_salt: splitmix64(seed ^ ROUTER_SALT),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            scratch: vec![Vec::new(); shards],
+        }
+    }
+
+    /// Creates `shards` vanilla (always-ingest) workers — the parallel
+    /// counterpart of [`AscsSketch::vanilla`]. Because no gate is involved,
+    /// the merged table is exactly the sequential table regardless of
+    /// collisions.
+    pub fn vanilla(
+        geometry: SketchGeometry,
+        total_samples: u64,
+        top_k_capacity: usize,
+        seed: u64,
+        shards: usize,
+    ) -> Self {
+        assert!(shards > 0, "sharded ingestion needs at least one shard");
+        let workers = (0..shards)
+            .map(|_| AscsSketch::vanilla(geometry, total_samples, top_k_capacity, seed))
+            .collect();
+        Self {
+            workers,
+            router_salt: splitmix64(seed ^ ROUTER_SALT),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            scratch: vec![Vec::new(); shards],
+        }
+    }
+
+    /// Overrides the batch size below which ingestion stays single
+    /// threaded (tests use this to force the parallel path).
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold.max(1);
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The worker sketches (read-only; shard `i` owns the keys
+    /// [`ShardedAscs::shard_of`] maps to `i`).
+    pub fn workers(&self) -> &[AscsSketch] {
+        &self.workers
+    }
+
+    /// The shard owning `key`.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_for(key, self.router_salt, self.workers.len())
+    }
+
+    /// Routes a single update to its owning shard on the calling thread.
+    pub fn offer(&mut self, key: u64, x: f64, t: u64) {
+        let shard = self.shard_of(key);
+        self.workers[shard].offer(key, x, t);
+    }
+
+    /// Ingests a batch of updates, fanning out across one scoped OS thread
+    /// per shard when the batch is large enough to amortise the spawns.
+    ///
+    /// The batch is routed once on the calling thread into per-shard
+    /// staging buffers; each worker then consumes only its own buffer. The
+    /// routing preserves batch order within a shard, so the result is
+    /// deterministic and independent of both the thread schedule and how
+    /// the stream was cut into batches.
+    pub fn offer_batch(&mut self, batch: &[ShardUpdate]) {
+        let shards = self.workers.len();
+        if shards == 1 || batch.len() < self.parallel_threshold {
+            for u in batch {
+                let shard = shard_for(u.key, self.router_salt, shards);
+                self.workers[shard].offer(u.key, u.value, u.t);
+            }
+            return;
+        }
+        for buf in &mut self.scratch {
+            buf.clear();
+        }
+        for u in batch {
+            self.scratch[shard_for(u.key, self.router_salt, shards)].push(*u);
+        }
+        std::thread::scope(|scope| {
+            for (worker, own) in self.workers.iter_mut().zip(self.scratch.iter()) {
+                scope.spawn(move || {
+                    // Consecutive updates overwhelmingly share a stream
+                    // time, so the per-sample gate invariants are computed
+                    // once per distinct `t`, not once per update.
+                    let mut gate_t = u64::MAX;
+                    let mut gate: Option<SampleGate> = None;
+                    for u in own {
+                        if gate_t != u.t {
+                            gate = Some(worker.sample_gate(u.t));
+                            gate_t = u.t;
+                        }
+                        worker.offer_gated(u.key, u.value, gate.expect("gate set above"));
+                    }
+                });
+            }
+        });
+    }
+
+    /// Merged point query: per row, the bucket contents of **all** workers
+    /// are summed before the sign flip and median — exactly the estimate a
+    /// materialised [`ShardedAscs::merged_sketch`] would return, at
+    /// `O(shards · K)` cost instead of `O(shards · K · R)`.
+    ///
+    /// Degenerate geometries beyond [`MAX_ROWS`] rows (which the sequential
+    /// sketch handles via its unfused fallback) take the materialised-merge
+    /// path here, trading `O(shards · K · R)` per query for the same
+    /// answer.
+    pub fn estimate(&self, key: u64) -> f64 {
+        if self.workers[0].sketch().rows() > MAX_ROWS {
+            return self.merged_sketch().estimate(key);
+        }
+        let locs = self.workers[0].sketch().locate(key);
+        let mut rows = [0.0f64; MAX_ROWS];
+        let n = locs.len();
+        for (row, (bucket, sign)) in locs.iter().enumerate() {
+            let mut sum = 0.0;
+            for worker in &self.workers {
+                sum += worker.sketch().raw_bucket(row, bucket);
+            }
+            rows[row] = sum * sign;
+        }
+        median_in_place(&mut rows[..n])
+    }
+
+    /// Materialises the merged count sketch (the sum of all worker tables),
+    /// for callers that need whole-table access.
+    pub fn merged_sketch(&self) -> CountSketch {
+        let mut merged = self.workers[0].sketch().clone();
+        for worker in &self.workers[1..] {
+            merged.merge(worker.sketch());
+        }
+        merged
+    }
+
+    /// The top tracked pairs across all shards, re-scored against the
+    /// merged tables so the reported estimates match what
+    /// [`ShardedAscs::estimate`] would answer. Keys are disjoint across
+    /// shards, so the union needs no deduplication.
+    pub fn top_pairs(&self) -> Vec<(u64, f64)> {
+        let absolute = self.workers[0].absolute_gate();
+        let capacity = self.workers[0].top_k_capacity();
+        let mut merged: Vec<(u64, f64)> = Vec::new();
+        for worker in &self.workers {
+            for (key, _) in worker.top_pairs() {
+                let est = self.estimate(key);
+                merged.push((key, if absolute { est.abs() } else { est }));
+            }
+        }
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(capacity);
+        merged
+    }
+
+    /// Total updates inserted across all shards.
+    pub fn inserted_updates(&self) -> u64 {
+        self.workers.iter().map(AscsSketch::inserted_updates).sum()
+    }
+
+    /// Total updates skipped by the shard-local gates.
+    pub fn skipped_updates(&self) -> u64 {
+        self.workers.iter().map(AscsSketch::skipped_updates).sum()
+    }
+
+    /// Total sketch memory across all shards, in float-equivalent words.
+    pub fn memory_words(&self) -> usize {
+        self.workers.iter().map(AscsSketch::memory_words).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hyper(t0: u64, theta: f64, tau0: f64) -> HyperParameters {
+        HyperParameters {
+            t0,
+            theta,
+            tau0,
+            delta: 0.05,
+            delta_star: 0.2,
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_all_shards() {
+        let s = ShardedAscs::vanilla(SketchGeometry::new(3, 64), 100, 8, 5, 4);
+        let mut seen = [false; 4];
+        for key in 0..256u64 {
+            let shard = s.shard_of(key);
+            assert!(shard < 4);
+            assert_eq!(shard, s.shard_of(key));
+            seen[shard] = true;
+        }
+        assert!(
+            seen.iter().all(|&b| b),
+            "a shard received no keys: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn single_shard_is_the_sequential_sketch() {
+        let geometry = SketchGeometry::new(5, 128);
+        let hp = hyper(10, 0.3, 1e-3);
+        let mut seq = AscsSketch::new(geometry, &hp, 100, 8, 7);
+        let mut sharded = ShardedAscs::new(geometry, &hp, 100, 8, 7, 1);
+        for t in 1..=100u64 {
+            for key in 0..10u64 {
+                let x = (key as f64 - 4.0) * 0.2;
+                seq.offer(key, x, t);
+                sharded.offer(key, x, t);
+            }
+        }
+        for key in 0..10u64 {
+            assert_eq!(seq.estimate(key), sharded.estimate(key));
+        }
+        assert_eq!(seq.inserted_updates(), sharded.inserted_updates());
+        assert_eq!(seq.skipped_updates(), sharded.skipped_updates());
+    }
+
+    #[test]
+    fn batch_ingestion_is_independent_of_batch_boundaries() {
+        let geometry = SketchGeometry::new(5, 256);
+        let build = || {
+            ShardedAscs::new(geometry, &hyper(8, 0.2, 1e-3), 64, 16, 3, 4)
+                .with_parallel_threshold(1)
+        };
+        let mut updates = Vec::new();
+        for t in 1..=64u64 {
+            for key in 0..20u64 {
+                updates.push(ShardUpdate {
+                    key,
+                    value: ((key + t) % 7) as f64 * 0.25 - 0.75,
+                    t,
+                });
+            }
+        }
+        let mut whole = build();
+        whole.offer_batch(&updates);
+        let mut chunked = build();
+        for chunk in updates.chunks(77) {
+            chunked.offer_batch(chunk);
+        }
+        for key in 0..20u64 {
+            assert_eq!(whole.estimate(key), chunked.estimate(key));
+        }
+        assert_eq!(whole.inserted_updates(), chunked.inserted_updates());
+    }
+
+    #[test]
+    fn merged_sketch_agrees_with_cross_shard_estimates() {
+        let geometry = SketchGeometry::new(5, 64);
+        let mut s = ShardedAscs::vanilla(geometry, 32, 16, 11, 3).with_parallel_threshold(1);
+        let updates: Vec<ShardUpdate> = (1..=32u64)
+            .flat_map(|t| {
+                (0..30u64).map(move |key| ShardUpdate {
+                    key,
+                    value: ((key * t) % 5) as f64 * 0.5 - 1.0,
+                    t,
+                })
+            })
+            .collect();
+        s.offer_batch(&updates);
+        let merged = s.merged_sketch();
+        for key in 0..30u64 {
+            assert_eq!(s.estimate(key), merged.estimate(key));
+        }
+        assert_eq!(merged.update_count(), s.inserted_updates());
+    }
+
+    #[test]
+    fn top_pairs_surface_strong_keys_across_shards() {
+        let geometry = SketchGeometry::new(5, 1024);
+        let mut s = ShardedAscs::new(geometry, &hyper(10, 0.2, 1e-3), 100, 8, 9, 4);
+        // Two strong keys that (with overwhelming probability) land in
+        // different shards among 4, plus background weak keys.
+        for t in 1..=100u64 {
+            s.offer(1, 1.0, t);
+            s.offer(2, 0.9, t);
+            if t % 10 == 0 {
+                s.offer(77, 0.01, t);
+            }
+        }
+        let top = s.top_pairs();
+        assert!(top.len() >= 2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 2);
+        assert!((top[0].1 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn memory_words_scales_with_shards() {
+        let s = ShardedAscs::vanilla(SketchGeometry::new(4, 100), 10, 4, 1, 3);
+        assert_eq!(s.memory_words(), 3 * 4 * 100);
+        assert_eq!(s.shards(), 3);
+        assert_eq!(s.workers().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedAscs::vanilla(SketchGeometry::new(2, 16), 10, 4, 1, 0);
+    }
+
+    #[test]
+    fn oversized_row_count_works_end_to_end() {
+        // Beyond MAX_ROWS both ingestion (per-worker unfused fallback) and
+        // queries (materialised merge) must still work, matching the
+        // sequential sketch's fallback contract.
+        let geometry = SketchGeometry::new(MAX_ROWS + 1, 64);
+        let mut s = ShardedAscs::new(geometry, &hyper(5, 0.3, 1e-3), 50, 8, 3, 2);
+        for t in 1..=50 {
+            s.offer(7, 1.0, t);
+        }
+        assert!((s.estimate(7) - 1.0).abs() < 0.05);
+        assert_eq!(s.top_pairs()[0].0, 7);
+    }
+}

@@ -70,11 +70,15 @@ fn main() {
             "compression p/(K*R)",
             "CS",
             "ASCS",
+            "ASCS (4 shards)",
         ],
     );
 
     for (name, dataset) in &workloads {
         let p = dataset.num_pairs();
+        // Generate the stream once per workload, in parallel, instead of
+        // regenerating it per backend/budget.
+        let samples = dataset.samples_par(total as usize, 4);
         // Sweep three budgets spanning ~10^5x down to ~10^3x compression.
         let budgets = [
             (p / 200_000).max(500) as usize,
@@ -102,10 +106,14 @@ fn main() {
                 top_k_capacity: top_k,
             };
             let mut row_means = Vec::new();
-            for backend in [SketchBackend::VanillaCs, SketchBackend::Ascs] {
+            for backend in [
+                SketchBackend::VanillaCs,
+                SketchBackend::Ascs,
+                SketchBackend::ShardedAscs { shards: 4 },
+            ] {
                 let (mut estimator, _) = CovarianceEstimator::new_or_fallback(config, backend);
-                for i in 0..total {
-                    estimator.process_sample(&dataset.sample_at(i));
+                for sample in &samples {
+                    estimator.process_sample(sample);
                 }
                 let reported: Vec<(u64, u64)> = estimator
                     .top_pairs(top_k)
@@ -126,6 +134,7 @@ fn main() {
                 (p as f64 / (geometry.words() as f64)).into(),
                 row_means[0].into(),
                 row_means[1].into(),
+                row_means[2].into(),
             ]);
         }
     }
@@ -134,6 +143,9 @@ fn main() {
     println!(
         "Expected shape (paper Table 2): at the tightest budget CS reports mostly collision noise \
          (low mean correlation) while ASCS keeps reporting near-1.0 pairs; at the largest budget \
-         both succeed. ASCS reaches a given quality with roughly an order of magnitude less memory."
+         both succeed. ASCS reaches a given quality with roughly an order of magnitude less memory. \
+         The sharded column ingests the same stream across 4 key-partitioned workers (each gating \
+         against a shard-local — hence slightly cleaner — estimate) and should match or exceed \
+         sequential ASCS."
     );
 }

@@ -1,0 +1,455 @@
+//! Ingestion throughput harness: updates/sec for the fused hash-once hot
+//! path vs the pre-PR ingestion path, and shard behaviour of the parallel
+//! ingestion layer.
+//!
+//! Workload: the dense simulation of Sections 6.2/7.3 — every sample of a
+//! `d`-feature Gaussian stream expands into `d(d−1)/2` pair updates, which
+//! is exactly the regime where per-update sketch work dominates. The stream
+//! is expanded into a flat update vector **once**, so every measured number
+//! is pure sketch-ingestion time.
+//!
+//! The `*_baseline` variants run [`PrePrAscs`], a verbatim replica of the
+//! ingestion path as it existed before the fused-offer change: three table
+//! passes per accepted update (estimate → update → estimate), `1/T` applied
+//! as a per-update division, phase and `τ(t−1)` re-derived per update, and
+//! a SipHash-backed top-k tracker fed a full fresh point query on every
+//! insert. The unsuffixed variants run today's fused
+//! [`AscsSketch::offer_gated`] path. Stream lengths are powers of two so
+//! `x / T` and `x · (1/T)` round identically and the harness can assert the
+//! two paths build **bit-identical sketch tables** before reporting any
+//! number.
+//!
+//! Results are printed as a table and written to `BENCH_ingest.json` at the
+//! repository root so future changes have a perf trajectory to compare
+//! against. `--smoke` shrinks the workload for CI.
+//!
+//! Note on shard scaling: sharding distributes ingestion across OS threads,
+//! so its wall-clock benefit requires multiple hardware threads. The JSON
+//! records `available_parallelism` — on a single-CPU machine the sharded
+//! rows measure the (small) coordination overhead, not the scaling.
+
+use ascs_core::{
+    AscsSketch, EstimandKind, HyperParameters, SampleGate, ShardUpdate, ShardedAscs,
+    SketchGeometry, StreamContext, ThresholdSchedule, UpdateMode,
+};
+use ascs_count_sketch::CountSketch;
+use ascs_datasets::{SimulatedDataset, SimulationSpec};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Where the JSON trajectory lands: the repository root, independent of the
+/// invocation directory.
+const OUTPUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+
+// ---------------------------------------------------------------------------
+// Pre-PR replica: the ingestion path exactly as the seed had it.
+// ---------------------------------------------------------------------------
+
+/// The seed's median reduction: an insertion sort (the branchless median
+/// networks are part of the post-PR fast path and must not leak into the
+/// baseline).
+fn pre_pr_median(rows: &mut [f64]) -> f64 {
+    for i in 1..rows.len() {
+        let mut j = i;
+        while j > 0 && rows[j - 1] > rows[j] {
+            rows.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    let n = rows.len();
+    if n % 2 == 1 {
+        rows[n / 2]
+    } else {
+        0.5 * (rows[n / 2 - 1] + rows[n / 2])
+    }
+}
+
+/// The seed's point query: per-row hash + signed read, insertion-sort
+/// median. (`CountSketch::row_estimate` is unchanged since the seed, so the
+/// hashing and reads are the genuine pre-PR article.)
+fn pre_pr_estimate(cs: &CountSketch, key: u64) -> f64 {
+    let mut buf = [0.0f64; 16];
+    let rows = cs.rows();
+    for (row, slot) in buf.iter_mut().enumerate().take(rows) {
+        *slot = cs.row_estimate(row, key);
+    }
+    pre_pr_median(&mut buf[..rows])
+}
+
+/// The seed's `TopKTracker`: a SipHash `HashMap` (std default hasher) with
+/// the admission-bar fast path.
+struct PrePrTracker {
+    capacity: usize,
+    entries: HashMap<u64, f64>,
+    admission_bar: f64,
+}
+
+impl PrePrTracker {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+            admission_bar: f64::NEG_INFINITY,
+        }
+    }
+
+    fn offer(&mut self, key: u64, estimate: f64) {
+        if estimate.is_nan() {
+            return;
+        }
+        if self.entries.len() >= self.capacity
+            && estimate < self.admission_bar
+            && !self.entries.contains_key(&key)
+        {
+            return;
+        }
+        self.entries.insert(key, estimate);
+        if self.entries.len() > self.capacity {
+            if let Some((&evict_key, _)) = self.entries.iter().min_by(|a, b| a.1.total_cmp(b.1)) {
+                self.entries.remove(&evict_key);
+            }
+            self.admission_bar = self.entries.values().copied().fold(f64::INFINITY, f64::min);
+        }
+    }
+}
+
+/// The seed's `AscsSketch::offer`, reproduced verbatim: this is the
+/// pre-PR baseline every speedup in `BENCH_ingest.json` is measured
+/// against. Gate decisions and table contents match the fused path bit for
+/// bit when `T` is a power of two; only the tracker policy differs (the
+/// seed fed it on every insert).
+struct PrePrAscs {
+    sketch: CountSketch,
+    schedule: ThresholdSchedule,
+    t0: u64,
+    total: u64,
+    tracker: PrePrTracker,
+    inserted: u64,
+    skipped: u64,
+}
+
+impl PrePrAscs {
+    fn new(
+        geometry: SketchGeometry,
+        hyper: &HyperParameters,
+        total: u64,
+        top_k_capacity: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            sketch: CountSketch::new(geometry.rows, geometry.range, seed),
+            schedule: ThresholdSchedule::linear(hyper.tau0, hyper.theta, hyper.t0, total),
+            t0: hyper.t0,
+            total,
+            tracker: PrePrTracker::new(top_k_capacity),
+            inserted: 0,
+            skipped: 0,
+        }
+    }
+
+    fn offer(&mut self, key: u64, x: f64, t: u64) {
+        let exploration = t <= self.t0;
+        let accept = if exploration {
+            true
+        } else {
+            let estimate = pre_pr_estimate(&self.sketch, key);
+            let posterior = estimate + x / self.total as f64;
+            let tau = self.schedule.tau(t - 1);
+            estimate.abs() >= tau || posterior.abs() >= tau
+        };
+        if accept {
+            self.sketch.update(key, x / self.total as f64);
+            self.inserted += 1;
+            let fresh = pre_pr_estimate(&self.sketch, key);
+            self.tracker.offer(key, fresh.abs());
+        } else {
+            self.skipped += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+struct Measurement {
+    name: &'static str,
+    updates: usize,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn updates_per_sec(&self) -> f64 {
+        self.updates as f64 / self.seconds
+    }
+}
+
+fn hyper_gated(total: u64) -> HyperParameters {
+    HyperParameters {
+        t0: (total / 10).max(1),
+        theta: 0.2,
+        tau0: 1e-4,
+        delta: 0.05,
+        delta_star: 0.20,
+    }
+}
+
+fn hyper_vanilla(total: u64) -> HyperParameters {
+    HyperParameters {
+        t0: total,
+        theta: 0.0,
+        tau0: 0.0,
+        delta: 0.05,
+        delta_star: 0.20,
+    }
+}
+
+/// Runs `ingest` against fresh state `reps` times and returns the best
+/// wall-clock seconds (best-of-N suppresses scheduler noise) plus the final
+/// run's state for correctness checks.
+fn time_best<S>(
+    reps: usize,
+    mut fresh: impl FnMut() -> S,
+    mut ingest: impl FnMut(&mut S),
+) -> (f64, S) {
+    let mut best = f64::INFINITY;
+    let mut state = fresh();
+    for _ in 0..reps {
+        state = fresh();
+        let start = Instant::now();
+        ingest(&mut state);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, state)
+}
+
+/// The estimator-style hot loop: gate invariants recomputed only when the
+/// stream time changes, fused offer per update.
+fn ingest_fused(sketch: &mut AscsSketch, updates: &[ShardUpdate]) {
+    let mut gate_t = u64::MAX;
+    let mut gate: Option<SampleGate> = None;
+    for u in updates {
+        if u.t != gate_t {
+            gate = Some(sketch.sample_gate(u.t));
+            gate_t = u.t;
+        }
+        sketch.offer_gated(u.key, u.value, gate.expect("gate set above"));
+    }
+}
+
+fn ingest_baseline(sketch: &mut PrePrAscs, updates: &[ShardUpdate]) {
+    for u in updates {
+        sketch.offer(u.key, u.value, u.t);
+    }
+}
+
+fn assert_tables_identical(fused: &AscsSketch, baseline: &CountSketch, what: &str) {
+    let ta = fused.sketch().table();
+    let tb = baseline.table();
+    assert!(
+        ta.iter().zip(tb).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "{what}: fused and baseline sketch tables diverged"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Stream lengths are powers of two so the baseline's `x / T` and the
+    // fused path's `x · (1/T)` round identically and the cross-checks can
+    // demand bit-identical tables.
+    let (dim, n_samples, range, reps) = if smoke {
+        (60u64, 64usize, 4096usize, 2usize)
+    } else {
+        (160u64, 256usize, 16384usize, 7usize)
+    };
+    let geometry = SketchGeometry::new(5, range);
+    let total = n_samples as u64;
+    let top_k = 64usize;
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    eprintln!("generating dense simulation workload (d = {dim}, T = {n_samples})...");
+    let dataset = SimulatedDataset::new(SimulationSpec::smoke(dim, 11));
+    let samples = dataset.samples_par(0, n_samples, 4);
+
+    // Expand the stream once; every measurement below is pure ingestion.
+    let mut ctx = StreamContext::new(dim, UpdateMode::Product, EstimandKind::Covariance);
+    let mut updates: Vec<ShardUpdate> = Vec::new();
+    for (i, sample) in samples.iter().enumerate() {
+        let t = i as u64 + 1;
+        ctx.ingest(sample, |u| {
+            updates.push(ShardUpdate {
+                key: u.key,
+                value: u.value,
+                t,
+            });
+        });
+    }
+    let count = updates.len();
+    eprintln!("expanded into {count} pair updates");
+
+    let gated = hyper_gated(total);
+    let vanilla = hyper_vanilla(total);
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut push = |name: &'static str, seconds: f64| {
+        results.push(Measurement {
+            name,
+            updates: count,
+            seconds,
+        });
+    };
+
+    // --- raw sketch write path (tracker disabled) — no pre-PR counterpart,
+    // reported for the ingestion-floor trajectory.
+    let (secs, _) = time_best(
+        reps,
+        || AscsSketch::vanilla(geometry, total, top_k, 42).without_tracking(),
+        |s| ingest_fused(s, &updates),
+    );
+    push("cs_ingest_only", secs);
+
+    // --- vanilla CS (every update accepted, tracker fed).
+    let (secs, fused_state) = time_best(
+        reps,
+        || AscsSketch::vanilla(geometry, total, top_k, 42),
+        |s| ingest_fused(s, &updates),
+    );
+    push("vanilla_cs", secs);
+    let (secs, base_state) = time_best(
+        reps,
+        || PrePrAscs::new(geometry, &vanilla, total, top_k, 42),
+        |s| ingest_baseline(s, &updates),
+    );
+    push("vanilla_cs_baseline", secs);
+    assert_tables_identical(&fused_state, &base_state.sketch, "vanilla_cs");
+
+    // --- ASCS gated: the paper's algorithm, the single hottest path.
+    let (secs, fused_state) = time_best(
+        reps,
+        || AscsSketch::new(geometry, &gated, total, top_k, 42),
+        |s| ingest_fused(s, &updates),
+    );
+    push("ascs_gated", secs);
+    let gated_fused_ups = count as f64 / secs;
+    let (secs, base_state) = time_best(
+        reps,
+        || PrePrAscs::new(geometry, &gated, total, top_k, 42),
+        |s| ingest_baseline(s, &updates),
+    );
+    push("ascs_gated_baseline", secs);
+    let gated_baseline_ups = count as f64 / secs;
+    assert_tables_identical(&fused_state, &base_state.sketch, "ascs_gated");
+    assert_eq!(
+        (
+            fused_state.inserted_updates(),
+            fused_state.skipped_updates()
+        ),
+        (base_state.inserted, base_state.skipped),
+        "ascs_gated: gate decisions diverged"
+    );
+    let (inserted, skipped) = (
+        fused_state.inserted_updates(),
+        fused_state.skipped_updates(),
+    );
+    eprintln!("gate engagement: {inserted} inserted, {skipped} skipped");
+
+    // --- sharded gated ingestion at 1/2/4 shards, batched per chunk.
+    let chunk = 65_536usize;
+    let mut shard_results: Vec<(usize, f64)> = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let fresh = || ShardedAscs::new(geometry, &gated, total, top_k, 42, shards);
+        let (secs, state) = time_best(reps, fresh, |s| {
+            for c in updates.chunks(chunk) {
+                s.offer_batch(c);
+            }
+        });
+        // The sharded layer must have routed every update somewhere.
+        assert_eq!(
+            state.inserted_updates() + state.skipped_updates(),
+            count as u64
+        );
+        if shards == 1 {
+            // A single shard is sequential gated ingestion: identical table.
+            assert_tables_identical(&fused_state, state.workers()[0].sketch(), "sharded_1");
+        }
+        let name: &'static str = match shards {
+            1 => "sharded_1",
+            2 => "sharded_2",
+            _ => "sharded_4",
+        };
+        push(name, secs);
+        shard_results.push((shards, count as f64 / secs));
+    }
+
+    // --- report.
+    println!(
+        "\nworkload: dense simulation, d = {dim}, T = {n_samples}, K×R = 5×{range}, \
+         {count} updates, {parallelism} hardware thread(s)"
+    );
+    println!("{:<24} {:>12} {:>16}", "variant", "seconds", "updates/sec");
+    for m in &results {
+        println!(
+            "{:<24} {:>12.4} {:>16.0}",
+            m.name,
+            m.seconds,
+            m.updates_per_sec()
+        );
+    }
+    let speedup = gated_fused_ups / gated_baseline_ups;
+    println!(
+        "\nheadline (ascs_gated): pre-PR {gated_baseline_ups:.0} → fused {gated_fused_ups:.0} \
+         updates/sec ({speedup:.2}x single-thread)"
+    );
+    let base_shard = shard_results[0].1;
+    for &(shards, ups) in &shard_results[1..] {
+        println!(
+            "shard scaling: {shards} shards → {ups:.0} updates/sec ({:.2}x over 1 shard, \
+             {parallelism} hardware thread(s) available)",
+            ups / base_shard
+        );
+    }
+
+    // --- JSON trajectory (hand-rolled: the vendored serde stand-in does
+    // not need to grow a serializer for this one file).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"name\": \"dense_simulation\", \"dim\": {dim}, \"samples\": {n_samples}, \"rows\": 5, \"range\": {range}, \"updates\": {count}, \"smoke\": {smoke}, \"available_parallelism\": {parallelism}}},"
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"updates_per_sec\": {:.0}}}{comma}",
+            m.name,
+            m.seconds,
+            m.updates_per_sec()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"workload\": \"ascs_gated dense-simulation\", \"baseline_updates_per_sec\": {:.0}, \"fused_updates_per_sec\": {:.0}, \"speedup\": {:.3}}},",
+        gated_baseline_ups, gated_fused_ups, speedup
+    );
+    let shard_json: Vec<String> = shard_results
+        .iter()
+        .map(|(s, ups)| format!("\"{s}\": {ups:.0}"))
+        .collect();
+    let _ = writeln!(
+        json,
+        "  \"shard_scaling_updates_per_sec\": {{{}}}",
+        shard_json.join(", ")
+    );
+    let _ = writeln!(json, "}}");
+    match std::fs::write(OUTPUT_PATH, &json) {
+        Ok(()) => eprintln!("(wrote {OUTPUT_PATH})"),
+        Err(e) => eprintln!("warning: could not write {OUTPUT_PATH}: {e}"),
+    }
+
+    if speedup < 1.5 {
+        eprintln!("warning: fused speedup {speedup:.2}x below the 1.5x target on this machine/run");
+    }
+}

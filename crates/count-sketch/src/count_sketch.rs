@@ -1,7 +1,7 @@
 //! The Count Sketch data structure (Charikar, Chen, Farach-Colton 2002).
 
 use crate::PointSketch;
-use ascs_sketch_hash::HashFamily;
+use ascs_sketch_hash::{HashFamily, RowLocations, MAX_ROWS};
 
 /// A count sketch `W ∈ R^{K×R}`.
 ///
@@ -91,7 +91,7 @@ impl CountSketch {
 
     /// Resets all buckets to zero (keeps the hash family).
     pub fn clear(&mut self) {
-        self.table.iter_mut().for_each(|v| *v = 0.0);
+        self.table.fill(0.0);
         self.updates = 0;
     }
 
@@ -107,23 +107,81 @@ impl CountSketch {
         self.updates += 1;
     }
 
+    /// Hashes `key` once, producing the per-row locations that
+    /// [`CountSketch::estimate_at`], [`CountSketch::row_values_at`] and
+    /// [`CountSketch::update_at`] reuse. This is the entry point of the
+    /// hash-once ingestion discipline: a gate read, an insertion and a
+    /// post-insert estimate can all share one hashing round.
+    ///
+    /// # Panics
+    /// Panics if the sketch has more than [`MAX_ROWS`] rows.
+    #[inline]
+    pub fn locate(&self, key: u64) -> RowLocations {
+        self.family.locate_all(key)
+    }
+
+    /// Reads the signed per-row estimates at precomputed locations into
+    /// `buf` (no hashing); returns the number of rows written. Each entry is
+    /// `W[e, h_e(i)] · s_e(i)`, the quantity the median in
+    /// [`CountSketch::estimate`] is taken over.
+    #[inline]
+    pub fn row_values_at(&self, locs: &RowLocations, buf: &mut [f64; MAX_ROWS]) -> usize {
+        let mask = locs.sign_mask();
+        let mut base = 0usize;
+        for ((row, slot), &bucket) in buf.iter_mut().enumerate().zip(locs.buckets()) {
+            let sign = ascs_sketch_hash::sign_from_bit(u64::from(mask >> row) & 1);
+            *slot = self.table[base + bucket as usize] * sign;
+            base += self.range;
+        }
+        locs.len()
+    }
+
+    /// Point query at precomputed locations (no hashing). Identical to
+    /// [`CountSketch::estimate`] of the key the locations were derived from.
+    #[inline]
+    pub fn estimate_at(&self, locs: &RowLocations) -> f64 {
+        let mut buf = [0.0f64; MAX_ROWS];
+        let n = self.row_values_at(locs, &mut buf);
+        median_in_place(&mut buf[..n])
+    }
+
+    /// Adds `weight` at precomputed locations (no hashing). Identical to
+    /// [`CountSketch::update`] of the key the locations were derived from.
+    #[inline]
+    pub fn update_at(&mut self, locs: &RowLocations, weight: f64) {
+        let mask = locs.sign_mask();
+        let mut base = 0usize;
+        for (row, &bucket) in locs.buckets().iter().enumerate() {
+            let sign = ascs_sketch_hash::sign_from_bit(u64::from(mask >> row) & 1);
+            self.table[base + bucket as usize] += weight * sign;
+            base += self.range;
+        }
+        self.updates += 1;
+    }
+
+    /// Raw (unsigned) content of one bucket. Used by the sharded ingestion
+    /// layer to form merged estimates without materialising a merged table.
+    #[inline]
+    pub fn raw_bucket(&self, row: usize, bucket: usize) -> f64 {
+        self.table[row * self.range + bucket]
+    }
+
     /// Point query: median across rows of the signed bucket contents.
     #[inline]
     pub fn estimate(&self, key: u64) -> f64 {
         // K is small (≤ ~10); use a fixed-capacity buffer on the stack for
         // the common case and fall back to a Vec otherwise.
-        const STACK_ROWS: usize = 16;
-        if self.rows <= STACK_ROWS {
-            let mut buf = [0.0f64; STACK_ROWS];
+        if self.rows <= MAX_ROWS {
+            let mut buf = [0.0f64; MAX_ROWS];
             for (row, slot) in buf.iter_mut().enumerate().take(self.rows) {
                 *slot = self.row_estimate(row, key);
             }
-            ascs_numerics_median(&mut buf[..self.rows])
+            median_in_place(&mut buf[..self.rows])
         } else {
             let mut buf: Vec<f64> = (0..self.rows)
                 .map(|row| self.row_estimate(row, key))
                 .collect();
-            ascs_numerics_median(&mut buf)
+            median_in_place(&mut buf)
         }
     }
 
@@ -175,23 +233,55 @@ impl PointSketch for CountSketch {
     }
 }
 
-/// Median of a small mutable slice (insertion sort; K ≤ 16 in practice).
+/// Median of a small mutable slice (may permute the slice arbitrarily).
+///
+/// Shared by [`CountSketch::estimate`] and the fused/sharded ingestion
+/// paths, which derive post-insert row estimates algebraically and need the
+/// *same* median reduction to stay value-identical with a fresh point
+/// query.
+///
+/// The common row counts (`K = 3, 5`) take **branchless** median networks
+/// built from `f64::min`/`f64::max` (which compile to `minsd`/`maxsd`):
+/// on random row values an insertion sort mispredicts roughly every other
+/// compare and costs several times the entire hashing round, so this is
+/// one of the larger wins on the per-update path. Other lengths fall back
+/// to insertion sort.
 #[inline]
-fn ascs_numerics_median(rows: &mut [f64]) -> f64 {
+pub fn median_in_place(rows: &mut [f64]) -> f64 {
     debug_assert!(!rows.is_empty());
-    for i in 1..rows.len() {
-        let mut j = i;
-        while j > 0 && rows[j - 1] > rows[j] {
-            rows.swap(j - 1, j);
-            j -= 1;
+    match rows.len() {
+        1 => rows[0],
+        3 => median3(rows[0], rows[1], rows[2]),
+        5 => {
+            // Classic 4-discard network: drop the smallest of the pair
+            // minima and the largest of the pair maxima, then take the
+            // median of the three survivors.
+            let lo = f64::max(f64::min(rows[0], rows[1]), f64::min(rows[2], rows[3]));
+            let hi = f64::min(f64::max(rows[0], rows[1]), f64::max(rows[2], rows[3]));
+            median3(rows[4], lo, hi)
+        }
+        _ => {
+            for i in 1..rows.len() {
+                let mut j = i;
+                while j > 0 && rows[j - 1] > rows[j] {
+                    rows.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+            let n = rows.len();
+            if n % 2 == 1 {
+                rows[n / 2]
+            } else {
+                0.5 * (rows[n / 2 - 1] + rows[n / 2])
+            }
         }
     }
-    let n = rows.len();
-    if n % 2 == 1 {
-        rows[n / 2]
-    } else {
-        0.5 * (rows[n / 2 - 1] + rows[n / 2])
-    }
+}
+
+/// Branchless median of three.
+#[inline]
+fn median3(x: f64, y: f64, z: f64) -> f64 {
+    f64::max(f64::min(x, y), f64::min(f64::max(x, y), z))
 }
 
 #[cfg(test)]
@@ -354,6 +444,48 @@ mod tests {
     fn memory_words_matches_table_size() {
         let cs = CountSketch::new(7, 33, 8);
         assert_eq!(cs.memory_words(), 7 * 33);
+    }
+
+    #[test]
+    fn fused_location_apis_match_keyed_apis_bit_for_bit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut keyed = CountSketch::new(5, 257, 17);
+        let mut fused = CountSketch::new(5, 257, 17);
+        for _ in 0..2000 {
+            let key = rng.gen::<u64>() % 400;
+            let w = rng.gen_range(-2.0..2.0);
+            keyed.update(key, w);
+            let locs = fused.locate(key);
+            fused.update_at(&locs, w);
+            assert_eq!(
+                keyed.estimate(key).to_bits(),
+                fused.estimate_at(&locs).to_bits(),
+                "fused estimate diverged for key {key}"
+            );
+        }
+        assert_eq!(keyed.table(), fused.table());
+        assert_eq!(keyed.update_count(), fused.update_count());
+    }
+
+    #[test]
+    fn row_values_at_exposes_the_median_inputs() {
+        let mut cs = CountSketch::new(5, 64, 3);
+        for key in 0..200u64 {
+            cs.update(key, (key % 5) as f64 - 2.0);
+        }
+        let locs = cs.locate(42);
+        let mut buf = [0.0f64; ascs_sketch_hash::MAX_ROWS];
+        let n = cs.row_values_at(&locs, &mut buf);
+        assert_eq!(n, 5);
+        for (row, value) in buf[..n].iter().enumerate() {
+            assert_eq!(*value, cs.row_estimate(row, 42));
+            assert_eq!(
+                cs.raw_bucket(row, locs.bucket(row)) * locs.sign(row),
+                *value
+            );
+        }
+        let mut sorted = buf;
+        assert_eq!(median_in_place(&mut sorted[..n]), cs.estimate(42));
     }
 
     #[test]

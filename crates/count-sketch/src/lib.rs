@@ -34,8 +34,12 @@ pub mod topk;
 pub use asketch::AugmentedSketch;
 pub use cold_filter::ColdFilter;
 pub use count_min::CountMinSketch;
-pub use count_sketch::CountSketch;
+pub use count_sketch::{median_in_place, CountSketch};
 pub use topk::TopKTracker;
+
+// Re-exported so sketch consumers can use the fused location APIs without
+// depending on the hash crate directly.
+pub use ascs_sketch_hash::{RowLocations, MAX_ROWS};
 
 /// Common interface of sketches that ingest `(item, weight)` updates and
 /// answer point queries, letting the evaluation harness treat CS, ASketch

@@ -28,6 +28,6 @@ pub mod surrogate;
 pub mod trillion;
 
 pub use simulation::{SimulatedDataset, SimulationSpec};
-pub use stream_util::{BootstrapResampler, ShuffleBuffer};
+pub use stream_util::{generate_samples_parallel, BootstrapResampler, ShuffleBuffer};
 pub use surrogate::{SurrogateDataset, SurrogateSpec};
 pub use trillion::{TrillionScaleDataset, TrillionSpec};

@@ -219,6 +219,15 @@ impl SimulatedDataset {
         out
     }
 
+    /// Like [`SimulatedDataset::samples`], generated on up to `threads` OS
+    /// threads. Samples derive per-index RNGs, so the result is identical
+    /// to the sequential generation for any thread count.
+    pub fn samples_par(&self, offset: u64, n: usize, threads: usize) -> Vec<Sample> {
+        crate::stream_util::generate_samples_parallel(n as u64, threads, |i| {
+            self.sample_at(offset + i)
+        })
+    }
+
     /// Generates the `index`-th sample of the stream deterministically.
     pub fn sample_at(&self, index: u64) -> Sample {
         // Derive a per-sample RNG so that samples can be generated out of
@@ -317,6 +326,12 @@ mod tests {
         let c = ds.samples(5, 5);
         assert_ne!(a, c);
         assert_eq!(a[0].dim(), 20);
+    }
+
+    #[test]
+    fn parallel_sample_generation_matches_sequential() {
+        let ds = SimulatedDataset::new(SimulationSpec::smoke(20, 3));
+        assert_eq!(ds.samples_par(3, 17, 4), ds.samples(3, 17));
     }
 
     #[test]

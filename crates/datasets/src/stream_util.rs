@@ -13,6 +13,44 @@ use ascs_core::Sample;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// Generates `n` samples by index on up to `threads` OS threads.
+///
+/// Every workload generator in this crate derives a per-sample RNG from the
+/// sample index, so samples can be produced out of order — and therefore in
+/// parallel — while remaining identical to the sequential generation. The
+/// result is returned in index order, so
+/// `generate_samples_parallel(n, k, f)` equals `(0..n).map(f).collect()`
+/// for any thread count.
+pub fn generate_samples_parallel<F>(n: u64, threads: usize, generate: F) -> Vec<Sample>
+where
+    F: Fn(u64) -> Sample + Sync,
+{
+    let threads = threads.clamp(1, (n as usize).max(1));
+    if threads == 1 {
+        return (0..n).map(generate).collect();
+    }
+    let per = (n as usize).div_ceil(threads);
+    let generate = &generate;
+    let parts: Vec<Vec<Sample>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let start = ((i * per) as u64).min(n);
+                let end = (((i + 1) * per) as u64).min(n);
+                scope.spawn(move || (start..end).map(generate).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sample generation thread panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n as usize);
+    for mut part in parts {
+        out.append(&mut part);
+    }
+    out
+}
+
 /// A bounded shuffle buffer: samples are pushed in stream order and popped
 /// in (locally) randomised order, approximating an i.i.d. stream from a
 /// correlated one.
@@ -138,6 +176,20 @@ mod tests {
 
     fn first_coordinate(s: &Sample) -> f64 {
         s.value(0)
+    }
+
+    #[test]
+    fn parallel_generation_matches_sequential_for_any_thread_count() {
+        let generate = |i: u64| Sample::dense(vec![i as f64, (i * i) as f64]);
+        let sequential: Vec<Sample> = (0..37).map(generate).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                generate_samples_parallel(37, threads, generate),
+                sequential,
+                "thread count {threads} changed the stream"
+            );
+        }
+        assert!(generate_samples_parallel(0, 4, generate).is_empty());
     }
 
     #[test]

@@ -229,6 +229,13 @@ impl TrillionScaleDataset {
         (0..n as u64).map(|i| self.sample_at(i)).collect()
     }
 
+    /// Generates the first `n` samples on up to `threads` OS threads.
+    /// Samples derive per-index RNGs, so the result is identical to
+    /// [`TrillionScaleDataset::samples`] for any thread count.
+    pub fn samples_par(&self, n: usize, threads: usize) -> Vec<Sample> {
+        crate::stream_util::generate_samples_parallel(n as u64, threads, |i| self.sample_at(i))
+    }
+
     /// Average non-zeros per sample estimated over `probe` samples.
     pub fn average_nonzeros(&self, probe: usize) -> f64 {
         let probe = probe.max(1);
@@ -318,6 +325,12 @@ mod tests {
         let ds = TrillionScaleDataset::new(TrillionSpec::url_like(3_000, 6));
         assert_eq!(ds.sample_at(7), ds.sample_at(7));
         assert_ne!(ds.sample_at(7), ds.sample_at(8));
+    }
+
+    #[test]
+    fn parallel_sample_generation_matches_sequential() {
+        let ds = TrillionScaleDataset::new(TrillionSpec::url_like(3_000, 6));
+        assert_eq!(ds.samples_par(25, 4), ds.samples(25));
     }
 
     #[test]

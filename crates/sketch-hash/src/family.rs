@@ -2,6 +2,22 @@
 
 use crate::mix::{avalanche64, splitmix64, SplitMix64};
 
+/// Maximum number of rows supported by the stack-allocated fused path
+/// ([`RowLocations`]). Sketches use `K ≤ 10` in practice (the paper runs
+/// `K = 5`), so the cap never binds outside of adversarial configurations;
+/// callers with more rows must fall back to the per-row APIs.
+pub const MAX_ROWS: usize = 16;
+
+/// Builds `±1.0` from a raw sign bit (`0` → `+1.0`, `1` → `−1.0`), branch
+/// free: the bit pattern of `1.0` with the sign bit spliced in. Every sign
+/// materialisation in the fused read/write paths goes through this one
+/// function so the paths cannot desynchronise.
+#[inline]
+pub fn sign_from_bit(bit: u64) -> f64 {
+    debug_assert!(bit <= 1);
+    f64::from_bits(0x3FF0_0000_0000_0000 | (bit << 63))
+}
+
 /// The location an item hashes to in one sketch row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RowLocation {
@@ -11,6 +27,75 @@ pub struct RowLocation {
     pub bucket: usize,
     /// Sign hash value, `+1` or `-1`.
     pub sign: i8,
+}
+
+/// All of one key's `(bucket, sign)` locations across the `K` rows of a
+/// family, stack allocated so the hot ingestion path can hash a key **once**
+/// and reuse the locations for the gate read, the insertion and the
+/// post-insert estimate (the hash-once, read-once discipline).
+///
+/// The representation is deliberately compact — `u32` buckets plus a sign
+/// *bitmask* (72 bytes total) rather than full-width arrays — because this
+/// struct is materialised once per offered update on the hottest path in
+/// the system and oversized stack traffic there eats the fusion win.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowLocations {
+    len: u32,
+    /// Bit `r` set ⇔ row `r`'s sign is `−1.0`.
+    sign_mask: u32,
+    buckets: [u32; MAX_ROWS],
+}
+
+impl RowLocations {
+    /// Number of rows covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no rows are covered (never produced by [`HashFamily`],
+    /// which requires at least one row).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bucket of row `row`.
+    #[inline]
+    pub fn bucket(&self, row: usize) -> usize {
+        debug_assert!(row < self.len());
+        self.buckets[row] as usize
+    }
+
+    /// Sign of row `row` as `±1.0` (branch free, from the sign bitmask).
+    #[inline]
+    pub fn sign(&self, row: usize) -> f64 {
+        debug_assert!(row < self.len());
+        sign_from_bit(u64::from(self.sign_mask >> row) & 1)
+    }
+
+    /// The buckets as a slice (one entry per covered row). Iterating this
+    /// slice lets the hot loops elide per-element bounds checks.
+    #[inline]
+    pub fn buckets(&self) -> &[u32] {
+        &self.buckets[..self.len as usize]
+    }
+
+    /// The raw sign bitmask (bit `r` set ⇔ row `r`'s sign is `−1.0`).
+    #[inline]
+    pub fn sign_mask(&self) -> u32 {
+        self.sign_mask
+    }
+
+    /// Iterates over `(bucket, sign)` in row order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let mask = self.sign_mask;
+        self.buckets()
+            .iter()
+            .enumerate()
+            .map(move |(row, &b)| (b as usize, sign_from_bit(u64::from(mask >> row) & 1)))
+    }
 }
 
 /// One sketch row's pair of hash functions: a bucket hash `h : u64 → [R]`
@@ -61,10 +146,20 @@ impl RowHasher {
         }
     }
 
+    /// The raw sign bit for `key`: `0` for `+1`, `1` for `−1`.
+    #[inline]
+    pub fn sign_bit(&self, key: u64) -> u64 {
+        avalanche64(key ^ self.sign_seed) & 1
+    }
+
     /// Sign as `f64` (`+1.0` / `-1.0`), the form the sketch arithmetic uses.
+    ///
+    /// Branch free: `±1.0` is built directly from the bit pattern of `1.0`
+    /// with the sign bit taken from the low hash bit, so the per-update path
+    /// carries no data-dependent branch.
     #[inline]
     pub fn sign_f64(&self, key: u64) -> f64 {
-        f64::from(self.sign(key))
+        sign_from_bit(self.sign_bit(key))
     }
 }
 
@@ -149,6 +244,39 @@ impl HashFamily {
                 bucket: hasher.bucket(key, self.range),
                 sign: hasher.sign(key),
             })
+    }
+
+    /// Computes every row's `(bucket, sign)` for `key` in a single pass into
+    /// a stack-allocated [`RowLocations`]. This is the entry point of the
+    /// hash-once ingestion discipline: callers hash a key exactly once and
+    /// reuse the locations for reads and writes alike.
+    ///
+    /// # Panics
+    /// Panics if the family has more than [`MAX_ROWS`] rows or more than
+    /// `u32::MAX` buckets per row (a >32 GB table — far beyond any budget
+    /// this system runs with).
+    #[inline]
+    pub fn locate_all(&self, key: u64) -> RowLocations {
+        assert!(
+            self.rows.len() <= MAX_ROWS,
+            "locate_all supports at most {MAX_ROWS} rows, family has {}",
+            self.rows.len()
+        );
+        assert!(
+            self.range <= u32::MAX as usize,
+            "locate_all supports at most 2^32 buckets per row"
+        );
+        let mut buckets = [0u32; MAX_ROWS];
+        let mut sign_mask = 0u32;
+        for (row, hasher) in self.rows.iter().enumerate() {
+            buckets[row] = hasher.bucket(key, self.range) as u32;
+            sign_mask |= (hasher.sign_bit(key) as u32) << row;
+        }
+        RowLocations {
+            len: self.rows.len() as u32,
+            sign_mask,
+            buckets,
+        }
     }
 }
 
@@ -296,5 +424,40 @@ mod tests {
         let family = HashFamily::new(6, 50, 4);
         let rows: Vec<usize> = family.locate(42).map(|l| l.row).collect();
         assert_eq!(rows, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn locate_all_matches_per_row_hashing() {
+        let family = HashFamily::new(7, 513, 19);
+        for key in (0..5000u64).step_by(13) {
+            let locs = family.locate_all(key);
+            assert_eq!(locs.len(), 7);
+            assert!(!locs.is_empty());
+            for (row, (bucket, sign)) in locs.iter().enumerate() {
+                assert_eq!(bucket, family.bucket(row, key));
+                assert_eq!(sign, family.row_hashers()[row].sign_f64(key));
+                assert_eq!(locs.bucket(row), bucket);
+                assert_eq!(locs.sign(row), sign);
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_sign_is_exactly_plus_or_minus_one() {
+        let family = HashFamily::new(3, 8, 23);
+        for key in 0..10_000u64 {
+            for hasher in family.row_hashers() {
+                let s = hasher.sign_f64(key);
+                assert!(s == 1.0 || s == -1.0, "sign {s} is not ±1.0");
+                assert!(s.to_bits() == 1.0f64.to_bits() || s.to_bits() == (-1.0f64).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn locate_all_rejects_oversized_families() {
+        let family = HashFamily::new(MAX_ROWS + 1, 10, 1);
+        let _ = family.locate_all(0);
     }
 }

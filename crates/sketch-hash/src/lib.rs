@@ -29,6 +29,6 @@ pub mod family;
 pub mod mix;
 pub mod universal;
 
-pub use family::{HashFamily, RowHasher, RowLocation};
+pub use family::{sign_from_bit, HashFamily, RowHasher, RowLocation, RowLocations, MAX_ROWS};
 pub use mix::{avalanche64, splitmix64, SplitMix64};
 pub use universal::MultiplyShiftHash;

@@ -18,7 +18,9 @@ fn main() {
     let dim = 20_000u64;
     let dataset = TrillionScaleDataset::new(TrillionSpec::url_like(dim, 5));
     let total = 3000usize;
-    let samples: Vec<Sample> = (0..total as u64).map(|i| dataset.sample_at(i)).collect();
+    // The surrogate derives a per-sample RNG from the sample index, so the
+    // stream can be generated on several threads with identical results.
+    let samples: Vec<Sample> = dataset.samples_par(total, 4);
     let p = dataset.num_pairs();
     println!(
         "URL-like surrogate: d = {dim}, p = {p} unique pairs, avg {:.0} non-zeros per sample",
@@ -33,8 +35,8 @@ fn main() {
         signal_keys.len()
     );
     println!(
-        "{:>14} {:>14} {:>12} {:>12}",
-        "budget (words)", "compression", "CS hit rate", "ASCS hit rate"
+        "{:>14} {:>14} {:>12} {:>12} {:>14}",
+        "budget (words)", "compression", "CS hit rate", "ASCS hit rate", "ASCS x4 shards"
     );
 
     for budget in budgets {
@@ -55,7 +57,11 @@ fn main() {
             top_k_capacity: signal_keys.len().max(100),
         };
         let mut hit_rates = Vec::new();
-        for backend in [SketchBackend::VanillaCs, SketchBackend::Ascs] {
+        for backend in [
+            SketchBackend::VanillaCs,
+            SketchBackend::Ascs,
+            SketchBackend::ShardedAscs { shards: 4 },
+        ] {
             // At this compression ratio and stream length the strict
             // Theorem 1 target can be infeasible; fall back to the
             // fixed-fraction exploration of Theorem 3 when it is.
@@ -73,16 +79,19 @@ fn main() {
             hit_rates.push(hits as f64 / signal_keys.len() as f64);
         }
         println!(
-            "{:>14} {:>13.0}x {:>11.1}% {:>11.1}%",
+            "{:>14} {:>13.0}x {:>11.1}% {:>11.1}% {:>13.1}%",
             budget,
             p as f64 / budget as f64,
             100.0 * hit_rates[0],
-            100.0 * hit_rates[1]
+            100.0 * hit_rates[1],
+            100.0 * hit_rates[2]
         );
     }
 
     println!(
         "\nThe paper's Table 2 shows the same pattern at full scale: at tight budgets vanilla CS \
-         collapses while ASCS keeps finding the near-1.0 pairs; at generous budgets both succeed."
+         collapses while ASCS keeps finding the near-1.0 pairs; at generous budgets both succeed. \
+         The sharded column runs the same gated algorithm across 4 key-partitioned worker \
+         sketches ingesting on parallel threads — the route to trillion-scale stream rates."
     );
 }

@@ -77,8 +77,8 @@ pub use ascs_sketch_hash as sketch_hash;
 pub mod prelude {
     pub use ascs_core::{
         AscsConfig, AscsSketch, CovarianceEstimator, EstimandKind, HyperParameterSolver,
-        HyperParameters, PairIndexer, ReportedPair, Sample, SketchBackend, SketchGeometry,
-        TheoryBounds, ThresholdSchedule, UpdateMode,
+        HyperParameters, PairIndexer, ReportedPair, Sample, SampleGate, ShardUpdate, ShardedAscs,
+        SketchBackend, SketchGeometry, TheoryBounds, ThresholdSchedule, UpdateMode,
     };
     pub use ascs_count_sketch::{
         AugmentedSketch, ColdFilter, CountMinSketch, CountSketch, PointSketch, TopKTracker,

@@ -1,0 +1,303 @@
+//! Equivalence guarantees of the fused single-hash ingestion path and the
+//! sharded parallel ingestion layer.
+//!
+//! * A property test drives [`AscsSketch::offer`] against an **independent
+//!   naive oracle** (estimate → gate → update → estimate, written here from
+//!   the documented algorithm using only the raw [`CountSketch`] API) and
+//!   demands bit-identical decisions, tables, estimates and tracker state
+//!   across random geometries, keys, weights and phase splits.
+//! * [`ShardedAscs`] is checked against sequential ingestion two ways:
+//!   vanilla mode with heavy collisions (dyadic weights, power-of-two `T`,
+//!   so the re-associated merge is exact) and gated mode on a
+//!   collision-free key set (where shard-local gates provably decide like
+//!   the sequential gate).
+
+use ascs::prelude::*;
+use ascs_core::AscsPhase;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn hyper(t0: u64, theta: f64, tau0: f64) -> HyperParameters {
+    HyperParameters {
+        t0,
+        theta,
+        tau0,
+        delta: 0.05,
+        delta_star: 0.2,
+    }
+}
+
+/// A from-scratch reimplementation of Algorithm 2's offer over the raw
+/// count sketch — deliberately *not* sharing the fused code paths, so a bug
+/// there cannot cancel out in the comparison. The tracker is fed a full
+/// fresh point query on every insert, the naive way.
+struct NaiveOracle {
+    sketch: CountSketch,
+    tracker: TopKTracker,
+    schedule: ThresholdSchedule,
+    t0: u64,
+    total: u64,
+    inserted: u64,
+    skipped: u64,
+}
+
+impl NaiveOracle {
+    fn new(
+        geometry: SketchGeometry,
+        hp: &HyperParameters,
+        total: u64,
+        cap: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            sketch: CountSketch::new(geometry.rows, geometry.range, seed),
+            tracker: TopKTracker::new(cap),
+            schedule: ThresholdSchedule::linear(hp.tau0, hp.theta, hp.t0, total),
+            t0: hp.t0,
+            total,
+            inserted: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Returns whether the update was inserted.
+    fn offer(&mut self, key: u64, x: f64, t: u64) -> bool {
+        let w = x * (1.0 / self.total as f64);
+        let exploration = t <= self.t0;
+        let accept = if exploration {
+            true
+        } else {
+            let estimate = self.sketch.estimate(key);
+            let posterior = estimate + w;
+            let tau = self.schedule.tau(t - 1);
+            estimate.abs() >= tau || posterior.abs() >= tau
+        };
+        if accept {
+            self.sketch.update(key, w);
+            self.inserted += 1;
+            let fresh = self.sketch.estimate(key);
+            self.tracker.offer(key, fresh.abs());
+        } else {
+            self.skipped += 1;
+        }
+        accept
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The fused offer path is bit-identical to the naive
+    /// estimate→update→estimate reference across random geometries, keys,
+    /// weights and phase splits.
+    #[test]
+    fn fused_offer_is_bit_identical_to_naive_reference(
+        rows in 1usize..8,
+        range in 8usize..512,
+        total in 32u64..400,
+        t0_frac in 0.05f64..1.0,
+        theta in 0.0f64..0.5,
+        tau0 in 0.0f64..0.01,
+        seed in 0u64..1000,
+        updates in proptest::collection::vec((0u64..64, -2.0f64..2.0), 1..250),
+    ) {
+        let t0 = ((total as f64 * t0_frac) as u64).clamp(1, total);
+        let hp = hyper(t0, theta, tau0);
+        let geometry = SketchGeometry::new(rows, range);
+        let mut fused = AscsSketch::new(geometry, &hp, total, 16, seed);
+        let mut naive = NaiveOracle::new(geometry, &hp, total, 16, seed);
+        for (i, &(key, x)) in updates.iter().enumerate() {
+            let t = (i as u64 % total) + 1;
+            let outcome = fused.offer(key, x, t);
+            let expect_phase = if t <= t0 { AscsPhase::Exploration } else { AscsPhase::Sampling };
+            prop_assert_eq!(outcome.phase, expect_phase);
+            let naive_inserted = naive.offer(key, x, t);
+            prop_assert_eq!(
+                outcome.inserted, naive_inserted,
+                "gate diverged at step {} (t = {}, key = {})", i, t, key
+            );
+        }
+        // Bit-identical tables...
+        let ta = fused.sketch().table();
+        let tb = naive.sketch.table();
+        prop_assert!(
+            ta.iter().zip(tb).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "sketch tables diverged"
+        );
+        // ...identical counters...
+        prop_assert_eq!(fused.inserted_updates(), naive.inserted);
+        prop_assert_eq!(fused.skipped_updates(), naive.skipped);
+        // ...identical estimates (value equality: ±0.0 compare equal)...
+        for key in 0..64u64 {
+            prop_assert_eq!(fused.estimate(key), naive.sketch.estimate(key));
+        }
+        // ...and identical tracker contents.
+        prop_assert_eq!(fused.top_pairs(), naive.tracker.descending());
+    }
+
+    /// Sharded vanilla ingestion merges to exactly the sequential sketch
+    /// even under heavy collisions: with dyadic weights and a power-of-two
+    /// `T`, every intermediate sum is exact, so the re-associated merge
+    /// must agree bit for bit.
+    #[test]
+    fn sharded_vanilla_merge_equals_sequential(
+        shards in 1usize..6,
+        range in 16usize..128,
+        seed in 0u64..500,
+        updates in proptest::collection::vec((0u64..512, -8i32..8), 64..400),
+    ) {
+        let total = 256u64;
+        let geometry = SketchGeometry::new(5, range);
+        let mut seq = AscsSketch::vanilla(geometry, total, 32, seed);
+        let mut sharded = ShardedAscs::vanilla(geometry, total, 32, seed, shards)
+            .with_parallel_threshold(1);
+        let batch: Vec<ShardUpdate> = updates
+            .iter()
+            .enumerate()
+            .map(|(i, &(key, q))| ShardUpdate {
+                key,
+                // Dyadic weights: exactly representable, associativity exact.
+                value: f64::from(q) * 0.25,
+                t: (i as u64 % total) + 1,
+            })
+            .collect();
+        for u in &batch {
+            seq.offer(u.key, u.value, u.t);
+        }
+        sharded.offer_batch(&batch);
+
+        let merged = sharded.merged_sketch();
+        let ta = seq.sketch().table();
+        let tb = merged.table();
+        prop_assert!(
+            ta.iter().zip(tb).all(|(a, b)| a == b),
+            "merged table diverged from sequential"
+        );
+        for key in 0..512u64 {
+            prop_assert_eq!(seq.estimate(key), sharded.estimate(key));
+        }
+        prop_assert_eq!(seq.inserted_updates(), sharded.inserted_updates());
+    }
+}
+
+/// Gated sharded ingestion decides and estimates exactly like sequential
+/// gated ingestion when no two live keys collide in any sketch row: each
+/// worker then sees precisely the table state the sequential sketch has at
+/// that key's buckets.
+#[test]
+fn sharded_gated_matches_sequential_on_collision_free_keys() {
+    let geometry = SketchGeometry::new(5, 16384);
+    let total = 128u64;
+    let hp = hyper(16, 0.3, 1e-3);
+    let probe = AscsSketch::new(geometry, &hp, total, 32, 9);
+
+    // Greedily select keys whose buckets are pairwise disjoint in every row.
+    let mut used: Vec<HashSet<usize>> = vec![HashSet::new(); 5];
+    let mut keys: Vec<u64> = Vec::new();
+    for candidate in 0..50_000u64 {
+        let locs = probe.sketch().locate(candidate);
+        let free = (0..locs.len()).all(|row| !used[row].contains(&locs.bucket(row)));
+        if free {
+            for (row, slot) in used.iter_mut().enumerate() {
+                slot.insert(locs.bucket(row));
+            }
+            keys.push(candidate);
+            if keys.len() == 24 {
+                break;
+            }
+        }
+    }
+    assert_eq!(keys.len(), 24, "could not find a collision-free key set");
+
+    let mut seq = AscsSketch::new(geometry, &hp, total, 32, 9);
+    let mut sharded = ShardedAscs::new(geometry, &hp, total, 32, 9, 3).with_parallel_threshold(1);
+    let mut batch = Vec::new();
+    for t in 1..=total {
+        for (i, &key) in keys.iter().enumerate() {
+            // A mix of strong always-on keys and weak occasional ones, so
+            // the gate both accepts and rejects.
+            let x = if i % 3 == 0 {
+                1.0
+            } else if (t + i as u64).is_multiple_of(5) {
+                0.05
+            } else {
+                continue;
+            };
+            seq.offer(key, x, t);
+            batch.push(ShardUpdate { key, value: x, t });
+        }
+    }
+    sharded.offer_batch(&batch);
+
+    for &key in &keys {
+        assert_eq!(
+            seq.estimate(key),
+            sharded.estimate(key),
+            "estimate diverged for key {key}"
+        );
+    }
+    assert_eq!(seq.inserted_updates(), sharded.inserted_updates());
+    assert_eq!(seq.skipped_updates(), sharded.skipped_updates());
+    assert!(seq.skipped_updates() > 0, "gate never rejected anything");
+
+    // The sharded top pairs must agree with the sequential ones on both
+    // membership and (merged) estimates for the strong keys.
+    let seq_top: Vec<(u64, f64)> = seq.top_pairs();
+    let sharded_top: Vec<(u64, f64)> = sharded.top_pairs();
+    let strong: HashSet<u64> = keys.iter().copied().step_by(3).collect();
+    for top in [&seq_top, &sharded_top] {
+        for &(key, _) in top.iter().take(strong.len()) {
+            assert!(strong.contains(&key), "non-signal key {key} in the top set");
+        }
+    }
+}
+
+/// The fused path must also agree with the naive oracle through the
+/// estimator stack (hoisted per-sample gate) — a cheap end-to-end pin.
+#[test]
+fn estimator_hoisted_gate_matches_direct_offers() {
+    let dim = 16u64;
+    let total = 64u64;
+    let geometry = SketchGeometry::new(5, 2048);
+    let hp = hyper(8, 0.25, 1e-3);
+
+    let config = AscsConfig {
+        dim,
+        total_samples: total,
+        geometry,
+        alpha: 0.05,
+        signal_strength: 0.5,
+        sigma: 1.0,
+        delta: 0.05,
+        delta_star: 0.20,
+        tau0: 1e-3,
+        estimand: EstimandKind::Covariance,
+        update_mode: UpdateMode::Product,
+        seed: 77,
+        top_k_capacity: 32,
+    };
+    let mut estimator =
+        CovarianceEstimator::with_hyperparameters(config, SketchBackend::Ascs, Some(hp));
+    let mut direct = AscsSketch::new(geometry, &hp, total, 32, 77);
+
+    // Mirror the estimator's sample expansion with direct offers.
+    let mut ctx = ascs_core::StreamContext::new(dim, UpdateMode::Product, EstimandKind::Covariance);
+    for t in 1..=total {
+        let values: Vec<f64> = (0..dim)
+            .map(|f| ((t * 31 + f * 7) % 5) as f64 * 0.5 - 1.0)
+            .collect();
+        let sample = Sample::dense(values);
+        ctx.ingest(&sample, |u| {
+            direct.offer(u.key, u.value, t);
+        });
+        estimator.process_sample(&sample);
+    }
+    for key in 0..ascs_core::num_pairs(dim) {
+        assert_eq!(estimator.estimate_key(key), direct.estimate(key));
+    }
+    let (ins, skip) = estimator.update_counts();
+    assert_eq!(
+        (ins, skip),
+        (direct.inserted_updates(), direct.skipped_updates())
+    );
+}

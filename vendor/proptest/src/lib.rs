@@ -287,7 +287,7 @@ macro_rules! prop_assert {
 /// Fails the current case unless the two expressions are equal.
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($left:expr, $right:expr) => {{
+    ($left:expr, $right:expr $(,)?) => {{
         let left = $left;
         let right = $right;
         if left != right {
@@ -295,6 +295,20 @@ macro_rules! prop_assert_eq {
                 "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
                 stringify!($left),
                 stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                ::std::format!($($fmt)+),
                 left,
                 right
             )));
