@@ -25,8 +25,15 @@
 use crate::config::SketchGeometry;
 use crate::hyper::HyperParameters;
 use crate::schedule::ThresholdSchedule;
-use ascs_count_sketch::{median_in_place, CountSketch, TopKTracker, MAX_ROWS};
+use crate::sharded::ShardUpdate;
+use ascs_count_sketch::{median_in_place, CountSketch, HashPlan, TopKTracker, MAX_ROWS};
 use serde::{Deserialize, Serialize};
+
+/// How many plan entries ahead of the one being processed
+/// [`AscsSketch::ingest_planned`] touches the sketch table, so the randomly
+/// scattered bucket loads of upcoming updates are in flight while the
+/// current update's gate read and median run.
+const PLAN_PREFETCH_DISTANCE: usize = 4;
 
 /// Which phase of Algorithm 2 the sketch is in at a given stream time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -320,6 +327,119 @@ impl AscsSketch {
         }
     }
 
+    /// [`AscsSketch::offer_gated`] driven by a precomputed [`HashPlan`]
+    /// instead of per-update hashing: `slot` is both the plan slot and the
+    /// item key (the dense-pair identification `slot == key` of the
+    /// estimator's plan — plans over `0..p` make the lookup free). Gate
+    /// decisions, table contents and tracker state are bit-identical to the
+    /// hashed path; the plan merely replays the same `(bucket, sign)`
+    /// locations from its arena.
+    ///
+    /// Geometries beyond [`MAX_ROWS`] rows take the unfused fallback, which
+    /// hashes — the stack buffers of the fused structure cap at `MAX_ROWS`
+    /// and such geometries are outside every benchmarked configuration.
+    #[inline]
+    pub fn offer_planned(
+        &mut self,
+        plan: &HashPlan,
+        slot: u64,
+        x: f64,
+        gate: SampleGate,
+    ) -> OfferOutcome {
+        if self.sketch.rows() > MAX_ROWS {
+            return self.offer_unfused(slot, x, gate);
+        }
+        let w = x * self.inv_total;
+        let track = self.tracking_enabled;
+        let slot = slot as usize;
+        match gate.phase {
+            AscsPhase::Exploration if !track => {
+                self.sketch.update_planned(plan, slot, w);
+                self.inserted += 1;
+            }
+            AscsPhase::Exploration => {
+                let mut rows = [0.0f64; MAX_ROWS];
+                let n = self.sketch.row_values_planned(plan, slot, &mut rows);
+                self.sketch.update_planned(plan, slot, w);
+                self.inserted += 1;
+                for v in rows.iter_mut().take(n) {
+                    *v += w;
+                }
+                let fresh = median_in_place(&mut rows[..n]);
+                self.track_offer(slot as u64, fresh);
+            }
+            AscsPhase::Sampling => {
+                let mut rows = [0.0f64; MAX_ROWS];
+                let n = self.sketch.row_values_planned(plan, slot, &mut rows);
+                let estimate = median_in_place(&mut rows[..n]);
+                let posterior = estimate + w;
+                let accept = if self.absolute_gate {
+                    estimate.abs() >= gate.tau || posterior.abs() >= gate.tau
+                } else {
+                    estimate >= gate.tau || posterior >= gate.tau
+                };
+                if !accept {
+                    self.skipped += 1;
+                    return OfferOutcome {
+                        inserted: false,
+                        phase: gate.phase,
+                    };
+                }
+                self.sketch.update_planned(plan, slot, w);
+                self.inserted += 1;
+                if track {
+                    // Same algebraic shortcut as the hashed path: for odd K
+                    // the fresh median is the gate median shifted by `w`.
+                    let fresh = if n % 2 == 1 {
+                        estimate + w
+                    } else {
+                        for v in rows.iter_mut().take(n) {
+                            *v += w;
+                        }
+                        median_in_place(&mut rows[..n])
+                    };
+                    self.track_offer(slot as u64, fresh);
+                }
+            }
+        }
+        OfferOutcome {
+            inserted: true,
+            phase: gate.phase,
+        }
+    }
+
+    /// [`AscsSketch::offer_planned`] with the gate derived from the stream
+    /// time — the planned counterpart of [`AscsSketch::offer`].
+    pub fn offer_planned_at(&mut self, plan: &HashPlan, slot: u64, x: f64, t: u64) -> OfferOutcome {
+        let gate = self.sample_gate(t);
+        self.offer_planned(plan, slot, x, gate)
+    }
+
+    /// Drives a whole batch of updates (keys are plan slots) through the
+    /// planned offer path: the per-sample gate is recomputed only when the
+    /// stream time changes, and the sketch-table buckets of upcoming
+    /// entries are prefetched [`PLAN_PREFETCH_DISTANCE`] updates ahead.
+    /// This is the steady-state ingestion loop of the throughput harness
+    /// and of each sharded worker.
+    ///
+    /// # Panics
+    /// Panics if the plan does not match this sketch's hash family.
+    pub fn ingest_planned(&mut self, plan: &HashPlan, updates: &[ShardUpdate]) {
+        self.sketch.verify_plan(plan);
+        let mut gate_t = u64::MAX;
+        let mut gate: Option<SampleGate> = None;
+        for (i, u) in updates.iter().enumerate() {
+            if let Some(ahead) = updates.get(i + PLAN_PREFETCH_DISTANCE) {
+                self.sketch.prefetch_planned(plan, ahead.key as usize);
+            }
+            if u.t != gate_t {
+                gate = Some(self.sample_gate(u.t));
+                gate_t = u.t;
+            }
+            self.offer_planned(plan, u.key, u.value, gate.expect("gate set above"));
+        }
+    }
+
     /// Feeds the tracker with a freshly derived estimate.
     #[inline]
     fn track_offer(&mut self, key: u64, fresh: f64) {
@@ -415,6 +535,13 @@ impl AscsSketch {
     /// The top tracked items, largest estimate magnitude first.
     pub fn top_pairs(&self) -> Vec<(u64, f64)> {
         self.tracker.descending()
+    }
+
+    /// The `k` top tracked items, largest estimate magnitude first —
+    /// partial selection instead of a full sort of the retained set (see
+    /// [`TopKTracker::top_descending`]).
+    pub fn top_pairs_limit(&self, k: usize) -> Vec<(u64, f64)> {
+        self.tracker.top_descending(k)
     }
 
     /// Memory footprint in float-equivalent words (sketch table only; the
@@ -653,6 +780,70 @@ mod tests {
         let top = a.top_pairs();
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].0, 3);
+    }
+
+    #[test]
+    fn planned_offer_matches_hashed_offer_bit_for_bit() {
+        let build = || small_ascs(20, 256);
+        let mut hashed = build();
+        let mut planned = build();
+        let plan = planned.sketch().build_plan(12);
+        for t in 1..=256u64 {
+            let gate = hashed.sample_gate(t);
+            for key in 0..12u64 {
+                let x = ((key as f64) - 4.0) * 0.3 * (1.0 + (t % 7) as f64 * 0.1);
+                let a = hashed.offer_gated(key, x, gate);
+                let b = planned.offer_planned(&plan, key, x, gate);
+                assert_eq!(a, b, "outcome diverged at t={t}, key={key}");
+            }
+        }
+        let ta = hashed.sketch().table();
+        let tb = planned.sketch().table();
+        assert!(
+            ta.iter().zip(tb).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "sketch tables diverged"
+        );
+        assert_eq!(hashed.inserted_updates(), planned.inserted_updates());
+        assert_eq!(hashed.skipped_updates(), planned.skipped_updates());
+        assert_eq!(hashed.top_pairs(), planned.top_pairs());
+        assert_eq!(hashed.top_pairs_limit(3), planned.top_pairs_limit(3));
+        assert_eq!(hashed.top_pairs_limit(3), hashed.top_pairs()[..3].to_vec());
+    }
+
+    #[test]
+    fn ingest_planned_batch_matches_per_update_offers() {
+        let mut direct = small_ascs(10, 128).without_tracking();
+        let mut batched = small_ascs(10, 128).without_tracking();
+        let plan = batched.sketch().build_plan(8);
+        let updates: Vec<crate::sharded::ShardUpdate> = (1..=128u64)
+            .flat_map(|t| {
+                (0..8u64).map(move |key| crate::sharded::ShardUpdate {
+                    key,
+                    value: ((key + t) % 5) as f64 * 0.4 - 0.8,
+                    t,
+                })
+            })
+            .collect();
+        for u in &updates {
+            direct.offer(u.key, u.value, u.t);
+        }
+        batched.ingest_planned(&plan, &updates);
+        let ta = direct.sketch().table();
+        let tb = batched.sketch().table();
+        assert!(ta.iter().zip(tb).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(direct.inserted_updates(), batched.inserted_updates());
+        assert_eq!(direct.skipped_updates(), batched.skipped_updates());
+    }
+
+    #[test]
+    fn planned_offer_falls_back_beyond_max_rows() {
+        let geometry = SketchGeometry::new(MAX_ROWS + 1, 64);
+        let mut a = AscsSketch::new(geometry, &hyper(5, 0.3, 1e-3), 50, 8, 3);
+        let plan = a.sketch().build_plan(8);
+        for t in 1..=50 {
+            a.offer_planned_at(&plan, 7, 1.0, t);
+        }
+        assert!((a.estimate(7) - 1.0).abs() < 0.05);
     }
 
     #[test]

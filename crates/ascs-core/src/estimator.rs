@@ -15,8 +15,25 @@ use crate::sharded::{ShardUpdate, ShardedAscs};
 use crate::snr::SnrProbe;
 use crate::stream::{Sample, StreamContext};
 use crate::theory::TheoryBounds;
-use ascs_count_sketch::{AugmentedSketch, ColdFilter, PointSketch, TopKTracker};
+use ascs_count_sketch::{
+    AugmentedSketch, ColdFilter, CountSketch, HashPlan, PointSketch, TopKTracker,
+};
 use serde::{Deserialize, Serialize};
+
+/// Upper bound on the pair universe an ingestion plan may cover: the plan
+/// arena costs `4(K + 1)` bytes per pair, so this caps it at ~1.2 GB for
+/// `K = 5` — matching the enumeration bound of
+/// [`CovarianceEstimator::all_estimates`]. Beyond it, planning per pair is
+/// the wrong tool (the tracker-based reporting path is).
+const MAX_PLANNED_PAIRS: u64 = 50_000_000;
+
+/// Pair universes up to this size get a throwaway plan built inside
+/// [`CovarianceEstimator::all_estimates`] when no ingestion plan is
+/// attached: the build hashes each key once — the same work the point-query
+/// loop would do — and the blocked sweep then beats the loop. Above it the
+/// transient arena allocation outweighs the sweep win, so the plain loop
+/// runs instead.
+const TRANSIENT_PLAN_PAIRS: u64 = 8_000_000;
 
 /// Which sketching strategy backs the estimator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -91,11 +108,17 @@ impl BackendState {
         }
     }
 
-    fn top_pairs(&self) -> Vec<(u64, f64)> {
+    /// The `k` top tracked pairs — partial selection over the retained set
+    /// (the sharded layer's cross-shard merge already truncates internally).
+    fn top_pairs(&self, k: usize) -> Vec<(u64, f64)> {
         match self {
-            Self::Ascs(a) => a.top_pairs(),
-            Self::Sharded { sketch, .. } => sketch.top_pairs(),
-            Self::Asketch { tracker, .. } | Self::Cold { tracker, .. } => tracker.descending(),
+            Self::Ascs(a) => a.top_pairs_limit(k),
+            Self::Sharded { sketch, .. } => {
+                let mut top = sketch.top_pairs();
+                top.truncate(k);
+                top
+            }
+            Self::Asketch { tracker, .. } | Self::Cold { tracker, .. } => tracker.top_descending(k),
         }
     }
 
@@ -118,6 +141,12 @@ pub struct CovarianceEstimator {
     backend_kind: SketchBackend,
     hyper: Option<HyperParameters>,
     probe: Option<SnrProbe>,
+    /// Precomputed ingestion plan over the dense pair universe `0..p`
+    /// (slot == pair key). When present, `process_sample` resolves each
+    /// emitted pair to its plan slot and replays arena entries instead of
+    /// hashing, and `all_estimates` runs one blocked sweep instead of `p`
+    /// point queries. See [`CovarianceEstimator::with_ingestion_plan`].
+    plan: Option<HashPlan>,
     t: u64,
 }
 
@@ -253,8 +282,52 @@ impl CovarianceEstimator {
             backend_kind: backend,
             hyper,
             probe: None,
+            plan: None,
             t: 0,
         }
+    }
+
+    /// Attaches a precomputed [`HashPlan`] over the dense pair universe
+    /// `0..p` (built in parallel for large sets): every pair update of every
+    /// subsequent sample resolves to its plan slot — the pair key itself, no
+    /// map — and replays precomputed `(bucket, sign)` locations instead of
+    /// re-hashing, and [`CovarianceEstimator::all_estimates`] answers all
+    /// `p` queries in one cache-blocked sweep. Results are bit-identical to
+    /// the unplanned path; only the work per update changes.
+    ///
+    /// For the sharded backend the slot → shard routing table is also
+    /// precomputed, so shard partitioning stops hashing per update too.
+    ///
+    /// # Panics
+    /// Panics on the ASketch / Cold Filter backends (their filter stages
+    /// hash independently of the count-sketch family, so a plan cannot
+    /// drive them) and on pair universes beyond 5·10⁷ (the plan arena
+    /// would not fit in memory — use the tracker-based reporting path).
+    pub fn with_ingestion_plan(mut self) -> Self {
+        let p = self.config.num_pairs();
+        assert!(
+            p <= MAX_PLANNED_PAIRS,
+            "an ingestion plan over {p} pairs would not fit in memory"
+        );
+        let plan = match &self.backend {
+            BackendState::Ascs(a) => a.sketch().build_plan(p as usize),
+            BackendState::Sharded { sketch, .. } => {
+                sketch.workers()[0].sketch().build_plan(p as usize)
+            }
+            BackendState::Asketch { .. } | BackendState::Cold { .. } => {
+                panic!("ingestion plans require a count-sketch-family backend (ASCS / vanilla CS)")
+            }
+        };
+        if let BackendState::Sharded { sketch, .. } = &mut self.backend {
+            sketch.build_slot_router(p as usize);
+        }
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The attached ingestion plan, if any.
+    pub fn ingestion_plan(&self) -> Option<&HashPlan> {
+        self.plan.as_ref()
     }
 
     /// Attaches an SNR probe that knows the ground-truth signal keys
@@ -342,14 +415,21 @@ impl CovarianceEstimator {
         };
         let backend = &mut self.backend;
         let probe = &mut self.probe;
+        let plan = self.plan.as_ref();
         if let Some(p) = probe.as_mut() {
             p.begin_sample();
         }
         let emitted = self.ctx.ingest(sample, |update| {
             let inserted = match backend {
                 BackendState::Ascs(a) => {
-                    a.offer_gated(update.key, update.value, gate.expect("gate set for ASCS"))
-                        .inserted
+                    let gate = gate.expect("gate set for ASCS");
+                    // Dense pair keys are their own plan slots, so the
+                    // planned path needs no key → slot map.
+                    match plan {
+                        Some(plan) => a.offer_planned(plan, update.key, update.value, gate),
+                        None => a.offer_gated(update.key, update.value, gate),
+                    }
+                    .inserted
                 }
                 BackendState::Sharded { pending, .. } => {
                     // Deferred: the batch is flushed (in parallel) below.
@@ -378,7 +458,10 @@ impl CovarianceEstimator {
             }
         });
         if let BackendState::Sharded { sketch, pending } = &mut self.backend {
-            sketch.offer_batch(pending);
+            match &self.plan {
+                Some(plan) => sketch.offer_batch_planned(plan, pending),
+                None => sketch.offer_batch(pending),
+            }
             pending.clear();
         }
         if let Some(p) = probe.as_mut() {
@@ -404,23 +487,56 @@ impl CovarianceEstimator {
 
     /// Estimates for every pair key in `0..p` — only sensible for moderate
     /// dimensionality (the rigorous-evaluation setting of Section 8.3).
+    ///
+    /// For the count-sketch-family backends this runs as **one blocked
+    /// sweep** ([`CountSketch::estimate_many`]) over the ingestion plan
+    /// (building a throwaway plan when none is attached — the build hashes
+    /// each key once, exactly what the point-query loop would have done)
+    /// rather than `p` independent point queries; the sharded backend
+    /// materialises its merged table once instead of summing across workers
+    /// `p` times. Values are identical to per-key [`estimate_key`]
+    /// (bit-identical for the sequential backends).
+    ///
+    /// [`estimate_key`]: CovarianceEstimator::estimate_key
     pub fn all_estimates(&self) -> Vec<f64> {
         let p = self.config.num_pairs();
         assert!(
-            p <= 50_000_000,
+            p <= MAX_PLANNED_PAIRS,
             "enumerating {p} pairs would be prohibitively slow; use top_pairs()"
         );
-        (0..p).map(|key| self.backend.estimate(key)).collect()
+        match &self.backend {
+            BackendState::Ascs(a) => self.sweep_estimates(a.sketch(), p),
+            BackendState::Sharded { sketch, .. } => {
+                self.sweep_estimates(&sketch.merged_sketch(), p)
+            }
+            _ => (0..p).map(|key| self.backend.estimate(key)).collect(),
+        }
+    }
+
+    /// Blocked whole-universe sweep over `sketch`, reusing the attached
+    /// plan when present and the universe is still in bounds.
+    fn sweep_estimates(&self, sketch: &CountSketch, p: u64) -> Vec<f64> {
+        let mut out = Vec::new();
+        match &self.plan {
+            Some(plan) if plan.len() as u64 >= p => sketch.estimate_many(plan, &mut out),
+            _ if p <= TRANSIENT_PLAN_PAIRS => {
+                sketch.estimate_many(&sketch.build_plan(p as usize), &mut out);
+            }
+            _ => out.extend((0..p).map(|key| sketch.estimate(key))),
+        }
+        out.truncate(p as usize);
+        out
     }
 
     /// The top tracked pairs (largest estimate magnitude first), decoded
-    /// into feature coordinates. At most `k` pairs are returned.
+    /// into feature coordinates. At most `k` pairs are returned; the
+    /// selection is partial (heap-select of `k`) rather than a full sort of
+    /// the tracker's retained set.
     pub fn top_pairs(&self, k: usize) -> Vec<ReportedPair> {
         let indexer = self.ctx.indexer();
         self.backend
-            .top_pairs()
+            .top_pairs(k)
             .into_iter()
-            .take(k)
             .map(|(key, estimate)| {
                 let (a, b) = indexer.pair(key);
                 ReportedPair {
@@ -550,6 +666,70 @@ mod tests {
         assert_eq!(all.len(), 45);
         let key = est.indexer().index(0, 1) as usize;
         assert_eq!(all[key], est.estimate_pair(0, 1));
+    }
+
+    #[test]
+    fn planned_estimator_is_bit_identical_to_unplanned() {
+        for backend in [
+            SketchBackend::VanillaCs,
+            SketchBackend::Ascs,
+            SketchBackend::ShardedAscs { shards: 3 },
+        ] {
+            let cfg = config(24, 300, 800);
+            let samples = correlated_stream(24, 300, 0.9, 31);
+            let mut plain = CovarianceEstimator::new(cfg, backend).unwrap();
+            let mut planned = CovarianceEstimator::new(cfg, backend)
+                .unwrap()
+                .with_ingestion_plan();
+            assert!(planned.ingestion_plan().is_some());
+            assert_eq!(
+                planned.ingestion_plan().unwrap().len() as u64,
+                cfg.num_pairs()
+            );
+            for s in &samples {
+                plain.process_sample(s);
+                planned.process_sample(s);
+            }
+            assert_eq!(
+                plain.update_counts(),
+                planned.update_counts(),
+                "{backend:?}: gate decisions diverged under the plan"
+            );
+            let a = plain.all_estimates();
+            let b = planned.all_estimates();
+            assert_eq!(a.len(), b.len());
+            for (key, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(x, y, "{backend:?}: estimate diverged at key {key}");
+                assert_eq!(*y, planned.estimate_key(key as u64));
+            }
+            assert_eq!(
+                plain
+                    .top_pairs(10)
+                    .iter()
+                    .map(|p| p.key)
+                    .collect::<Vec<_>>(),
+                planned
+                    .top_pairs(10)
+                    .iter()
+                    .map(|p| p.key)
+                    .collect::<Vec<_>>(),
+                "{backend:?}: top pairs diverged under the plan"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "count-sketch-family backend")]
+    fn ingestion_plan_rejects_filter_backends() {
+        let cfg = config(20, 100, 500);
+        let _ = CovarianceEstimator::new(
+            cfg,
+            SketchBackend::AugmentedSketch {
+                filter_capacity: 16,
+            },
+        )
+        .unwrap()
+        .with_ingestion_plan();
     }
 
     #[test]

@@ -24,12 +24,15 @@
 //! * [`hyper`] — Algorithm 3: choosing the exploration length `T0` and the
 //!   threshold slope `θ` from the bounds;
 //! * [`ascs`] — the sketch itself (Algorithm 2), with a fused hash-once
-//!   ingestion hot path;
+//!   ingestion hot path and a plan-driven (hash-free) path replaying a
+//!   precomputed `HashPlan` arena;
 //! * [`sharded`] — key-partitioned parallel ingestion across `std::thread`
-//!   workers, merged via the count sketch's linearity;
+//!   workers, merged via the count sketch's linearity, with precomputed
+//!   slot → shard routing for planned batches;
 //! * [`estimator`] — a high-level one-pass covariance estimator that can be
 //!   backed by ASCS, vanilla CS, ASketch or Cold Filter (used by every
-//!   experiment);
+//!   experiment), with `with_ingestion_plan()` for amortised hashing and
+//!   cache-blocked whole-universe query sweeps;
 //! * [`snr`] — instrumentation measuring the empirical SNR of the ingested
 //!   stream (Figure 5).
 

@@ -23,7 +23,7 @@
 use crate::ascs::{AscsSketch, SampleGate};
 use crate::config::SketchGeometry;
 use crate::hyper::HyperParameters;
-use ascs_count_sketch::{median_in_place, CountSketch, MAX_ROWS};
+use ascs_count_sketch::{median_in_place, CountSketch, HashPlan, MAX_ROWS};
 use ascs_sketch_hash::splitmix64;
 
 /// One pair update routed through the sharded ingestion layer: the linear
@@ -68,6 +68,11 @@ pub struct ShardedAscs {
     /// the batch is routed **once** on the calling thread, then each worker
     /// consumes only its own slice — no per-worker rescans of the batch.
     scratch: Vec<Vec<ShardUpdate>>,
+    /// Precomputed slot → shard assignments for plan-driven ingestion
+    /// (`slot_router[slot] == shard_of(slot)`), built lazily by
+    /// [`ShardedAscs::build_slot_router`] so the planned batch path routes
+    /// by table lookup instead of hashing every update's key.
+    slot_router: Vec<u8>,
 }
 
 impl ShardedAscs {
@@ -95,6 +100,7 @@ impl ShardedAscs {
             router_salt: splitmix64(seed ^ ROUTER_SALT),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             scratch: vec![Vec::new(); shards],
+            slot_router: Vec::new(),
         }
     }
 
@@ -118,6 +124,7 @@ impl ShardedAscs {
             router_salt: splitmix64(seed ^ ROUTER_SALT),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             scratch: vec![Vec::new(); shards],
+            slot_router: Vec::new(),
         }
     }
 
@@ -190,6 +197,70 @@ impl ShardedAscs {
                         worker.offer_gated(u.key, u.value, gate.expect("gate set above"));
                     }
                 });
+            }
+        });
+    }
+
+    /// Precomputes the slot → shard routing table for the plan slots
+    /// `0..len`, so [`ShardedAscs::offer_batch_planned`] routes each update
+    /// with one byte load instead of a hash. Idempotent; extends an
+    /// existing table when a larger plan arrives.
+    ///
+    /// # Panics
+    /// Panics with more than 256 shards (the table stores `u8` shard ids —
+    /// far beyond any machine this targets).
+    pub fn build_slot_router(&mut self, len: usize) {
+        let shards = self.workers.len();
+        assert!(shards <= 256, "slot routing supports at most 256 shards");
+        while self.slot_router.len() < len {
+            let slot = self.slot_router.len() as u64;
+            self.slot_router
+                .push(shard_for(slot, self.router_salt, shards) as u8);
+        }
+    }
+
+    /// Plan-driven counterpart of [`ShardedAscs::offer_batch`]: update keys
+    /// are plan slots (the dense identification `slot == key`), routing
+    /// uses the precomputed slot table, and each worker replays plan
+    /// entries via [`AscsSketch::ingest_planned`] — so neither the router
+    /// nor the workers hash anything per update. Produces exactly the state
+    /// [`ShardedAscs::offer_batch`] would: the routing table agrees with
+    /// [`ShardedAscs::shard_of`] by construction and the planned offer is
+    /// bit-identical to the hashed offer.
+    ///
+    /// # Panics
+    /// Panics if the plan does not match the workers' hash family, or if an
+    /// update's key is outside the plan.
+    pub fn offer_batch_planned(&mut self, plan: &HashPlan, batch: &[ShardUpdate]) {
+        // One up-front check covers both the sequential and the parallel
+        // path (per-update plan checks inside the workers are debug-only).
+        self.workers[0].sketch().verify_plan(plan);
+        self.build_slot_router(plan.len());
+        let shards = self.workers.len();
+        if shards == 1 || batch.len() < self.parallel_threshold {
+            // The gate depends only on `t` and the shared schedule, so one
+            // recomputation per distinct `t` covers every worker.
+            let mut gate_t = u64::MAX;
+            let mut gate: Option<SampleGate> = None;
+            for u in batch {
+                if gate_t != u.t {
+                    gate = Some(self.workers[0].sample_gate(u.t));
+                    gate_t = u.t;
+                }
+                let shard = usize::from(self.slot_router[u.key as usize]);
+                self.workers[shard].offer_planned(plan, u.key, u.value, gate.expect("gate set"));
+            }
+            return;
+        }
+        for buf in &mut self.scratch {
+            buf.clear();
+        }
+        for u in batch {
+            self.scratch[usize::from(self.slot_router[u.key as usize])].push(*u);
+        }
+        std::thread::scope(|scope| {
+            for (worker, own) in self.workers.iter_mut().zip(self.scratch.iter()) {
+                scope.spawn(move || worker.ingest_planned(plan, own));
             }
         });
     }
@@ -383,6 +454,71 @@ mod tests {
         assert_eq!(top[0].0, 1);
         assert_eq!(top[1].0, 2);
         assert!((top[0].1 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn planned_batch_matches_hashed_batch_bit_for_bit() {
+        let geometry = SketchGeometry::new(5, 256);
+        let build = || {
+            ShardedAscs::new(geometry, &hyper(8, 0.2, 1e-3), 64, 16, 3, 4)
+                .with_parallel_threshold(1)
+        };
+        let updates: Vec<ShardUpdate> = (1..=64u64)
+            .flat_map(|t| {
+                (0..20u64).map(move |key| ShardUpdate {
+                    key,
+                    value: ((key + t) % 7) as f64 * 0.25 - 0.75,
+                    t,
+                })
+            })
+            .collect();
+        let mut hashed = build();
+        hashed.offer_batch(&updates);
+        let mut planned = build();
+        let plan = planned.workers()[0].sketch().build_plan(20);
+        // Route through both the parallel path (one big batch) and the
+        // sequential small-batch path (raised threshold).
+        planned.offer_batch_planned(&plan, &updates[..updates.len() / 2]);
+        planned.parallel_threshold = usize::MAX;
+        planned.offer_batch_planned(&plan, &updates[updates.len() / 2..]);
+        for (a, b) in hashed.workers().iter().zip(planned.workers()) {
+            let ta = a.sketch().table();
+            let tb = b.sketch().table();
+            assert!(
+                ta.iter().zip(tb).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "a worker table diverged between hashed and planned routing"
+            );
+        }
+        assert_eq!(hashed.inserted_updates(), planned.inserted_updates());
+        assert_eq!(hashed.skipped_updates(), planned.skipped_updates());
+        // The slot router agrees with the hashing router everywhere.
+        for slot in 0..20u64 {
+            assert_eq!(
+                usize::from(planned.slot_router[slot as usize]),
+                planned.shard_of(slot)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match this sketch")]
+    fn planned_batch_rejects_foreign_plans_on_the_sequential_path() {
+        // The small-batch path must enforce the plan contract too — in
+        // release builds the per-update check inside the workers is
+        // debug-only, so the batch entry point carries the real assert.
+        let geometry = SketchGeometry::new(5, 64);
+        let mut s = ShardedAscs::vanilla(geometry, 32, 8, 1, 2);
+        let foreign = ShardedAscs::vanilla(geometry, 32, 8, 2, 2).workers()[0]
+            .sketch()
+            .build_plan(8);
+        s.offer_batch_planned(
+            &foreign,
+            &[ShardUpdate {
+                key: 0,
+                value: 1.0,
+                t: 1,
+            }],
+        );
     }
 
     #[test]

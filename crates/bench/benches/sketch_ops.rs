@@ -1,7 +1,9 @@
 //! Micro-benchmarks of the sketching substrate: update and point-query
 //! throughput of the count sketch as a function of the number of rows `K`,
-//! plus the single-row vs median-of-K retrieval ablation called out in
-//! DESIGN.md.
+//! the single-row vs median-of-K retrieval ablation called out in
+//! DESIGN.md, and the plan-driven execution paths (hash-free updates and
+//! the cache-blocked whole-universe sweep) against their hashing
+//! counterparts.
 
 use ascs_count_sketch::{AugmentedSketch, CountMinSketch, CountSketch};
 use ascs_sketch_hash::HashFamily;
@@ -76,6 +78,73 @@ fn bench_row_estimate_vs_median(c: &mut Criterion) {
     });
 }
 
+fn bench_planned_execution(c: &mut Criterion) {
+    let universe = 100_000usize;
+
+    let mut group = c.benchmark_group("planned_vs_hashed_update");
+    group.bench_function("update_hashed", |b| {
+        let mut cs = CountSketch::new(5, 1 << 16, 7);
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 1) % universe as u64;
+            cs.update(black_box(key), black_box(0.5));
+        })
+    });
+    group.bench_function("update_planned", |b| {
+        let mut cs = CountSketch::new(5, 1 << 16, 7);
+        let plan = cs.build_plan(universe);
+        let mut slot = 0usize;
+        b.iter(|| {
+            slot = (slot + 1) % universe;
+            cs.update_planned(&plan, black_box(slot), black_box(0.5));
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("planned_vs_hashed_estimate");
+    let mut cs = CountSketch::new(5, 1 << 16, 9);
+    for key in 0..universe as u64 {
+        cs.update(key, (key % 13) as f64);
+    }
+    let plan = cs.build_plan(universe);
+    group.bench_function("estimate_hashed", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 1) % universe as u64;
+            black_box(cs.estimate(black_box(key)))
+        })
+    });
+    group.bench_function("estimate_planned", |b| {
+        let mut slot = 0usize;
+        b.iter(|| {
+            slot = (slot + 1) % universe;
+            black_box(cs.estimate_planned(&plan, black_box(slot)))
+        })
+    });
+    group.finish();
+
+    // Whole-universe sweeps: p point queries vs one blocked pass. Reported
+    // per sweep (each iteration answers `universe` queries).
+    let mut group = c.benchmark_group("query_sweep");
+    group.sample_size(10);
+    group.bench_function("point_query_loop", |b| {
+        let mut out: Vec<f64> = Vec::with_capacity(universe);
+        b.iter(|| {
+            out.clear();
+            out.extend((0..universe as u64).map(|key| cs.estimate(key)));
+            black_box(out.len())
+        })
+    });
+    group.bench_function("estimate_many", |b| {
+        let mut out: Vec<f64> = Vec::with_capacity(universe);
+        b.iter(|| {
+            cs.estimate_many(&plan, &mut out);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
 fn bench_baseline_structures(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_update");
     group.bench_function("count_min", |b| {
@@ -103,6 +172,7 @@ criterion_group!(
     bench_update,
     bench_estimate,
     bench_row_estimate_vs_median,
+    bench_planned_execution,
     bench_baseline_structures
 );
 criterion_main!(benches);

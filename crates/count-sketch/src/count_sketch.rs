@@ -1,7 +1,15 @@
 //! The Count Sketch data structure (Charikar, Chen, Farach-Colton 2002).
 
 use crate::PointSketch;
-use ascs_sketch_hash::{HashFamily, RowLocations, MAX_ROWS};
+use ascs_sketch_hash::{HashFamily, HashPlan, RowLocations, MAX_ROWS};
+
+/// Slots per block of the [`CountSketch::estimate_many`] sweep. Each block
+/// gathers row by row, so the working set per inner loop is one table row
+/// (`R × 8` bytes) plus the block buffers — small enough that consecutive
+/// slots hitting nearby buckets actually share cache lines, instead of the
+/// per-key query order that cycles through all `K` rows between any two
+/// touches of the same row.
+const SWEEP_BLOCK: usize = 1024;
 
 /// A count sketch `W ∈ R^{K×R}`.
 ///
@@ -157,6 +165,149 @@ impl CountSketch {
             base += self.range;
         }
         self.updates += 1;
+    }
+
+    /// Builds a reusable [`HashPlan`] for the dense key set `0..len` from
+    /// this sketch's hash family. Every plan-driven call below replays the
+    /// arena instead of hashing.
+    pub fn build_plan(&self, len: usize) -> HashPlan {
+        HashPlan::build_dense(&self.family, len)
+    }
+
+    /// Asserts that `plan` was derived from this sketch's hash family —
+    /// running a foreign plan would silently read and write wrong buckets.
+    #[inline]
+    pub fn verify_plan(&self, plan: &HashPlan) {
+        assert!(
+            plan.matches(&self.family),
+            "hash plan geometry/seed does not match this sketch \
+             (plan {}x{} seed {}, sketch {}x{} seed {})",
+            plan.rows(),
+            plan.range(),
+            plan.seed(),
+            self.rows,
+            self.range,
+            self.seed
+        );
+    }
+
+    /// Adds `weight` at a precomputed plan slot (no hashing). Identical to
+    /// [`CountSketch::update`] of the key the slot was built from.
+    #[inline]
+    pub fn update_planned(&mut self, plan: &HashPlan, slot: usize, weight: f64) {
+        debug_assert!(plan.matches(&self.family));
+        let (buckets, mask) = plan.entry(slot);
+        let mut base = 0usize;
+        for (row, &bucket) in buckets.iter().enumerate() {
+            let sign = ascs_sketch_hash::sign_from_bit(u64::from(mask >> row) & 1);
+            self.table[base + bucket as usize] += weight * sign;
+            base += self.range;
+        }
+        self.updates += 1;
+    }
+
+    /// Reads the signed per-row estimates at a plan slot into `buf` (no
+    /// hashing); returns the number of rows written. Bit-identical to
+    /// [`CountSketch::row_values_at`] of the slot's locations.
+    ///
+    /// # Panics
+    /// Panics if the sketch has more than [`MAX_ROWS`] rows — the stack
+    /// buffer caps there, matching [`CountSketch::locate`]; such geometries
+    /// must use [`CountSketch::estimate_many`] (heap buffers) or the
+    /// per-key APIs instead.
+    #[inline]
+    pub fn row_values_planned(
+        &self,
+        plan: &HashPlan,
+        slot: usize,
+        buf: &mut [f64; MAX_ROWS],
+    ) -> usize {
+        debug_assert!(plan.matches(&self.family));
+        let (buckets, mask) = plan.entry(slot);
+        assert!(
+            buckets.len() <= MAX_ROWS,
+            "row_values_planned supports at most {MAX_ROWS} rows, plan has {}",
+            buckets.len()
+        );
+        let mut base = 0usize;
+        for ((row, out), &bucket) in buf.iter_mut().enumerate().zip(buckets) {
+            let sign = ascs_sketch_hash::sign_from_bit(u64::from(mask >> row) & 1);
+            *out = self.table[base + bucket as usize] * sign;
+            base += self.range;
+        }
+        buckets.len()
+    }
+
+    /// Point query at a plan slot (no hashing). Identical to
+    /// [`CountSketch::estimate`] of the key the slot was built from.
+    ///
+    /// # Panics
+    /// See [`CountSketch::row_values_planned`].
+    #[inline]
+    pub fn estimate_planned(&self, plan: &HashPlan, slot: usize) -> f64 {
+        let mut buf = [0.0f64; MAX_ROWS];
+        let n = self.row_values_planned(plan, slot, &mut buf);
+        median_in_place(&mut buf[..n])
+    }
+
+    /// Touches the table buckets of a plan slot without using their values —
+    /// a safe software prefetch. Batch ingestion loops call this a few
+    /// entries ahead of the update they are processing, so the (randomly
+    /// scattered) bucket loads are in flight while the current update's gate
+    /// and median run.
+    ///
+    /// Implemented as early loads folded through [`std::hint::black_box`]
+    /// (the crate forbids `unsafe`, so the dedicated prefetch intrinsics are
+    /// out of reach); the loaded lines are hot in L1 when the real access
+    /// arrives, which is all a prefetch does.
+    #[inline]
+    pub fn prefetch_planned(&self, plan: &HashPlan, slot: usize) {
+        let (buckets, _) = plan.entry(slot);
+        let mut acc = 0.0f64;
+        let mut base = 0usize;
+        for &bucket in buckets {
+            acc += self.table[base + bucket as usize];
+            base += self.range;
+        }
+        std::hint::black_box(acc);
+    }
+
+    /// Answers a point query for **every** slot of `plan` in one
+    /// cache-blocked sweep, appending to `out` (cleared first). Produces
+    /// bit-identical values to calling [`CountSketch::estimate`] per key,
+    /// but turns `len` independent point queries — each cycling through all
+    /// `K` table rows — into a blocked pass that gathers row by row within
+    /// a block, so the table working set per inner loop is a single row.
+    ///
+    /// # Panics
+    /// Panics if the plan does not match this sketch's family.
+    pub fn estimate_many(&self, plan: &HashPlan, out: &mut Vec<f64>) {
+        self.verify_plan(plan);
+        out.clear();
+        out.reserve(plan.len());
+        let k = self.rows;
+        let mut vals = vec![0.0f64; SWEEP_BLOCK * k];
+        let mut start = 0usize;
+        while start < plan.len() {
+            let block = (plan.len() - start).min(SWEEP_BLOCK);
+            // Row-major gather: every table access of this inner loop stays
+            // inside one row's region.
+            for row in 0..k {
+                let base = row * self.range;
+                for i in 0..block {
+                    let slot = start + i;
+                    let sign =
+                        ascs_sketch_hash::sign_from_bit(u64::from(plan.sign_mask(slot) >> row) & 1);
+                    vals[i * k + row] = self.table[base + plan.bucket(slot, row)] * sign;
+                }
+            }
+            // Per-slot medians over the gathered columns — the same
+            // reduction `estimate` runs, so the results are bit-identical.
+            for chunk in vals[..block * k].chunks_mut(k) {
+                out.push(median_in_place(chunk));
+            }
+            start += block;
+        }
     }
 
     /// Raw (unsigned) content of one bucket. Used by the sharded ingestion
@@ -486,6 +637,99 @@ mod tests {
         }
         let mut sorted = buf;
         assert_eq!(median_in_place(&mut sorted[..n]), cs.estimate(42));
+    }
+
+    #[test]
+    fn planned_apis_match_keyed_apis_bit_for_bit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let mut keyed = CountSketch::new(5, 257, 17);
+        let mut planned = CountSketch::new(5, 257, 17);
+        let plan = planned.build_plan(400);
+        planned.verify_plan(&plan);
+        for _ in 0..2000 {
+            let slot = (rng.gen::<u64>() % 400) as usize;
+            let w = rng.gen_range(-2.0..2.0);
+            keyed.update(slot as u64, w);
+            planned.prefetch_planned(&plan, slot);
+            planned.update_planned(&plan, slot, w);
+            assert_eq!(
+                keyed.estimate(slot as u64).to_bits(),
+                planned.estimate_planned(&plan, slot).to_bits(),
+                "planned estimate diverged for slot {slot}"
+            );
+        }
+        assert_eq!(keyed.table(), planned.table());
+        assert_eq!(keyed.update_count(), planned.update_count());
+
+        let mut buf_at = [0.0f64; ascs_sketch_hash::MAX_ROWS];
+        let mut buf_plan = [0.0f64; ascs_sketch_hash::MAX_ROWS];
+        let locs = planned.locate(42);
+        let n = planned.row_values_at(&locs, &mut buf_at);
+        assert_eq!(planned.row_values_planned(&plan, 42, &mut buf_plan), n);
+        assert_eq!(buf_at, buf_plan);
+    }
+
+    #[test]
+    fn estimate_many_is_bit_identical_to_point_queries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // A block boundary inside the slot range and keys beyond the
+        // inserted set (estimating ~0) both get covered.
+        let slots = 3000usize;
+        let mut cs = CountSketch::new(5, 512, 29);
+        for _ in 0..20_000 {
+            cs.update(rng.gen::<u64>() % 1500, rng.gen_range(-1.0..1.0));
+        }
+        let plan = cs.build_plan(slots);
+        let mut swept = Vec::new();
+        cs.estimate_many(&plan, &mut swept);
+        assert_eq!(swept.len(), slots);
+        for (slot, &est) in swept.iter().enumerate() {
+            assert_eq!(
+                est.to_bits(),
+                cs.estimate(slot as u64).to_bits(),
+                "sweep diverged at slot {slot}"
+            );
+        }
+        // Reuse of the output vector clears stale contents.
+        cs.estimate_many(&plan, &mut swept);
+        assert_eq!(swept.len(), slots);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn planned_point_query_rejects_oversized_row_counts() {
+        // 17-32 rows are legal for the sketch (estimate() has a Vec
+        // fallback) and for the plan arena, but the stack-buffer planned
+        // point query must refuse them rather than read a truncated buffer.
+        let cs = CountSketch::new(MAX_ROWS + 1, 64, 1);
+        let plan = cs.build_plan(4);
+        let _ = cs.estimate_planned(&plan, 0);
+    }
+
+    #[test]
+    fn estimate_many_handles_rows_beyond_the_stack_cap() {
+        // The blocked sweep uses heap buffers, so it is the supported
+        // whole-universe query path for oversized row counts.
+        let mut cs = CountSketch::new(MAX_ROWS + 1, 64, 1);
+        for key in 0..32u64 {
+            cs.update(key, key as f64);
+        }
+        let plan = cs.build_plan(32);
+        let mut out = Vec::new();
+        cs.estimate_many(&plan, &mut out);
+        for (slot, &est) in out.iter().enumerate() {
+            assert_eq!(est.to_bits(), cs.estimate(slot as u64).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match this sketch")]
+    fn foreign_plan_is_rejected() {
+        let cs = CountSketch::new(5, 64, 1);
+        let other = CountSketch::new(5, 64, 2);
+        let plan = other.build_plan(16);
+        let mut out = Vec::new();
+        cs.estimate_many(&plan, &mut out);
     }
 
     #[test]

@@ -8,8 +8,30 @@
 //! touched its fresh estimate is offered to the tracker, which keeps the
 //! `capacity` largest values seen.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
+
+/// Ranking wrapper giving `(estimate, key)` the tracker's reporting order:
+/// larger estimates first, ties broken by **smaller** key — so the *larger*
+/// `Rank` is the entry reported earlier. `total_cmp` makes the order total
+/// (the tracker never stores NaN, but the type must not rely on that).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Rank(f64, u64);
+
+impl Eq for Rank {}
+
+impl PartialOrd for Rank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
+    }
+}
 
 /// A minimal `u64` hasher (one splitmix64 round) for the tracker map.
 ///
@@ -144,9 +166,53 @@ impl TopKTracker {
 
     /// Retained `(key, estimate)` pairs sorted by estimate descending.
     pub fn descending(&self) -> Vec<(u64, f64)> {
-        let mut v: Vec<(u64, f64)> = self.entries.iter().map(|(k, v)| (*k, *v)).collect();
+        self.top_descending(self.entries.len())
+    }
+
+    /// The `k` largest retained `(key, estimate)` pairs, estimate
+    /// descending, ties broken by key ascending.
+    ///
+    /// When `k` is smaller than the retained set this is a **partial
+    /// selection**: a bounded min-heap of size `k` is threaded over the
+    /// entries (`O(n log k)`), then only the `k` survivors are sorted —
+    /// reporting callers routinely ask for a handful of pairs out of a
+    /// tracker holding thousands, where fully sorting the retained set just
+    /// to discard most of it dominated the reporting cost.
+    pub fn top_descending(&self, k: usize) -> Vec<(u64, f64)> {
+        let k = k.min(self.entries.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        if k == self.entries.len() {
+            let mut v: Vec<(u64, f64)> = self.entries.iter().map(|(k, v)| (*k, *v)).collect();
+            v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            return v;
+        }
+        // Min-heap of the k best seen so far: the root is the weakest
+        // survivor, evicted whenever a stronger entry arrives.
+        let mut heap: BinaryHeap<Reverse<Rank>> = BinaryHeap::with_capacity(k + 1);
+        for (&key, &est) in &self.entries {
+            let rank = Rank(est, key);
+            if heap.len() < k {
+                heap.push(Reverse(rank));
+            } else if rank > heap.peek().expect("heap is non-empty").0 {
+                heap.pop();
+                heap.push(Reverse(rank));
+            }
+        }
+        let mut v: Vec<(u64, f64)> = heap
+            .into_iter()
+            .map(|Reverse(Rank(est, key))| (key, est))
+            .collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
+    }
+
+    /// Consumes the tracker and returns its `k` largest entries, estimate
+    /// descending with the deterministic key tie-break — the one-shot form
+    /// of [`TopKTracker::top_descending`] for end-of-stream reporting.
+    pub fn into_sorted_vec(self, k: usize) -> Vec<(u64, f64)> {
+        self.top_descending(k)
     }
 
     /// Just the keys, largest estimate first.
@@ -226,6 +292,26 @@ mod tests {
     #[should_panic(expected = "positive capacity")]
     fn zero_capacity_panics() {
         let _ = TopKTracker::new(0);
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort() {
+        // The heap-select path (k < len) must return exactly the prefix the
+        // full sort produces, including the key tie-break, for every k.
+        let mut t = TopKTracker::new(64);
+        for i in 0..64u64 {
+            t.offer(i, (i % 7) as f64); // many ties
+        }
+        let full = t.descending();
+        for k in 0..=full.len() + 3 {
+            assert_eq!(
+                t.top_descending(k),
+                full[..k.min(full.len())].to_vec(),
+                "selection diverged at k = {k}"
+            );
+        }
+        assert_eq!(t.clone().into_sorted_vec(5), full[..5].to_vec());
+        assert_eq!(t.into_sorted_vec(1000), full);
     }
 
     #[test]

@@ -47,6 +47,18 @@ pub struct RowLocations {
 }
 
 impl RowLocations {
+    /// Assembles locations from raw parts (used by the precomputed
+    /// [`crate::HashPlan`] to hand out entries in the stack format the fused
+    /// sketch APIs consume).
+    #[inline]
+    pub(crate) fn from_raw(len: u32, sign_mask: u32, buckets: [u32; MAX_ROWS]) -> Self {
+        Self {
+            len,
+            sign_mask,
+            buckets,
+        }
+    }
+
     /// Number of rows covered.
     #[inline]
     pub fn len(&self) -> usize {

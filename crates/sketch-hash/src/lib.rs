@@ -16,6 +16,10 @@
 //!   avalanche) used as building blocks;
 //! * [`RowHasher`] — one row's bucket + sign hash derived from a seed;
 //! * [`HashFamily`] — `K` independent rows with convenience iteration;
+//! * [`HashPlan`] — a precomputed structure-of-arrays arena of every row's
+//!   `(bucket, sign)` for a key set, built once (in parallel for large
+//!   sets) and replayed across samples so steady-state ingestion and query
+//!   sweeps stop hashing entirely;
 //! * [`MultiplyShiftHash`] — a 2-universal multiply-shift family matching
 //!   the pairwise-independence assumption used in the paper's analysis.
 //!
@@ -27,8 +31,10 @@
 
 pub mod family;
 pub mod mix;
+pub mod plan;
 pub mod universal;
 
 pub use family::{sign_from_bit, HashFamily, RowHasher, RowLocation, RowLocations, MAX_ROWS};
 pub use mix::{avalanche64, splitmix64, SplitMix64};
+pub use plan::HashPlan;
 pub use universal::MultiplyShiftHash;

@@ -1,0 +1,284 @@
+//! Precomputed hash plans: amortising hashing across an entire stream.
+//!
+//! The ASCS ingestion loop offers `d(d−1)/2` pair updates per sample, and
+//! for a fixed feature dimension those are the *same* pair keys every
+//! sample. Hashing each key once per update (the PR 2 fused discipline) is
+//! therefore still `K` bucket hashes + `K` sign hashes of pure recomputation
+//! per update. A [`HashPlan`] removes that recomputation entirely: all of a
+//! key set's `(bucket, sign)` locations are computed **once** — in parallel
+//! for large sets — into a contiguous structure-of-arrays arena, and every
+//! subsequent sample (and every query sweep) replays plan entries instead of
+//! hashing.
+//!
+//! The arena layout is slot-major: one plan *slot* owns `K` consecutive
+//! `u32` bucket columns plus one packed sign bitmask, 4·K + 4 bytes per
+//! slot. Ingestion walks slots in emission order, so plan reads are a pure
+//! sequential stream the hardware prefetcher hides completely; the only
+//! remaining irregular accesses are the sketch-table buckets themselves,
+//! which the plan-driven executors in `ascs-count-sketch` block and
+//! look-ahead over (see `CountSketch::estimate_many`).
+
+use crate::family::{HashFamily, RowLocations, MAX_ROWS};
+
+/// Plan sizes at or above this many slots are built on multiple scoped
+/// threads (when the machine has them). Below it the spawn overhead exceeds
+/// the hashing work.
+const PARALLEL_BUILD_THRESHOLD: usize = 1 << 16;
+
+/// A precomputed, reusable table of every row's `(bucket, sign)` for a key
+/// set, laid out as a contiguous structure-of-arrays arena.
+///
+/// Slots are positions `0..len` in the order the keys were supplied; for the
+/// dense pair universe of the ASCS estimator (`keys = 0..p`) the slot **is**
+/// the key, so resolving an update to its plan entry is free.
+///
+/// ```
+/// use ascs_sketch_hash::{HashFamily, HashPlan};
+/// let family = HashFamily::new(5, 1 << 10, 42);
+/// let plan = HashPlan::build_dense(&family, 1000);
+/// assert_eq!(plan.len(), 1000);
+/// for slot in 0..1000 {
+///     assert_eq!(plan.locations(slot), family.locate_all(slot as u64));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashPlan {
+    rows: usize,
+    range: usize,
+    seed: u64,
+    len: usize,
+    /// Slot-major bucket arena: `buckets[slot * rows + row]`.
+    buckets: Vec<u32>,
+    /// One packed sign bitmask per slot (bit `r` set ⇔ row `r` is `−1.0`).
+    sign_masks: Vec<u32>,
+}
+
+impl HashPlan {
+    /// Builds a plan for the dense key set `0..len` — the form the ASCS
+    /// estimator uses, where linear pair keys are their own slots. Large
+    /// plans are hashed on multiple threads.
+    ///
+    /// # Panics
+    /// Panics if the family has more than 32 rows (the sign bitmask width)
+    /// or more than `u32::MAX` buckets per row.
+    pub fn build_dense(family: &HashFamily, len: usize) -> Self {
+        Self::build_with(family, len, |slot| slot as u64)
+    }
+
+    /// Builds a plan for an explicit key set; slot `i` holds the locations
+    /// of `keys[i]`.
+    ///
+    /// # Panics
+    /// See [`HashPlan::build_dense`].
+    pub fn build_from_keys(family: &HashFamily, keys: &[u64]) -> Self {
+        Self::build_with(family, keys.len(), |slot| keys[slot])
+    }
+
+    fn build_with(family: &HashFamily, len: usize, key_of: impl Fn(usize) -> u64 + Sync) -> Self {
+        let rows = family.rows();
+        assert!(
+            rows <= 32,
+            "hash plans support at most 32 rows (sign bitmask width), family has {rows}"
+        );
+        assert!(
+            family.range() <= u32::MAX as usize,
+            "hash plans support at most 2^32 buckets per row"
+        );
+        let mut buckets = vec![0u32; len * rows];
+        let mut sign_masks = vec![0u32; len];
+
+        let fill = |first_slot: usize,
+                    bucket_chunk: &mut [u32],
+                    mask_chunk: &mut [u32],
+                    family: &HashFamily| {
+            for (i, mask) in mask_chunk.iter_mut().enumerate() {
+                let key = key_of(first_slot + i);
+                let mut m = 0u32;
+                for (row, hasher) in family.row_hashers().iter().enumerate() {
+                    bucket_chunk[i * rows + row] = hasher.bucket(key, family.range()) as u32;
+                    m |= (hasher.sign_bit(key) as u32) << row;
+                }
+                *mask = m;
+            }
+        };
+
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        if len >= PARALLEL_BUILD_THRESHOLD && threads > 1 {
+            let chunk = len.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, (bucket_chunk, mask_chunk)) in buckets
+                    .chunks_mut(chunk * rows)
+                    .zip(sign_masks.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    let fill = &fill;
+                    scope.spawn(move || fill(t * chunk, bucket_chunk, mask_chunk, family));
+                }
+            });
+        } else {
+            fill(0, &mut buckets, &mut sign_masks, family);
+        }
+
+        Self {
+            rows,
+            range: family.range(),
+            seed: family.seed(),
+            len,
+            buckets,
+            sign_masks,
+        }
+    }
+
+    /// Number of slots (keys) covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the plan covers no keys.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of rows `K` per slot.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Buckets per row `R` of the family the plan was derived from.
+    #[inline]
+    pub fn range(&self) -> usize {
+        self.range
+    }
+
+    /// Seed of the family the plan was derived from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when the plan was built from a family with this geometry and
+    /// seed — the compatibility check plan-driven sketch executors assert.
+    #[inline]
+    pub fn matches(&self, family: &HashFamily) -> bool {
+        self.rows == family.rows() && self.range == family.range() && self.seed == family.seed()
+    }
+
+    /// Memory footprint of the arena in bytes.
+    pub fn arena_bytes(&self) -> usize {
+        self.buckets.len() * 4 + self.sign_masks.len() * 4
+    }
+
+    /// Bucket of `slot` in `row`.
+    #[inline]
+    pub fn bucket(&self, slot: usize, row: usize) -> usize {
+        self.buckets[slot * self.rows + row] as usize
+    }
+
+    /// Packed sign bitmask of `slot`.
+    #[inline]
+    pub fn sign_mask(&self, slot: usize) -> u32 {
+        self.sign_masks[slot]
+    }
+
+    /// One slot's arena entry: its `K` bucket columns and its sign bitmask.
+    /// The slice borrow lets hot loops iterate without bounds checks.
+    #[inline]
+    pub fn entry(&self, slot: usize) -> (&[u32], u32) {
+        let start = slot * self.rows;
+        (
+            &self.buckets[start..start + self.rows],
+            self.sign_masks[slot],
+        )
+    }
+
+    /// Reconstructs the stack-format [`RowLocations`] of `slot`, for interop
+    /// with the per-key fused APIs.
+    ///
+    /// # Panics
+    /// Panics if the plan has more than [`MAX_ROWS`] rows (the stack format
+    /// is capped; the arena itself is not).
+    #[inline]
+    pub fn locations(&self, slot: usize) -> RowLocations {
+        assert!(
+            self.rows <= MAX_ROWS,
+            "RowLocations supports at most {MAX_ROWS} rows, plan has {}",
+            self.rows
+        );
+        let (cols, mask) = self.entry(slot);
+        let mut buckets = [0u32; MAX_ROWS];
+        buckets[..self.rows].copy_from_slice(cols);
+        RowLocations::from_raw(self.rows as u32, mask, buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_plan_matches_per_key_hashing() {
+        let family = HashFamily::new(5, 513, 19);
+        let plan = HashPlan::build_dense(&family, 2000);
+        assert_eq!(plan.len(), 2000);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.rows(), 5);
+        assert_eq!(plan.range(), 513);
+        assert_eq!(plan.seed(), family.seed());
+        assert!(plan.matches(&family));
+        for slot in 0..2000usize {
+            let locs = family.locate_all(slot as u64);
+            assert_eq!(plan.locations(slot), locs);
+            assert_eq!(plan.sign_mask(slot), locs.sign_mask());
+            let (cols, mask) = plan.entry(slot);
+            assert_eq!(mask, locs.sign_mask());
+            for (row, &b) in cols.iter().enumerate() {
+                assert_eq!(b as usize, locs.bucket(row));
+                assert_eq!(plan.bucket(slot, row), locs.bucket(row));
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_plan_maps_slots_to_supplied_keys() {
+        let family = HashFamily::new(3, 64, 7);
+        let keys = [5u64, 999, 0, 123_456_789];
+        let plan = HashPlan::build_from_keys(&family, &keys);
+        assert_eq!(plan.len(), 4);
+        for (slot, &key) in keys.iter().enumerate() {
+            assert_eq!(plan.locations(slot), family.locate_all(key));
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // Above the parallel threshold the arena must be identical to the
+        // sequential fill (the chunks partition the slot space exactly).
+        let family = HashFamily::new(4, 1 << 12, 3);
+        let n = PARALLEL_BUILD_THRESHOLD + 1234;
+        let plan = HashPlan::build_dense(&family, n);
+        for slot in (0..n).step_by(997) {
+            assert_eq!(plan.locations(slot), family.locate_all(slot as u64));
+        }
+        assert_eq!(plan.locations(n - 1), family.locate_all(n as u64 - 1));
+        assert_eq!(plan.arena_bytes(), n * 4 * 4 + n * 4);
+    }
+
+    #[test]
+    fn mismatched_family_is_detected() {
+        let family = HashFamily::new(5, 64, 1);
+        let plan = HashPlan::build_dense(&family, 10);
+        assert!(!plan.matches(&HashFamily::new(5, 64, 2)));
+        assert!(!plan.matches(&HashFamily::new(4, 64, 1)));
+        assert!(!plan.matches(&HashFamily::new(5, 128, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32 rows")]
+    fn oversized_row_count_is_rejected() {
+        let family = HashFamily::new(33, 8, 1);
+        let _ = HashPlan::build_dense(&family, 4);
+    }
+}

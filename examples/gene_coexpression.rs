@@ -85,11 +85,13 @@ fn main() {
     // At this compression ratio Algorithm 3 may be infeasible (the Theorem 2
     // budget cannot be met); the estimator then falls back to the
     // fixed-fraction exploration Theorem 3 analyses.
-    let (mut estimator, fell_back) =
-        CovarianceEstimator::new_or_fallback(config, SketchBackend::Ascs);
+    let (estimator, fell_back) = CovarianceEstimator::new_or_fallback(config, SketchBackend::Ascs);
     if fell_back {
         println!("(Algorithm 3 infeasible at this compression; using fixed-fraction exploration)");
     }
+    // Amortise hashing across the stream: the 1.1M pair keys are hashed
+    // once into an ingestion plan, and every sample replays plan entries.
+    let mut estimator = estimator.with_ingestion_plan();
     println!(
         "sketch: K = {}, R = {} ({} floats for {} gene pairs, {:.0}x compression)",
         geometry.rows,

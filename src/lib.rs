@@ -81,7 +81,8 @@ pub mod prelude {
         SketchBackend, SketchGeometry, TheoryBounds, ThresholdSchedule, UpdateMode,
     };
     pub use ascs_count_sketch::{
-        AugmentedSketch, ColdFilter, CountMinSketch, CountSketch, PointSketch, TopKTracker,
+        AugmentedSketch, ColdFilter, CountMinSketch, CountSketch, HashPlan, PointSketch,
+        TopKTracker,
     };
     pub use ascs_datasets::{
         BootstrapResampler, ShuffleBuffer, SimulatedDataset, SimulationSpec, SurrogateDataset,

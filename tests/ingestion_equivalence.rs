@@ -11,6 +11,11 @@
 //!   so the re-associated merge is exact) and gated mode on a
 //!   collision-free key set (where shard-local gates provably decide like
 //!   the sequential gate).
+//! * The **plan-driven** ingestion path ([`AscsSketch::offer_planned`] /
+//!   [`HashPlan`]) is property-tested bit-identical to the PR 2 fused path
+//!   across random geometries, keys, weights and phase splits — gated and
+//!   vanilla — and [`CountSketch::estimate_many`] bit-identical to per-key
+//!   [`CountSketch::estimate`] sweeps.
 
 use ascs::prelude::*;
 use ascs_core::AscsPhase;
@@ -133,6 +138,110 @@ proptest! {
         }
         // ...and identical tracker contents.
         prop_assert_eq!(fused.top_pairs(), naive.tracker.descending());
+    }
+
+    /// Plan-driven ingestion is bit-identical to the PR 2 fused path across
+    /// random geometries, keys, weights and phase splits. `t0_frac` up to
+    /// 1.0 covers the vanilla (never-gated) regime as well as gated runs,
+    /// and the tracked/untracked split covers both tracker policies.
+    #[test]
+    fn planned_ingestion_is_bit_identical_to_fused(
+        rows in 1usize..8,
+        range in 8usize..512,
+        total in 32u64..400,
+        t0_frac in 0.05f64..1.0,
+        theta in 0.0f64..0.5,
+        tau0 in 0.0f64..0.01,
+        seed in 0u64..1000,
+        track in proptest::bool::ANY,
+        updates in proptest::collection::vec((0u64..64, -2.0f64..2.0), 1..250),
+    ) {
+        let t0 = ((total as f64 * t0_frac) as u64).clamp(1, total);
+        let hp = hyper(t0, theta, tau0);
+        let geometry = SketchGeometry::new(rows, range);
+        let build = || {
+            let s = AscsSketch::new(geometry, &hp, total, 16, seed);
+            if track { s } else { s.without_tracking() }
+        };
+        let mut fused = build();
+        let mut planned = build();
+        let plan = planned.sketch().build_plan(64);
+        for (i, &(key, x)) in updates.iter().enumerate() {
+            let t = (i as u64 % total) + 1;
+            let gate = fused.sample_gate(t);
+            let a = fused.offer_gated(key, x, gate);
+            let b = planned.offer_planned(&plan, key, x, gate);
+            prop_assert_eq!(a, b, "outcome diverged at step {} (t = {}, key = {})", i, t, key);
+        }
+        let ta = fused.sketch().table();
+        let tb = planned.sketch().table();
+        prop_assert!(
+            ta.iter().zip(tb).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "sketch tables diverged"
+        );
+        prop_assert_eq!(fused.inserted_updates(), planned.inserted_updates());
+        prop_assert_eq!(fused.skipped_updates(), planned.skipped_updates());
+        prop_assert_eq!(fused.top_pairs(), planned.top_pairs());
+    }
+
+    /// The batch driver (gate memoised per distinct `t`, look-ahead
+    /// prefetch) changes nothing observable against per-update offers.
+    #[test]
+    fn ingest_planned_batch_is_bit_identical_to_offers(
+        range in 8usize..256,
+        seed in 0u64..500,
+        updates in proptest::collection::vec((0u64..32, -2.0f64..2.0), 1..200),
+    ) {
+        let total = 64u64;
+        let hp = hyper(8, 0.3, 1e-3);
+        let geometry = SketchGeometry::new(5, range);
+        let mut direct = AscsSketch::new(geometry, &hp, total, 16, seed);
+        let mut batched = AscsSketch::new(geometry, &hp, total, 16, seed);
+        let plan = batched.sketch().build_plan(32);
+        let batch: Vec<ShardUpdate> = updates
+            .iter()
+            .enumerate()
+            .map(|(i, &(key, x))| ShardUpdate { key, value: x, t: (i as u64 % total) + 1 })
+            .collect();
+        for u in &batch {
+            direct.offer(u.key, u.value, u.t);
+        }
+        batched.ingest_planned(&plan, &batch);
+        let ta = direct.sketch().table();
+        let tb = batched.sketch().table();
+        prop_assert!(ta.iter().zip(tb).all(|(a, b)| a.to_bits() == b.to_bits()));
+        prop_assert_eq!(direct.inserted_updates(), batched.inserted_updates());
+        prop_assert_eq!(direct.skipped_updates(), batched.skipped_updates());
+        prop_assert_eq!(direct.top_pairs(), batched.top_pairs());
+    }
+
+    /// The cache-blocked whole-universe sweep answers exactly what per-key
+    /// point queries answer, bit for bit, across random geometries and
+    /// universe sizes (including sizes straddling the sweep's block
+    /// boundary and keys never inserted).
+    #[test]
+    fn estimate_many_is_bit_identical_to_point_estimates(
+        rows in 1usize..8,
+        range in 8usize..512,
+        universe in 1usize..3000,
+        seed in 0u64..1000,
+        updates in proptest::collection::vec((0u64..1024, -2.0f64..2.0), 0..300),
+    ) {
+        let mut cs = CountSketch::new(rows, range, seed);
+        for &(key, w) in &updates {
+            cs.update(key % universe as u64, w);
+        }
+        let plan = cs.build_plan(universe);
+        let mut swept = Vec::new();
+        cs.estimate_many(&plan, &mut swept);
+        prop_assert_eq!(swept.len(), universe);
+        for (slot, &est) in swept.iter().enumerate() {
+            prop_assert_eq!(
+                est.to_bits(),
+                cs.estimate(slot as u64).to_bits(),
+                "sweep diverged at slot {}", slot
+            );
+        }
     }
 
     /// Sharded vanilla ingestion merges to exactly the sequential sketch

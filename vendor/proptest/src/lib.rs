@@ -125,6 +125,26 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::RngCore as _;
+
+    /// The uniform boolean strategy type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
 /// Collection strategies (`proptest::collection::{vec, hash_set}`).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -326,6 +346,7 @@ pub mod prelude {
 
     /// `prop::...` paths as re-exported by the real prelude.
     pub mod prop {
+        pub use crate::bool;
         pub use crate::collection;
     }
 }
