@@ -817,6 +817,54 @@ mod tests {
         }
     }
 
+    /// `top_pairs(k)` edge cases on every backend: `k = 0` returns empty,
+    /// `k` beyond the retained set returns the whole retained set, and the
+    /// ordering is estimate-desc with the key-asc tie-break throughout.
+    #[test]
+    fn top_pairs_edge_cases_across_all_backends() {
+        let dim = 20u64;
+        let n = 400usize;
+        let samples = correlated_stream(dim as usize, n, 0.95, 23);
+        for backend in [
+            SketchBackend::VanillaCs,
+            SketchBackend::Ascs,
+            SketchBackend::ShardedAscs { shards: 3 },
+            SketchBackend::AugmentedSketch {
+                filter_capacity: 16,
+            },
+            SketchBackend::ColdFilter {
+                threshold: 1e-3,
+                filter_range: 64,
+            },
+        ] {
+            let cfg = config(dim, n as u64, 1000);
+            let mut est = CovarianceEstimator::new(cfg, backend).unwrap();
+            est.process_all(samples.iter());
+            assert!(
+                est.top_pairs(0).is_empty(),
+                "{backend:?}: top_pairs(0) must be empty"
+            );
+            let everything = est.top_pairs(usize::MAX);
+            assert!(
+                !everything.is_empty() && everything.len() <= cfg.top_k_capacity,
+                "{backend:?}: {} pairs retained",
+                everything.len()
+            );
+            // Requesting more than retained returns exactly the retained set.
+            assert_eq!(est.top_pairs(everything.len() + 100), everything);
+            // Any prefix matches the full ranking (deterministic ordering:
+            // estimate desc, ties by key asc).
+            for k in [1usize, 3, everything.len()] {
+                assert_eq!(est.top_pairs(k), everything[..k.min(everything.len())]);
+            }
+            for w in everything.windows(2) {
+                let ord = w[1].estimate < w[0].estimate
+                    || (w[1].estimate == w[0].estimate && w[1].key > w[0].key);
+                assert!(ord, "{backend:?}: ordering violated: {w:?}");
+            }
+        }
+    }
+
     #[test]
     fn memory_words_reflects_geometry() {
         let cfg = config(20, 100, 500);

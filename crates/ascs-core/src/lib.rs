@@ -53,7 +53,7 @@ pub mod theory;
 pub use ascs::{AscsPhase, AscsSketch, OfferOutcome, SampleGate};
 pub use config::{AscsConfig, EstimandKind, SketchGeometry, UpdateMode};
 pub use estimator::{CovarianceEstimator, ReportedPair, SketchBackend};
-pub use hyper::{HyperParameterSolver, HyperParameters, SignalModel};
+pub use hyper::{HyperParameterSolver, HyperParameters, SigmaEstimator, SignalModel};
 pub use pair::{num_pairs, pair_from_index, pair_to_index, PairIndexer};
 pub use schedule::ThresholdSchedule;
 pub use sharded::{ShardUpdate, ShardedAscs};

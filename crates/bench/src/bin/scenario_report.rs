@@ -1,0 +1,124 @@
+//! Scenario conformance report: runs the bound-conformance suite and emits
+//! `BENCH_scenarios.json` at the repository root with machine-readable
+//! per-scenario pass flags (CI guards them on every push).
+//!
+//! * default — the quick catalogue at the quick trial count (the same run
+//!   as the tier-1 `tests/bound_conformance.rs` quick profile);
+//! * `--smoke` — identical scenarios, kept as an explicit alias so CI
+//!   invocations read uniformly across the bench binaries;
+//! * `--deep` — the deep catalogue (larger dims, longer streams, more
+//!   trials, plus the planned sharded backend).
+//!
+//! The table printed per scenario shows, for every backend and checkpoint,
+//! the worst enforced gate margin (`budget / observed quantile`; > 1 means
+//! pass) so trend regressions are visible long before a gate actually
+//! fails.
+
+use ascs_eval::ExperimentTable;
+use ascs_testkit::{deep_suite, quick_suite, run_suite, ConformanceConfig, SuiteReport};
+use std::fmt::Write as _;
+
+/// Where the JSON lands: the repository root, independent of the
+/// invocation directory.
+const OUTPUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenarios.json");
+
+fn margin_table(report: &SuiteReport) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        format!("Bound conformance ({} profile)", report.profile),
+        vec![
+            "scenario",
+            "backend",
+            "t",
+            "worst gate",
+            "observed",
+            "budget",
+            "margin",
+            "pass",
+        ],
+    );
+    for scenario in &report.scenarios {
+        for backend in &scenario.backends {
+            for ck in &backend.checkpoints {
+                let worst = ck
+                    .gates
+                    .iter()
+                    .filter(|g| g.enforced)
+                    .min_by(|a, b| a.margin().total_cmp(&b.margin()))
+                    .expect("every checkpoint carries enforced gates");
+                table.push_row(vec![
+                    scenario.scenario.as_str().into(),
+                    backend.backend.as_str().into(),
+                    ck.t.into(),
+                    worst.name.as_str().into(),
+                    worst.observed_quantile.into(),
+                    worst.budget.into(),
+                    worst.margin().into(),
+                    if ck.passed { "yes" } else { "NO" }.into(),
+                ]);
+            }
+        }
+    }
+    table.with_precision(4)
+}
+
+fn main() {
+    let deep = std::env::args().any(|a| a == "--deep");
+    let (suite, cfg, profile) = if deep {
+        (deep_suite(), ConformanceConfig::deep(), "deep")
+    } else {
+        // `--smoke` is accepted as an explicit alias of the default.
+        (quick_suite(), ConformanceConfig::quick(), "quick")
+    };
+    eprintln!(
+        "running {} scenarios x {} backends x {} trials ({profile} profile)...",
+        suite.len(),
+        cfg.backends.len(),
+        cfg.trials
+    );
+    let report = run_suite(&suite, &cfg, profile);
+
+    println!("{}", margin_table(&report).to_markdown());
+    for scenario in &report.scenarios {
+        for backend in &scenario.backends {
+            if backend.fell_back {
+                eprintln!(
+                    "note: {}/{} used fallback hyperparameters (Algorithm 3 infeasible at this scale)",
+                    scenario.scenario, backend.backend
+                );
+            }
+        }
+    }
+
+    // JSON: the full serialised suite plus a flat per-scenario pass map so
+    // CI can guard flags without parsing nested structures.
+    let mut flags = String::new();
+    for (i, scenario) in report.scenarios.iter().enumerate() {
+        let comma = if i + 1 == report.scenarios.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            flags,
+            "    \"{}\": {}{comma}",
+            scenario.scenario, scenario.passed
+        );
+    }
+    let json = format!(
+        "{{\n  \"scenario_pass_flags\": {{\n{flags}  }},\n  \"suite\": {}\n}}\n",
+        serde_json::to_string_pretty(&report).expect("suite reports always serialise")
+    );
+    match std::fs::write(OUTPUT_PATH, &json) {
+        Ok(()) => eprintln!("(wrote {OUTPUT_PATH})"),
+        Err(e) => eprintln!("warning: could not write {OUTPUT_PATH}: {e}"),
+    }
+
+    if !report.all_passed {
+        eprintln!("FAIL: at least one scenario violated its enforced gates");
+        std::process::exit(1);
+    }
+    println!(
+        "all {} scenarios passed on every backend ({profile} profile)",
+        report.scenarios.len()
+    );
+}

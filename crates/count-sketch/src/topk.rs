@@ -16,8 +16,17 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// larger estimates first, ties broken by **smaller** key — so the *larger*
 /// `Rank` is the entry reported earlier. `total_cmp` makes the order total
 /// (the tracker never stores NaN, but the type must not rely on that).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 struct Rank(f64, u64);
+
+/// Equality must agree with `Ord` (`total_cmp` distinguishes `-0.0` from
+/// `0.0` and is reflexive for NaN, which derived `f64 ==` is not), so it is
+/// defined through `cmp` rather than derived.
+impl PartialEq for Rank {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
 
 impl Eq for Rank {}
 
@@ -312,6 +321,44 @@ mod tests {
         }
         assert_eq!(t.clone().into_sorted_vec(5), full[..5].to_vec());
         assert_eq!(t.into_sorted_vec(1000), full);
+    }
+
+    #[test]
+    fn k_zero_and_k_beyond_retained_return_cleanly() {
+        let mut t = TopKTracker::new(4);
+        assert!(t.top_descending(0).is_empty());
+        assert!(t.top_descending(10).is_empty());
+        t.offer(3, 0.5);
+        t.offer(1, 0.9);
+        // k = 0 on a non-empty tracker.
+        assert!(t.top_descending(0).is_empty());
+        // k exceeding the retained set clamps to everything, in order.
+        let all = t.top_descending(1000);
+        assert_eq!(all, vec![(1, 0.9), (3, 0.5)]);
+        assert_eq!(all, t.descending());
+        // k exceeding even the capacity.
+        assert_eq!(t.clone().into_sorted_vec(usize::MAX), all);
+        assert!(t.clone().into_sorted_vec(0).is_empty());
+    }
+
+    /// The estimate-desc / key-asc tie-break must hold exactly at the
+    /// selection boundary: when the k-th and (k+1)-th entries tie on the
+    /// estimate, the *smaller key* survives, on both the full-sort path
+    /// (k == len) and the heap-select path (k < len).
+    #[test]
+    fn tie_break_at_the_selection_boundary_prefers_smaller_keys() {
+        let mut t = TopKTracker::new(8);
+        for key in [50, 40, 30, 20, 10] {
+            t.offer(key, 1.0); // five-way tie
+        }
+        t.offer(5, 2.0); // clear winner
+        for k in 1..=6 {
+            let got = t.top_descending(k);
+            let keys: Vec<u64> = got.iter().map(|(key, _)| *key).collect();
+            let mut expect = vec![5u64, 10, 20, 30, 40, 50];
+            expect.truncate(k);
+            assert_eq!(keys, expect, "tie-break violated at k = {k}");
+        }
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`trillion`] — scaled-down surrogates of the URL and DNA k-mer
 //!   datasets of Table 2 (power-law sparse features with strongly
 //!   co-occurring groups).
+//! * [`scenarios`] — adversarial/stress generators for the conformance
+//!   testkit: heavy-tailed Zipf weights, mid-stream covariance flips,
+//!   bursty duplication, sparse co-occurrence blocks and near-constant
+//!   features.
 //! * [`stream_util`] — buffered shuffling (the i.i.d.-inducing device the
 //!   paper describes), bootstrap resampling and prefix splitting.
 //!
@@ -22,12 +26,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenarios;
 pub mod simulation;
 pub mod stream_util;
 pub mod surrogate;
 pub mod trillion;
 
+pub use scenarios::{
+    BurstyStream, CovarianceFlipStream, NearConstantStream, SparseBlockStream, ZipfWeightStream,
+};
 pub use simulation::{SimulatedDataset, SimulationSpec};
-pub use stream_util::{generate_samples_parallel, BootstrapResampler, ShuffleBuffer};
+pub use stream_util::{
+    derive_sample_seed, generate_samples_parallel, BootstrapResampler, ShuffleBuffer,
+};
 pub use surrogate::{SurrogateDataset, SurrogateSpec};
 pub use trillion::{TrillionScaleDataset, TrillionSpec};

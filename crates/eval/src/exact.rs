@@ -110,6 +110,29 @@ impl ExactMatrix {
         }
     }
 
+    /// Assembles a matrix from precomputed values — the constructor the
+    /// streaming oracle ([`crate::oracle::StreamingExact`]) uses to emit
+    /// checkpoint snapshots without re-walking the sample prefix.
+    pub(crate) fn from_parts(
+        dim: u64,
+        values: Vec<f64>,
+        estimand: EstimandKind,
+        samples: u64,
+    ) -> Self {
+        let indexer = PairIndexer::new(dim);
+        assert_eq!(
+            values.len() as u64,
+            num_pairs(dim),
+            "value vector does not cover the pair universe"
+        );
+        Self {
+            indexer,
+            values,
+            estimand,
+            samples,
+        }
+    }
+
     /// What the stored values are (covariance or correlation).
     pub fn estimand(&self) -> EstimandKind {
         self.estimand

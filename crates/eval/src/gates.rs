@@ -1,0 +1,202 @@
+//! Statistical acceptance gates for bound conformance.
+//!
+//! The testkit scores an estimator against the streaming oracle by pooling
+//! absolute errors `|estimate − exact|` over pairs and seeded trials, then
+//! asserting that an empirical quantile of that pool clears a closed-form
+//! error budget derived from the paper's theory. Two ingredients:
+//!
+//! **The budget** ([`epsilon_budget`]). Section 6 models a pair's
+//! count-sketch estimate after `t` samples as Gaussian around the truth
+//! with standard deviation `κ·σ/√t`, where `σ` is the per-update noise
+//! scale and `κ` the multi-table collision inflation factor
+//! ([`TheoryBounds::kappa`]) — the same quantities Theorems 1 and 2 are
+//! stated in. Under that model the `(1 − δ)` quantile of `|error|` is
+//! `z_{1−δ/2} · κ · σ / √t`. The budget multiplies in two honesty factors:
+//! a `dependence_factor` for streams that violate the i.i.d. assumption in
+//! a *known* way (exact duplication with burst length `L` shrinks the
+//! effective sample count to `t/L`, inflating every empirical mean by
+//! `√L`), and a fixed `slack` covering the approximations in the model
+//! itself (σ is estimated from the stream, updates are not exactly
+//! Gaussian, the median is not exactly a mean).
+//!
+//! **The gate** ([`quantile_gate`]). The empirical `(1 − δ)` quantile of
+//! the pooled `|error|` values must not exceed the budget. Gating on a
+//! quantile rather than the maximum is what the theorems actually license:
+//! they are probabilistic over pairs, so a `δ` fraction of pairs — e.g. the
+//! victims of an adversarial collision attack, or signals that emerge only
+//! after a covariance flip — may legitimately exceed the budget without
+//! falsifying the bound. Gates can also be recorded as *unenforced*
+//! diagnostics (`enforced = false`) for exactly those expected-violation
+//! populations.
+
+use ascs_core::TheoryBounds;
+use ascs_numerics::{normal_quantile, percentile};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one acceptance gate, serialised into the per-scenario
+/// conformance reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateOutcome {
+    /// Which error population the gate scored (e.g. `all_pairs`,
+    /// `signal_pairs`, `emergent_signal_pairs`).
+    pub name: String,
+    /// The quantile level: the gate compares the empirical `(1 − delta)`
+    /// quantile against the budget.
+    pub delta: f64,
+    /// The observed empirical quantile of `|estimate − exact|`.
+    pub observed_quantile: f64,
+    /// The theoretical budget `ε` the quantile must clear.
+    pub budget: f64,
+    /// Number of pooled error values the quantile was taken over.
+    pub samples: usize,
+    /// Whether this gate participates in the pass/fail decision (`false`
+    /// for diagnostic populations that the theorems do not cover, such as
+    /// signals emerging after a drift flip).
+    pub enforced: bool,
+    /// `observed_quantile <= budget` over a non-empty pool.
+    pub passed: bool,
+}
+
+impl GateOutcome {
+    /// Budget headroom `budget / observed` (∞ when the observed quantile is
+    /// zero) — how far the gate is from failing.
+    pub fn margin(&self) -> f64 {
+        if self.observed_quantile <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.budget / self.observed_quantile
+        }
+    }
+}
+
+/// The Theorem 1/2 error budget at stream time `t`:
+/// `z_{1−δ/2} · κ · σ · dependence_factor · slack / √t`.
+///
+/// `kappa` is the collision inflation factor of the run's
+/// [`TheoryBounds`], `sigma` the (measured) per-update noise scale, and
+/// the two trailing factors are documented at the module level.
+///
+/// # Panics
+/// Panics on degenerate arguments.
+pub fn epsilon_budget(
+    kappa: f64,
+    sigma: f64,
+    t: u64,
+    delta: f64,
+    dependence_factor: f64,
+    slack: f64,
+) -> f64 {
+    assert!(t > 0, "budget needs a positive stream time");
+    assert!(kappa >= 1.0, "kappa is an inflation factor (>= 1)");
+    assert!(sigma > 0.0, "sigma must be positive");
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0,1)");
+    assert!(dependence_factor >= 1.0 && slack >= 1.0);
+    normal_quantile(1.0 - delta / 2.0) * kappa * sigma * dependence_factor * slack
+        / (t as f64).sqrt()
+}
+
+/// Convenience: [`epsilon_budget`] with `κ` taken from a bound calculator.
+pub fn epsilon_budget_from_bounds(
+    bounds: &TheoryBounds,
+    sigma: f64,
+    t: u64,
+    delta: f64,
+    dependence_factor: f64,
+    slack: f64,
+) -> f64 {
+    epsilon_budget(bounds.kappa(), sigma, t, delta, dependence_factor, slack)
+}
+
+/// Scores one gate: the empirical `(1 − delta)` quantile of the pooled
+/// absolute errors against `budget`. An empty pool never passes (a vacuous
+/// gate would silently certify nothing).
+pub fn quantile_gate(
+    name: impl Into<String>,
+    abs_errors: &[f64],
+    delta: f64,
+    budget: f64,
+    enforced: bool,
+) -> GateOutcome {
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta in (0,1)");
+    let observed = percentile(abs_errors, (1.0 - delta) * 100.0).unwrap_or(f64::INFINITY);
+    GateOutcome {
+        name: name.into(),
+        delta,
+        observed_quantile: observed,
+        budget,
+        samples: abs_errors.len(),
+        enforced,
+        passed: !abs_errors.is_empty() && observed <= budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_matches_the_closed_form() {
+        let eps = epsilon_budget(1.0, 1.0, 100, 0.05, 1.0, 1.0);
+        // z_{0.975} / 10.
+        assert!((eps - 1.959_963_984_540_054 / 10.0).abs() < 1e-9, "{eps}");
+        // Dependence and slack multiply straight through.
+        let inflated = epsilon_budget(1.0, 1.0, 100, 0.05, 2.0, 1.25);
+        assert!((inflated - eps * 2.5).abs() < 1e-12);
+        // More samples tighten the budget.
+        assert!(epsilon_budget(1.0, 1.0, 400, 0.05, 1.0, 1.0) < eps);
+    }
+
+    #[test]
+    fn budget_from_bounds_uses_kappa() {
+        let b = TheoryBounds::new(499_500, 24_975, 5, 0.005, 1.0, 0.5, 1000);
+        let eps = epsilon_budget_from_bounds(&b, 1.0, 1000, 0.05, 1.0, 1.0);
+        assert!((eps - epsilon_budget(b.kappa(), 1.0, 1000, 0.05, 1.0, 1.0)).abs() < 1e-15);
+        assert!(b.kappa() > 1.0);
+    }
+
+    #[test]
+    fn gate_passes_when_the_quantile_clears_the_budget() {
+        // 100 small errors, 3 large outliers: the 95% quantile ignores the
+        // outliers, exactly as the probabilistic bound allows.
+        let mut errors = vec![0.01f64; 100];
+        errors.extend([5.0, 6.0, 7.0]);
+        let g = quantile_gate("all_pairs", &errors, 0.05, 0.05, true);
+        assert!(g.passed, "{g:?}");
+        assert!(g.observed_quantile <= 0.05);
+        assert_eq!(g.samples, 103);
+        assert!(g.margin() > 1.0);
+
+        // A tighter quantile (delta = 0.01) now sees the outliers.
+        let g = quantile_gate("all_pairs", &errors, 0.01, 0.05, true);
+        assert!(!g.passed, "{g:?}");
+        assert!(g.margin() < 1.0);
+    }
+
+    #[test]
+    fn empty_pool_never_passes() {
+        let g = quantile_gate("signal_pairs", &[], 0.2, 1.0, true);
+        assert!(!g.passed);
+        assert_eq!(g.samples, 0);
+    }
+
+    #[test]
+    fn unenforced_flag_is_carried_through() {
+        let g = quantile_gate("emergent", &[10.0], 0.2, 0.1, false);
+        assert!(!g.enforced);
+        assert!(!g.passed);
+    }
+
+    #[test]
+    fn gate_outcome_round_trips_through_serde() {
+        let g = quantile_gate("all_pairs", &[0.1, 0.2], 0.05, 0.5, true);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: GateOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive stream time")]
+    fn zero_time_budget_panics() {
+        epsilon_budget(1.0, 1.0, 0, 0.05, 1.0, 1.0);
+    }
+}

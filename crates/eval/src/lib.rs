@@ -10,17 +10,24 @@
 //! Both need ground truth. For the small "rigorous evaluation" datasets the
 //! ground truth is the exact empirical correlation matrix computed from the
 //! full dataset ([`exact`]); for the simulation it can also be the planted
-//! structure. [`metrics`] implements the two scores plus precision/recall
-//! curves, and [`report`] provides the serialisable tables the experiment
+//! structure. [`oracle`] maintains the same ground truth *streamingly* with
+//! checkpoint snapshots, so drift scenarios can be scored per phase.
+//! [`metrics`] implements the two scores plus precision/recall curves,
+//! [`gates`] the statistical acceptance gates of the bound-conformance
+//! testkit, and [`report`] provides the serialisable tables the experiment
 //! binaries emit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exact;
+pub mod gates;
 pub mod metrics;
+pub mod oracle;
 pub mod report;
 
 pub use exact::ExactMatrix;
+pub use gates::{epsilon_budget, epsilon_budget_from_bounds, quantile_gate, GateOutcome};
 pub use metrics::{max_f1_score, mean_true_value_of_top, precision_recall_curve, PrCurvePoint};
+pub use oracle::{ExactSnapshot, StreamingExact};
 pub use report::{ExperimentTable, TableCell};

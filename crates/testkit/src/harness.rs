@@ -1,0 +1,468 @@
+//! The conformance harness: seeded trials × backends × checkpoints →
+//! statistical acceptance gates → serialisable reports.
+//!
+//! For each trial the harness materialises the scenario's stream once,
+//! drives the streaming exact oracle (snapshotting at the scenario's
+//! checkpoints) and measures the empirical update noise scale `σ̂` exactly
+//! the way the solver's relaxation defines it (mean square of all pair
+//! updates, implicit zeros included). Every backend of the trial then
+//! ingests the *same* samples through a [`CovarianceEstimator`]; at each
+//! checkpoint `t` the whole-universe estimate vector is read, rescaled by
+//! `T/t` (the sketch scales updates by `1/T`, so mid-stream it holds
+//! `t/T · μ̂_cum`), and scored against the oracle snapshot.
+//!
+//! Error pools are aggregated **across trials** per (backend, checkpoint)
+//! and fed to the gates of [`ascs_eval::gates`]:
+//!
+//! * `all_pairs` — the `(1 − δ)` quantile over every pair must clear the
+//!   ε budget (the Theorem 1 error model with the measured `σ̂`);
+//! * `signal_pairs` — the `(1 − δ*)` quantile over the signal set (pairs
+//!   whose exact value at the reference checkpoint clears `u/2`) must
+//!   clear the same budget: Theorems 1/2 allow at most a `δ*` fraction of
+//!   signals to be missed, and every retained signal obeys the CS error
+//!   model;
+//! * `emergent_signal_pairs` — *unenforced* diagnostic for signals outside
+//!   the reference set (e.g. pairs that become correlated only after a
+//!   drift flip, which the stationary-mean theorems do not cover).
+
+use crate::scenario::{mix_seed, Scenario};
+use ascs_core::{
+    num_pairs, AscsConfig, CovarianceEstimator, SigmaEstimator, SketchBackend, StreamContext,
+    TheoryBounds,
+};
+use ascs_eval::{gates, GateOutcome, StreamingExact};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One count-sketch-family backend configuration under test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackendVariant {
+    /// Vanilla count sketch (Algorithm 1).
+    VanillaCs,
+    /// Gated ASCS (Algorithm 2), hashed ingestion.
+    Ascs,
+    /// Gated ASCS driven through a precomputed ingestion plan.
+    AscsPlanned,
+    /// Key-partitioned sharded ASCS.
+    ShardedAscs {
+        /// Worker shard count.
+        shards: usize,
+    },
+    /// Sharded ASCS with plan-driven batches and slot routing.
+    ShardedAscsPlanned {
+        /// Worker shard count.
+        shards: usize,
+    },
+}
+
+impl BackendVariant {
+    /// Stable label used in reports and CI guards.
+    pub fn label(&self) -> String {
+        match self {
+            Self::VanillaCs => "vanilla_cs".into(),
+            Self::Ascs => "ascs".into(),
+            Self::AscsPlanned => "ascs_planned".into(),
+            Self::ShardedAscs { shards } => format!("sharded_ascs_{shards}"),
+            Self::ShardedAscsPlanned { shards } => format!("sharded_ascs_planned_{shards}"),
+        }
+    }
+
+    fn backend(&self) -> SketchBackend {
+        match *self {
+            Self::VanillaCs => SketchBackend::VanillaCs,
+            Self::Ascs | Self::AscsPlanned => SketchBackend::Ascs,
+            Self::ShardedAscs { shards } | Self::ShardedAscsPlanned { shards } => {
+                SketchBackend::ShardedAscs { shards }
+            }
+        }
+    }
+
+    fn planned(&self) -> bool {
+        matches!(self, Self::AscsPlanned | Self::ShardedAscsPlanned { .. })
+    }
+}
+
+/// How many trials to run and which backends to score.
+#[derive(Debug, Clone)]
+pub struct ConformanceConfig {
+    /// Seeded trials per scenario (pooled before gating).
+    pub trials: u64,
+    /// Backends under test.
+    pub backends: Vec<BackendVariant>,
+}
+
+impl ConformanceConfig {
+    /// The tier-1 quick profile: 2 trials over the four CS-family paths
+    /// (vanilla, gated, planned, sharded).
+    pub fn quick() -> Self {
+        Self {
+            trials: 2,
+            backends: vec![
+                BackendVariant::VanillaCs,
+                BackendVariant::Ascs,
+                BackendVariant::AscsPlanned,
+                BackendVariant::ShardedAscs { shards: 2 },
+            ],
+        }
+    }
+
+    /// The deep profile: more trials, plus the planned sharded path.
+    pub fn deep() -> Self {
+        Self {
+            trials: 4,
+            backends: vec![
+                BackendVariant::VanillaCs,
+                BackendVariant::Ascs,
+                BackendVariant::AscsPlanned,
+                BackendVariant::ShardedAscs { shards: 2 },
+                BackendVariant::ShardedAscsPlanned { shards: 3 },
+            ],
+        }
+    }
+}
+
+/// Gate results of one (backend, checkpoint) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointReport {
+    /// Stream time of the checkpoint.
+    pub t: u64,
+    /// Measured update noise scale `σ̂` at this checkpoint (averaged over
+    /// trials).
+    pub sigma: f64,
+    /// Collision inflation factor `κ` of the run's [`TheoryBounds`].
+    pub kappa: f64,
+    /// Size of the reference signal set, minimum across trials — so a
+    /// single trial whose realised stream yields no signals is visible.
+    pub signal_pair_count: usize,
+    /// The gates scored on the pooled errors.
+    pub gates: Vec<GateOutcome>,
+    /// All *enforced* gates passed.
+    pub passed: bool,
+}
+
+/// Gate results of one backend across every checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendReport {
+    /// Backend label (see [`BackendVariant::label`]).
+    pub backend: String,
+    /// Whether Algorithm 3 fell back for any trial (best-effort
+    /// hyperparameters; the gates still apply).
+    pub fell_back: bool,
+    /// Per-checkpoint gate results.
+    pub checkpoints: Vec<CheckpointReport>,
+    /// Every checkpoint passed.
+    pub passed: bool,
+}
+
+/// The full conformance report of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Dimensionality `d`.
+    pub dim: u64,
+    /// Stream length `T`.
+    pub total_samples: u64,
+    /// Trials pooled into the gates.
+    pub trials: u64,
+    /// Per-backend results.
+    pub backends: Vec<BackendReport>,
+    /// Every backend passed.
+    pub passed: bool,
+}
+
+/// A suite of scenario reports plus the aggregate verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Which profile produced the suite (`quick` / `deep`).
+    pub profile: String,
+    /// One report per scenario.
+    pub scenarios: Vec<ScenarioReport>,
+    /// Every scenario passed.
+    pub all_passed: bool,
+}
+
+/// Error pools of one (backend, checkpoint) cell, across trials.
+#[derive(Default, Clone)]
+struct ErrorPool {
+    all: Vec<f64>,
+    signal: Vec<f64>,
+    emergent: Vec<f64>,
+}
+
+/// Runs every trial of `scenario` over every backend of `cfg` and scores
+/// the pooled errors against the acceptance gates.
+pub fn run_scenario(scenario: &dyn Scenario, cfg: &ConformanceConfig) -> ScenarioReport {
+    let profile = scenario.profile();
+    let p = num_pairs(profile.dim);
+    let n_ck = profile.checkpoints.len();
+    assert!(n_ck > 0, "{}: no checkpoints", profile.name);
+    assert!(!cfg.backends.is_empty() && cfg.trials > 0);
+
+    let mut pools: Vec<Vec<ErrorPool>> = vec![vec![ErrorPool::default(); n_ck]; cfg.backends.len()];
+    let mut sigma_sum = vec![0.0f64; n_ck];
+    let mut fell_back = vec![false; cfg.backends.len()];
+    let mut min_signal_count = usize::MAX;
+
+    for trial in 0..cfg.trials {
+        let stream = scenario.stream(trial);
+        let samples: Vec<ascs_core::Sample> = (0..profile.total_samples)
+            .map(|i| stream.sample_at(i))
+            .collect();
+
+        // Oracle pass: exact snapshots plus the measured noise scale, via
+        // the same sample → pair-update expansion the estimators see.
+        let mut oracle =
+            StreamingExact::new(profile.dim, profile.estimand, profile.checkpoints.clone());
+        let mut sigma_ctx = StreamContext::new(profile.dim, profile.update_mode, profile.estimand);
+        let mut sigma_est = SigmaEstimator::new();
+        let mut sigma_at = vec![profile.sigma_hint; n_ck];
+        let mut ck = 0usize;
+        for (i, s) in samples.iter().enumerate() {
+            oracle.push(s);
+            let emitted = sigma_ctx.ingest(s, |u| sigma_est.push(u.value));
+            sigma_est.push_zeros(p - emitted);
+            if ck < n_ck && i as u64 + 1 == profile.checkpoints[ck] {
+                sigma_at[ck] = sigma_est.sigma().unwrap_or(profile.sigma_hint);
+                ck += 1;
+            }
+        }
+        assert_eq!(
+            oracle.snapshots().len(),
+            n_ck,
+            "{}: a checkpoint beyond the stream length",
+            profile.name
+        );
+        for (s, &v) in sigma_sum.iter_mut().zip(&sigma_at) {
+            *s += v;
+        }
+
+        // The signal set: pairs whose exact value clears u/2 at the
+        // reference checkpoint (stationary signals the theorems cover).
+        let cut = profile.nominal_u * 0.5;
+        let reference = &oracle.snapshots()[profile.signal_reference_checkpoint].matrix;
+        let ref_signals: HashSet<u64> = reference.signal_keys_above(cut).into_iter().collect();
+        min_signal_count = min_signal_count.min(ref_signals.len());
+
+        for (bi, variant) in cfg.backends.iter().enumerate() {
+            let config = AscsConfig {
+                dim: profile.dim,
+                total_samples: profile.total_samples,
+                geometry: profile.geometry,
+                alpha: profile.alpha,
+                signal_strength: profile.nominal_u,
+                sigma: profile.sigma_hint,
+                delta: profile.delta,
+                delta_star: profile.delta_star,
+                tau0: profile.tau0,
+                estimand: profile.estimand,
+                update_mode: profile.update_mode,
+                seed: mix_seed(profile.sketch_seed, trial),
+                top_k_capacity: (p as usize).min(1024),
+            };
+            let (mut estimator, fb) =
+                CovarianceEstimator::new_or_fallback(config, variant.backend());
+            if variant.planned() {
+                estimator = estimator.with_ingestion_plan();
+            }
+            fell_back[bi] |= fb;
+
+            let mut ck = 0usize;
+            for (i, s) in samples.iter().enumerate() {
+                estimator.process_sample(s);
+                let t = i as u64 + 1;
+                if ck < n_ck && t == profile.checkpoints[ck] {
+                    let exact = &oracle.snapshots()[ck].matrix;
+                    let scale = profile.total_samples as f64 / t as f64;
+                    let estimates = estimator.all_estimates();
+                    let pool = &mut pools[bi][ck];
+                    for key in 0..p {
+                        let err = (estimates[key as usize] * scale - exact.value_by_key(key)).abs();
+                        pool.all.push(err);
+                        if ref_signals.contains(&key) {
+                            pool.signal.push(err);
+                        } else if exact.value_by_key(key).abs() >= cut {
+                            pool.emergent.push(err);
+                        }
+                    }
+                    ck += 1;
+                }
+            }
+        }
+    }
+
+    // Score the pooled errors.
+    let backends: Vec<BackendReport> = cfg
+        .backends
+        .iter()
+        .enumerate()
+        .map(|(bi, variant)| {
+            let checkpoints: Vec<CheckpointReport> = (0..n_ck)
+                .map(|ck| {
+                    let t = profile.checkpoints[ck];
+                    let sigma = sigma_sum[ck] / cfg.trials as f64;
+                    let bounds = TheoryBounds::new(
+                        p,
+                        profile.geometry.range,
+                        profile.geometry.rows,
+                        profile.alpha,
+                        sigma,
+                        profile.nominal_u,
+                        t,
+                    );
+                    let kappa = bounds.kappa();
+                    let budget = gates::epsilon_budget(
+                        kappa,
+                        sigma,
+                        t,
+                        profile.delta,
+                        profile.dependence_factor,
+                        profile.slack,
+                    );
+                    let pool = &pools[bi][ck];
+                    let mut outcomes = vec![
+                        gates::quantile_gate("all_pairs", &pool.all, profile.delta, budget, true),
+                        gates::quantile_gate(
+                            "signal_pairs",
+                            &pool.signal,
+                            profile.delta_star,
+                            budget,
+                            true,
+                        ),
+                    ];
+                    if !pool.emergent.is_empty() {
+                        outcomes.push(gates::quantile_gate(
+                            "emergent_signal_pairs",
+                            &pool.emergent,
+                            profile.delta_star,
+                            budget,
+                            false,
+                        ));
+                    }
+                    let passed = outcomes.iter().all(|g| !g.enforced || g.passed);
+                    CheckpointReport {
+                        t,
+                        sigma,
+                        kappa,
+                        signal_pair_count: min_signal_count,
+                        gates: outcomes,
+                        passed,
+                    }
+                })
+                .collect();
+            let passed = checkpoints.iter().all(|c| c.passed);
+            BackendReport {
+                backend: variant.label(),
+                fell_back: fell_back[bi],
+                checkpoints,
+                passed,
+            }
+        })
+        .collect();
+
+    let passed = backends.iter().all(|b| b.passed);
+    ScenarioReport {
+        scenario: profile.name.to_owned(),
+        dim: profile.dim,
+        total_samples: profile.total_samples,
+        trials: cfg.trials,
+        backends,
+        passed,
+    }
+}
+
+/// Runs a whole scenario suite and aggregates the verdict.
+pub fn run_suite(
+    scenarios: &[Box<dyn Scenario>],
+    cfg: &ConformanceConfig,
+    profile_name: &str,
+) -> SuiteReport {
+    let reports: Vec<ScenarioReport> = scenarios
+        .iter()
+        .map(|s| run_scenario(s.as_ref(), cfg))
+        .collect();
+    let all_passed = reports.iter().all(|r| r.passed);
+    SuiteReport {
+        profile: profile_name.to_owned(),
+        scenarios: reports,
+        all_passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::quick_suite;
+
+    #[test]
+    fn backend_labels_are_stable() {
+        assert_eq!(BackendVariant::VanillaCs.label(), "vanilla_cs");
+        assert_eq!(BackendVariant::AscsPlanned.label(), "ascs_planned");
+        assert_eq!(
+            BackendVariant::ShardedAscs { shards: 2 }.label(),
+            "sharded_ascs_2"
+        );
+        assert_eq!(
+            BackendVariant::ShardedAscsPlanned { shards: 3 }.label(),
+            "sharded_ascs_planned_3"
+        );
+    }
+
+    #[test]
+    fn quick_config_covers_the_four_cs_family_paths() {
+        let cfg = ConformanceConfig::quick();
+        assert_eq!(cfg.backends.len(), 4);
+        assert!(cfg.trials >= 2);
+        let deep = ConformanceConfig::deep();
+        assert!(deep.trials > cfg.trials);
+        assert!(deep.backends.len() > cfg.backends.len());
+    }
+
+    /// One small scenario end to end on one backend: the report shape is
+    /// right and deterministic. (The full quick suite runs as the tier-1
+    /// integration test `tests/bound_conformance.rs`.)
+    #[test]
+    fn single_backend_run_is_deterministic_and_well_formed() {
+        let suite = quick_suite();
+        let scenario = &suite[1]; // covariance_flip: two checkpoints
+        let cfg = ConformanceConfig {
+            trials: 1,
+            backends: vec![BackendVariant::VanillaCs],
+        };
+        let a = run_scenario(scenario.as_ref(), &cfg);
+        let b = run_scenario(scenario.as_ref(), &cfg);
+        assert_eq!(a, b, "conformance run is not deterministic");
+        assert_eq!(a.backends.len(), 1);
+        assert_eq!(a.backends[0].checkpoints.len(), 2);
+        for ck in &a.backends[0].checkpoints {
+            assert!(ck.sigma > 0.0);
+            assert!(ck.kappa >= 1.0);
+            assert!(ck.gates.len() >= 2);
+            assert!(ck.signal_pair_count > 0);
+        }
+        // The drift scenario must record the emergent diagnostic at the
+        // post-flip checkpoint.
+        let final_ck = &a.backends[0].checkpoints[1];
+        assert!(
+            final_ck
+                .gates
+                .iter()
+                .any(|g| g.name == "emergent_signal_pairs" && !g.enforced),
+            "missing emergent diagnostic: {final_ck:?}"
+        );
+    }
+
+    #[test]
+    fn suite_report_serialises() {
+        let cfg = ConformanceConfig {
+            trials: 1,
+            backends: vec![BackendVariant::VanillaCs],
+        };
+        let suite = quick_suite();
+        let report = run_suite(&suite[..1], &cfg, "unit");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"all_passed\""));
+        let back: SuiteReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

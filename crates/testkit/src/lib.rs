@@ -1,0 +1,40 @@
+//! Scenario testkit: adversarial workload generators plus the empirical
+//! bound-conformance harness.
+//!
+//! The seed reproduction validated the Theorem 1/2 guarantees at exactly
+//! one scale of one dense Gaussian simulation. This crate turns that single
+//! smoke check into a standing correctness harness:
+//!
+//! * [`scenario`] — a family of seeded stress scenarios behind one
+//!   [`Scenario`] trait: heavy-tailed Zipf feature weights, a covariance
+//!   structure that flips mid-stream, bursty duplicated samples, sparse
+//!   co-occurrence blocks, near-constant features, and an adversarial
+//!   generator that searches the committed hash seeds for colliding pair
+//!   keys ([`adversarial`]).
+//! * [`harness`] — runs `R` seeded trials of a scenario against every
+//!   count-sketch-family backend (vanilla CS, gated ASCS, the plan-driven
+//!   path, sharded ingestion), scores each against the streaming exact
+//!   oracle ([`ascs_eval::StreamingExact`]) at the scenario's checkpoints,
+//!   and asserts the statistical acceptance gates of
+//!   [`ascs_eval::gates`] — the empirical `(1 − δ)` error quantile must
+//!   clear the Theorem 1/2 `ε` budget. Reports are serialisable per
+//!   scenario, so CI and the `scenario_report` binary can emit
+//!   machine-readable pass flags.
+//!
+//! Everything is deterministic from committed seeds: the tier-1 quick
+//! profile (`tests/bound_conformance.rs`) must pass bit-for-bit on every
+//! machine, and every future performance PR must keep it green.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod harness;
+pub mod scenario;
+
+pub use adversarial::{find_row_colliders, AdversarialCollisionScenario, AttackerPlan};
+pub use harness::{
+    run_scenario, run_suite, BackendReport, BackendVariant, CheckpointReport, ConformanceConfig,
+    ScenarioReport, SuiteReport,
+};
+pub use scenario::{deep_suite, mix_seed, quick_suite, Scenario, ScenarioProfile, ScenarioStream};

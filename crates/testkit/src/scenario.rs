@@ -1,0 +1,389 @@
+//! The [`Scenario`] trait and the committed scenario catalogue.
+//!
+//! A scenario bundles a seeded stress-stream generator with everything the
+//! conformance harness needs to score it: the run configuration the
+//! estimators are built from, the oracle checkpoints, and the gate
+//! parameters (quantile levels, dependence factor, slack). Scenarios are
+//! **committed**: every parameter — including the base seeds — lives in
+//! this file, so the quick profile is deterministic on every machine and a
+//! regression can always be replayed from the report alone.
+
+use crate::adversarial::AdversarialCollisionScenario;
+use ascs_core::{EstimandKind, SketchGeometry, UpdateMode};
+use ascs_datasets::{
+    BurstyStream, CovarianceFlipStream, NearConstantStream, SparseBlockStream, ZipfWeightStream,
+};
+use ascs_sketch_hash::splitmix64;
+
+/// Derives the per-trial variant of a committed base seed. One splitmix
+/// round over `(base, trial)`, so trial 0 is not the base seed itself and
+/// trials never alias across scenarios with different bases.
+pub fn mix_seed(base: u64, trial: u64) -> u64 {
+    splitmix64(base ^ trial.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// Everything the harness needs to run and score a scenario, minus the
+/// stream itself.
+#[derive(Debug, Clone)]
+pub struct ScenarioProfile {
+    /// Stable scenario name (used in reports, JSON and CI guards).
+    pub name: &'static str,
+    /// Dimensionality `d` of the samples.
+    pub dim: u64,
+    /// Stream length `T`.
+    pub total_samples: u64,
+    /// Sketch geometry every backend runs with.
+    pub geometry: SketchGeometry,
+    /// Assumed signal proportion `α` fed to the solver.
+    pub alpha: f64,
+    /// Nominal signal strength `u`: the weakest planted cumulative
+    /// covariance at end of stream. Feeds the solver and the signal-set
+    /// cut (`|exact| ≥ u/2`).
+    pub nominal_u: f64,
+    /// Noise-scale hint fed to the solver (gates use the *measured* scale).
+    pub sigma_hint: f64,
+    /// Initial sampling threshold `τ(T0)`.
+    pub tau0: f64,
+    /// Exploration miss target `δ` — also the all-pairs gate quantile.
+    pub delta: f64,
+    /// Total miss target `δ*` — also the signal-pairs gate quantile.
+    pub delta_star: f64,
+    /// What the estimators estimate (gates compare against the matching
+    /// oracle).
+    pub estimand: EstimandKind,
+    /// How pair updates are formed.
+    pub update_mode: UpdateMode,
+    /// Oracle checkpoint stream times (strictly increasing; the last one
+    /// should be `total_samples`).
+    pub checkpoints: Vec<u64>,
+    /// Index into `checkpoints` of the snapshot that defines the signal
+    /// set. Theorems 1/2 assume stationary means, so drift scenarios pin
+    /// the signal set at the pre-flip checkpoint and track post-flip
+    /// emergent signals as an unenforced diagnostic.
+    pub signal_reference_checkpoint: usize,
+    /// Budget inflation for known i.i.d. violations (e.g. `√burst_len`).
+    pub dependence_factor: f64,
+    /// Fixed model-approximation slack of the ε budget.
+    pub slack: f64,
+    /// Base seed of the sample stream (mixed per trial).
+    pub stream_seed: u64,
+    /// Base seed of the sketch hash family (mixed per trial).
+    pub sketch_seed: u64,
+}
+
+impl ScenarioProfile {
+    /// The committed defaults shared by the catalogue: `K = 5`,
+    /// `δ = 0.05`, `δ* = 0.20`, `τ0 = 10⁻⁴`, covariance estimand with
+    /// product updates, one final checkpoint, no dependence inflation.
+    pub(crate) fn base(name: &'static str, dim: u64, total: u64, range: usize) -> Self {
+        Self {
+            name,
+            dim,
+            total_samples: total,
+            geometry: SketchGeometry::new(5, range),
+            alpha: 0.01,
+            nominal_u: 0.5,
+            sigma_hint: 1.0,
+            tau0: 1e-4,
+            delta: 0.05,
+            delta_star: 0.20,
+            estimand: EstimandKind::Covariance,
+            update_mode: UpdateMode::Product,
+            checkpoints: vec![total],
+            signal_reference_checkpoint: 0,
+            dependence_factor: 1.0,
+            slack: 1.4,
+            stream_seed: splitmix64(name.as_bytes().iter().fold(0xA5C5, |acc, &b| {
+                acc.wrapping_mul(0x100_0000_01B3) ^ u64::from(b)
+            })),
+            sketch_seed: 0xC0FF_EE00 ^ dim,
+        }
+    }
+}
+
+/// One realised trial of a scenario: a pure-by-index sample stream.
+pub trait ScenarioStream {
+    /// The `index`-th sample of this trial's stream.
+    fn sample_at(&self, index: u64) -> ascs_core::Sample;
+}
+
+impl ScenarioStream for ZipfWeightStream {
+    fn sample_at(&self, index: u64) -> ascs_core::Sample {
+        ZipfWeightStream::sample_at(self, index)
+    }
+}
+
+impl ScenarioStream for CovarianceFlipStream {
+    fn sample_at(&self, index: u64) -> ascs_core::Sample {
+        CovarianceFlipStream::sample_at(self, index)
+    }
+}
+
+impl ScenarioStream for BurstyStream {
+    fn sample_at(&self, index: u64) -> ascs_core::Sample {
+        BurstyStream::sample_at(self, index)
+    }
+}
+
+impl ScenarioStream for SparseBlockStream {
+    fn sample_at(&self, index: u64) -> ascs_core::Sample {
+        SparseBlockStream::sample_at(self, index)
+    }
+}
+
+impl ScenarioStream for NearConstantStream {
+    fn sample_at(&self, index: u64) -> ascs_core::Sample {
+        NearConstantStream::sample_at(self, index)
+    }
+}
+
+/// A conformance scenario: a committed profile plus a per-trial stream
+/// factory.
+pub trait Scenario {
+    /// The committed profile.
+    fn profile(&self) -> &ScenarioProfile;
+
+    /// Realises trial `trial`'s sample stream (deterministic per trial).
+    fn stream(&self, trial: u64) -> Box<dyn ScenarioStream>;
+}
+
+/// A scenario whose stream is built by a closure from the per-trial stream
+/// seed — the adapter wrapping the `ascs_datasets::scenarios` generators.
+struct GeneratorScenario<F> {
+    profile: ScenarioProfile,
+    build: F,
+}
+
+impl<F> Scenario for GeneratorScenario<F>
+where
+    F: Fn(&ScenarioProfile, u64) -> Box<dyn ScenarioStream>,
+{
+    fn profile(&self) -> &ScenarioProfile {
+        &self.profile
+    }
+
+    fn stream(&self, trial: u64) -> Box<dyn ScenarioStream> {
+        (self.build)(&self.profile, mix_seed(self.profile.stream_seed, trial))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The catalogue
+// ---------------------------------------------------------------------------
+
+const ZIPF_EXPONENT: f64 = 0.75;
+const ZIPF_SCALE: f64 = 2.5;
+const ZIPF_BLOCK: usize = 6;
+const ZIPF_RHO: f64 = 0.9;
+
+fn zipf_scenario(dim: u64, total: u64, range: usize) -> Box<dyn Scenario> {
+    // Weights are seed-independent, so a throwaway stream yields the
+    // analytic signal strength of every trial.
+    let template = ZipfWeightStream::new(dim, 0, ZIPF_EXPONENT, ZIPF_SCALE, ZIPF_BLOCK, ZIPF_RHO);
+    let mut profile = ScenarioProfile::base("zipf_weights", dim, total, range);
+    profile.alpha = template.signal_pair_count() as f64 / ascs_core::num_pairs(dim) as f64;
+    profile.nominal_u = template.min_signal_covariance();
+    profile.sigma_hint = 1.5;
+    Box::new(GeneratorScenario {
+        profile,
+        build: |p: &ScenarioProfile, seed| {
+            Box::new(ZipfWeightStream::new(
+                p.dim,
+                seed,
+                ZIPF_EXPONENT,
+                ZIPF_SCALE,
+                ZIPF_BLOCK,
+                ZIPF_RHO,
+            )) as Box<dyn ScenarioStream>
+        },
+    })
+}
+
+const FLIP_BLOCK: usize = 4;
+const FLIP_RHO: f64 = 0.85;
+
+fn covariance_flip_scenario(dim: u64, total: u64, range: usize) -> Box<dyn Scenario> {
+    let mut profile = ScenarioProfile::base("covariance_flip", dim, total, range);
+    // Both blocks count as signals at end of stream (cumulative ρ/2 each).
+    let block_pairs = (FLIP_BLOCK * (FLIP_BLOCK - 1)) as f64; // 2 blocks × C(bl,2)
+    profile.alpha = block_pairs / ascs_core::num_pairs(dim) as f64;
+    profile.nominal_u = FLIP_RHO / 2.0;
+    // Score each phase: at the flip and at end of stream. The signal set is
+    // pinned at the pre-flip snapshot; block-B pairs that emerge afterwards
+    // are tracked as the unenforced `emergent_signal_pairs` diagnostic.
+    profile.checkpoints = vec![total / 2, total];
+    profile.signal_reference_checkpoint = 0;
+    Box::new(GeneratorScenario {
+        profile,
+        build: |p: &ScenarioProfile, seed| {
+            Box::new(CovarianceFlipStream::new(
+                p.dim,
+                p.total_samples,
+                seed,
+                FLIP_BLOCK,
+                FLIP_RHO,
+            )) as Box<dyn ScenarioStream>
+        },
+    })
+}
+
+const BURSTY_BLOCK: usize = 5;
+const BURSTY_RHO: f64 = 0.85;
+
+fn bursty_scenario(dim: u64, total: u64, range: usize, burst_len: u64) -> Box<dyn Scenario> {
+    let mut profile = ScenarioProfile::base("bursty_duplicates", dim, total, range);
+    profile.alpha =
+        (BURSTY_BLOCK * (BURSTY_BLOCK - 1) / 2) as f64 / ascs_core::num_pairs(dim) as f64;
+    profile.nominal_u = BURSTY_RHO;
+    profile.dependence_factor = (burst_len as f64).sqrt();
+    Box::new(GeneratorScenario {
+        profile,
+        build: move |p: &ScenarioProfile, seed| {
+            Box::new(BurstyStream::new(
+                p.dim,
+                seed,
+                burst_len,
+                BURSTY_BLOCK,
+                BURSTY_RHO,
+            )) as Box<dyn ScenarioStream>
+        },
+    })
+}
+
+const SPARSE_BACKGROUND: usize = 2;
+
+fn sparse_blocks_scenario(
+    dim: u64,
+    total: u64,
+    range: usize,
+    num_blocks: usize,
+    block_len: usize,
+) -> Box<dyn Scenario> {
+    let mut profile = ScenarioProfile::base("sparse_blocks", dim, total, range);
+    let signal_pairs = num_blocks * block_len * (block_len - 1) / 2;
+    profile.alpha = signal_pairs as f64 / ascs_core::num_pairs(dim) as f64;
+    profile.nominal_u = 1.0 / num_blocks as f64;
+    profile.sigma_hint = 0.2;
+    Box::new(GeneratorScenario {
+        profile,
+        build: move |p: &ScenarioProfile, seed| {
+            Box::new(SparseBlockStream::new(
+                p.dim,
+                seed,
+                num_blocks,
+                block_len,
+                SPARSE_BACKGROUND,
+            )) as Box<dyn ScenarioStream>
+        },
+    })
+}
+
+const NEAR_CONSTANT_BLOCK: usize = 5;
+const NEAR_CONSTANT_RHO: f64 = 0.85;
+const NEAR_CONSTANT_LEVEL: f64 = 4.0;
+const NEAR_CONSTANT_WOBBLE: f64 = 1e-3;
+
+fn near_constant_scenario(dim: u64, total: u64, range: usize) -> Box<dyn Scenario> {
+    let mut profile = ScenarioProfile::base("near_constant_features", dim, total, range);
+    profile.alpha = (NEAR_CONSTANT_BLOCK * (NEAR_CONSTANT_BLOCK - 1) / 2) as f64
+        / ascs_core::num_pairs(dim) as f64;
+    profile.nominal_u = NEAR_CONSTANT_RHO;
+    profile.sigma_hint = 0.6;
+    // Product updates would report E[Y_a Y_b] ≈ level² for the constant
+    // half; the centred mode is the one under test here.
+    profile.update_mode = UpdateMode::Centered;
+    Box::new(GeneratorScenario {
+        profile,
+        build: |p: &ScenarioProfile, seed| {
+            Box::new(NearConstantStream::new(
+                p.dim,
+                seed,
+                NEAR_CONSTANT_BLOCK,
+                NEAR_CONSTANT_RHO,
+                NEAR_CONSTANT_LEVEL,
+                NEAR_CONSTANT_WOBBLE,
+            )) as Box<dyn ScenarioStream>
+        },
+    })
+}
+
+/// The committed **quick** catalogue: six scenarios sized for the tier-1
+/// test profile (a few seconds in debug builds).
+pub fn quick_suite() -> Vec<Box<dyn Scenario>> {
+    vec![
+        zipf_scenario(32, 512, 1024),
+        covariance_flip_scenario(28, 512, 1024),
+        bursty_scenario(28, 512, 1024, 4),
+        sparse_blocks_scenario(30, 768, 512, 4, 5),
+        near_constant_scenario(30, 512, 1024),
+        Box::new(AdversarialCollisionScenario::quick()),
+    ]
+}
+
+/// The committed **deep** catalogue: the same six stressors at larger
+/// dimensionality, longer streams and harsher parameters (run via the
+/// `#[ignore]`-gated deep profile or `scenario_report --deep`).
+pub fn deep_suite() -> Vec<Box<dyn Scenario>> {
+    vec![
+        zipf_scenario(48, 2048, 2048),
+        covariance_flip_scenario(40, 2048, 2048),
+        bursty_scenario(40, 2048, 2048, 8),
+        sparse_blocks_scenario(40, 3072, 1024, 5, 6),
+        near_constant_scenario(40, 2048, 2048),
+        Box::new(AdversarialCollisionScenario::deep()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_cover_six_distinct_scenarios() {
+        for suite in [quick_suite(), deep_suite()] {
+            assert_eq!(suite.len(), 6);
+            let mut names: Vec<&str> = suite.iter().map(|s| s.profile().name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), 6, "duplicate scenario names: {names:?}");
+            for s in &suite {
+                let p = s.profile();
+                assert!(p.alpha > 0.0 && p.alpha < 1.0, "{}: alpha", p.name);
+                assert!(p.nominal_u > p.tau0, "{}: u vs tau0", p.name);
+                assert_eq!(
+                    *p.checkpoints.last().unwrap(),
+                    p.total_samples,
+                    "{}: final checkpoint must be the stream end",
+                    p.name
+                );
+                assert!(p.signal_reference_checkpoint < p.checkpoints.len());
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_trial_and_differ_across_trials() {
+        for scenario in quick_suite() {
+            let a = scenario.stream(0);
+            let b = scenario.stream(0);
+            let c = scenario.stream(1);
+            assert_eq!(
+                a.sample_at(3),
+                b.sample_at(3),
+                "{}: trial not deterministic",
+                scenario.profile().name
+            );
+            let differs = (0..8).any(|i| a.sample_at(i) != c.sample_at(i));
+            assert!(differs, "{}: trials alias", scenario.profile().name);
+        }
+    }
+
+    #[test]
+    fn mix_seed_separates_trials() {
+        let s0 = mix_seed(42, 0);
+        let s1 = mix_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, 42);
+        assert_eq!(mix_seed(42, 7), mix_seed(42, 7));
+    }
+}

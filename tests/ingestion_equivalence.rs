@@ -16,6 +16,11 @@
 //!   across random geometries, keys, weights and phase splits — gated and
 //!   vanilla — and [`CountSketch::estimate_many`] bit-identical to per-key
 //!   [`CountSketch::estimate`] sweeps.
+//! * Sharded **planned-batch** ingestion is property-tested with the top-k
+//!   tracker *enabled*: worker tables, gate counters, per-worker tracker
+//!   contents and the cross-shard merged `top_pairs()` report must all
+//!   match the hashed batch path exactly, over both the sequential and the
+//!   parallel routing paths.
 
 use ascs::prelude::*;
 use ascs_core::AscsPhase;
@@ -244,6 +249,61 @@ proptest! {
         }
     }
 
+    /// Sharded planned-batch ingestion with the **top-k tracker enabled**
+    /// is indistinguishable from the hashed batch path: same worker
+    /// tables, same gate counters, same per-worker tracker state, and the
+    /// same cross-shard merged `top_pairs()` report — on both the
+    /// sequential small-batch path and the parallel scoped-thread path.
+    /// (The untracked planned paths were already covered above; the
+    /// tracker is the piece that used to be property-tested only for
+    /// sequential sketches.)
+    #[test]
+    fn sharded_planned_batch_with_tracker_matches_hashed(
+        shards in 1usize..5,
+        range in 16usize..256,
+        t0_frac in 0.05f64..1.0,
+        theta in 0.0f64..0.4,
+        seed in 0u64..500,
+        parallel in proptest::bool::ANY,
+        updates in proptest::collection::vec((0u64..48, -2.0f64..2.0), 32..300),
+    ) {
+        let total = 128u64;
+        let t0 = ((total as f64 * t0_frac) as u64).clamp(1, total);
+        let hp = hyper(t0, theta, 1e-3);
+        let geometry = SketchGeometry::new(5, range);
+        let threshold = if parallel { 1 } else { usize::MAX };
+        let build = || {
+            ShardedAscs::new(geometry, &hp, total, 16, seed, shards)
+                .with_parallel_threshold(threshold)
+        };
+        let batch: Vec<ShardUpdate> = updates
+            .iter()
+            .enumerate()
+            .map(|(i, &(key, x))| ShardUpdate { key, value: x, t: (i as u64 % total) + 1 })
+            .collect();
+        let mut hashed = build();
+        hashed.offer_batch(&batch);
+        let mut planned = build();
+        let plan = planned.workers()[0].sketch().build_plan(48);
+        planned.offer_batch_planned(&plan, &batch);
+
+        for (shard, (a, b)) in hashed.workers().iter().zip(planned.workers()).enumerate() {
+            let ta = a.sketch().table();
+            let tb = b.sketch().table();
+            prop_assert!(
+                ta.iter().zip(tb).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "worker {} table diverged between hashed and planned routing", shard
+            );
+            prop_assert_eq!(
+                a.top_pairs(), b.top_pairs(),
+                "worker {} tracker diverged", shard
+            );
+        }
+        prop_assert_eq!(hashed.inserted_updates(), planned.inserted_updates());
+        prop_assert_eq!(hashed.skipped_updates(), planned.skipped_updates());
+        prop_assert_eq!(hashed.top_pairs(), planned.top_pairs());
+    }
+
     /// Sharded vanilla ingestion merges to exactly the sequential sketch
     /// even under heavy collisions: with dyadic weights and a power-of-two
     /// `T`, every intermediate sum is exact, so the re-associated merge
@@ -359,6 +419,29 @@ fn sharded_gated_matches_sequential_on_collision_free_keys() {
             assert!(strong.contains(&key), "non-signal key {key} in the top set");
         }
     }
+
+    // The planned sharded batch path (tracker enabled) reproduces the
+    // hashed sharded run exactly, estimates and report alike.
+    let mut sharded_planned =
+        ShardedAscs::new(geometry, &hp, total, 32, 9, 3).with_parallel_threshold(1);
+    let max_key = *keys.iter().max().unwrap();
+    let plan = sharded_planned.workers()[0]
+        .sketch()
+        .build_plan(max_key as usize + 1);
+    sharded_planned.offer_batch_planned(&plan, &batch);
+    for &key in &keys {
+        assert_eq!(
+            sharded.estimate(key),
+            sharded_planned.estimate(key),
+            "planned sharded estimate diverged for key {key}"
+        );
+    }
+    assert_eq!(
+        sharded.inserted_updates(),
+        sharded_planned.inserted_updates()
+    );
+    assert_eq!(sharded.skipped_updates(), sharded_planned.skipped_updates());
+    assert_eq!(sharded_top, sharded_planned.top_pairs());
 }
 
 /// The fused path must also agree with the naive oracle through the
