@@ -26,6 +26,7 @@ use crate::config::SketchGeometry;
 use crate::hyper::HyperParameters;
 use crate::schedule::ThresholdSchedule;
 use crate::sharded::ShardUpdate;
+use ascs_count_sketch::codec::{self, CodecError};
 use ascs_count_sketch::{median_in_place, CountSketch, HashPlan, TopKTracker, MAX_ROWS};
 use serde::{Deserialize, Serialize};
 
@@ -549,6 +550,123 @@ impl AscsSketch {
     pub fn memory_words(&self) -> usize {
         use ascs_count_sketch::PointSketch as _;
         self.sketch.memory_words()
+    }
+
+    /// Serializes the full gate state — exploration length, stream length,
+    /// gate flags, insert/skip counters, the threshold schedule — followed
+    /// by the nested count-sketch and tracker records.
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        codec::write_header(w, codec::TAG_ASCS_SKETCH)?;
+        codec::write_u64(w, self.t0)?;
+        codec::write_u64(w, self.total)?;
+        codec::write_bool(w, self.absolute_gate)?;
+        codec::write_bool(w, self.tracking_enabled)?;
+        codec::write_u64(w, self.inserted)?;
+        codec::write_u64(w, self.skipped)?;
+        self.schedule.save(w)?;
+        self.sketch.save(w)?;
+        self.tracker.save(w)
+    }
+
+    /// Restores a sketch saved by [`AscsSketch::save`]. `inv_total` is
+    /// recomputed as `1 / total` exactly as the constructor does, so a
+    /// restored sketch continues the stream bit-identically.
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        codec::read_header(r, codec::TAG_ASCS_SKETCH)?;
+        let t0 = codec::read_u64(r)?;
+        let total = codec::read_u64(r)?;
+        if total == 0 {
+            return Err(CodecError::Corrupt("stream length must be positive"));
+        }
+        if t0 > total {
+            return Err(CodecError::Corrupt(
+                "exploration period exceeds the stream length",
+            ));
+        }
+        let absolute_gate = codec::read_bool(r)?;
+        let tracking_enabled = codec::read_bool(r)?;
+        let inserted = codec::read_u64(r)?;
+        let skipped = codec::read_u64(r)?;
+        let schedule = ThresholdSchedule::restore(r)?;
+        let sketch = CountSketch::restore(r)?;
+        let tracker = TopKTracker::restore(r)?;
+        Ok(Self {
+            sketch,
+            schedule,
+            t0,
+            total,
+            tracker,
+            absolute_gate,
+            inv_total: 1.0 / total as f64,
+            tracking_enabled,
+            inserted,
+            skipped,
+        })
+    }
+
+    /// Restores a checkpointed sketch and merges it into `self` via count
+    /// sketch linearity: tables and counters add, and the top-k tracker is
+    /// rebuilt by re-scoring the union of both trackers' keys against the
+    /// merged sketch (a tracker is reporting state, so "best `k` of the
+    /// union under the merged estimates" is the meaningful merge).
+    ///
+    /// Both sketches must share geometry, seed, schedule, exploration and
+    /// stream length, and gate flags; mismatches return
+    /// [`CodecError::Incompatible`].
+    pub fn merge_from_checkpoint<R: std::io::Read>(&mut self, r: &mut R) -> Result<(), CodecError> {
+        let other = Self::restore(r)?;
+        self.merge_restored(&other)
+    }
+
+    /// Merges an already-restored sketch into `self`; see
+    /// [`AscsSketch::merge_from_checkpoint`].
+    pub fn merge_restored(&mut self, other: &Self) -> Result<(), CodecError> {
+        if self.t0 != other.t0 || self.total != other.total {
+            return Err(CodecError::Incompatible("stream phase geometry mismatch"));
+        }
+        if self.schedule != other.schedule {
+            return Err(CodecError::Incompatible("threshold schedule mismatch"));
+        }
+        if self.absolute_gate != other.absolute_gate
+            || self.tracking_enabled != other.tracking_enabled
+        {
+            return Err(CodecError::Incompatible("gate flag mismatch"));
+        }
+        if self.tracker.capacity() != other.tracker.capacity() {
+            return Err(CodecError::Incompatible("tracker capacity mismatch"));
+        }
+        self.sketch.merge_restored(&other.sketch)?;
+        self.inserted += other.inserted;
+        self.skipped += other.skipped;
+        let mut union: Vec<u64> = self
+            .tracker
+            .descending()
+            .into_iter()
+            .chain(other.tracker.descending())
+            .map(|(key, _)| key)
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        let scored: Vec<(u64, f64)> = union
+            .into_iter()
+            .map(|key| {
+                let fresh = self.sketch.estimate(key);
+                (
+                    key,
+                    if self.absolute_gate {
+                        fresh.abs()
+                    } else {
+                        fresh
+                    },
+                )
+            })
+            .collect();
+        self.tracker = TopKTracker::from_rescored(
+            self.tracker.capacity(),
+            self.tracker.offers() + other.tracker.offers(),
+            scored,
+        );
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@ use crate::sharded::{ShardUpdate, ShardedAscs};
 use crate::snr::SnrProbe;
 use crate::stream::{Sample, StreamContext};
 use crate::theory::TheoryBounds;
+use ascs_count_sketch::codec::{self, CodecError};
 use ascs_count_sketch::{
     AugmentedSketch, ColdFilter, CountSketch, HashPlan, PointSketch, TopKTracker,
 };
@@ -34,6 +35,42 @@ const MAX_PLANNED_PAIRS: u64 = 50_000_000;
 /// transient arena allocation outweighs the sweep win, so the plain loop
 /// runs instead.
 const TRANSIENT_PLAN_PAIRS: u64 = 8_000_000;
+
+/// Why an ingestion plan could not be attached. Callers fall back to the
+/// per-update hashed path, which every backend supports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanError {
+    /// The backend's filter stages hash independently of the count-sketch
+    /// family, so a precomputed plan cannot drive them (ASketch / Cold
+    /// Filter).
+    UnsupportedBackend(SketchBackend),
+    /// The pair universe is too large for a plan arena to fit in memory;
+    /// use the tracker-based reporting path instead.
+    UniverseTooLarge {
+        /// Pairs the plan would have to cover.
+        pairs: u64,
+        /// The supported maximum.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnsupportedBackend(backend) => write!(
+                f,
+                "ingestion plans require a count-sketch-family backend \
+                 (ASCS / vanilla CS), got {backend:?}"
+            ),
+            PlanError::UniverseTooLarge { pairs, max } => write!(
+                f,
+                "an ingestion plan over {pairs} pairs would not fit in memory (max {max})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// Which sketching strategy backs the estimator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -298,31 +335,48 @@ impl CovarianceEstimator {
     /// For the sharded backend the slot → shard routing table is also
     /// precomputed, so shard partitioning stops hashing per update too.
     ///
-    /// # Panics
-    /// Panics on the ASketch / Cold Filter backends (their filter stages
-    /// hash independently of the count-sketch family, so a plan cannot
-    /// drive them) and on pair universes beyond 5·10⁷ (the plan arena
-    /// would not fit in memory — use the tracker-based reporting path).
-    pub fn with_ingestion_plan(mut self) -> Self {
+    /// # Errors
+    /// Returns [`PlanError::UnsupportedBackend`] on the ASketch / Cold
+    /// Filter backends (their filter stages hash independently of the
+    /// count-sketch family, so a plan cannot drive them) and
+    /// [`PlanError::UniverseTooLarge`] on pair universes beyond 5·10⁷ (the
+    /// plan arena would not fit in memory — use the tracker-based
+    /// reporting path). In both cases the estimator is untouched and keeps
+    /// hashing per update.
+    pub fn with_ingestion_plan(mut self) -> Result<Self, PlanError> {
+        self.attach_ingestion_plan()?;
+        Ok(self)
+    }
+
+    /// In-place form of [`CovarianceEstimator::with_ingestion_plan`], for
+    /// callers that want to fall back to the hashed path without losing
+    /// the estimator on failure.
+    ///
+    /// # Errors
+    /// Same conditions as [`CovarianceEstimator::with_ingestion_plan`]; on
+    /// `Err` the estimator is unchanged.
+    pub fn attach_ingestion_plan(&mut self) -> Result<(), PlanError> {
         let p = self.config.num_pairs();
-        assert!(
-            p <= MAX_PLANNED_PAIRS,
-            "an ingestion plan over {p} pairs would not fit in memory"
-        );
+        if p > MAX_PLANNED_PAIRS {
+            return Err(PlanError::UniverseTooLarge {
+                pairs: p,
+                max: MAX_PLANNED_PAIRS,
+            });
+        }
         let plan = match &self.backend {
             BackendState::Ascs(a) => a.sketch().build_plan(p as usize),
             BackendState::Sharded { sketch, .. } => {
                 sketch.workers()[0].sketch().build_plan(p as usize)
             }
             BackendState::Asketch { .. } | BackendState::Cold { .. } => {
-                panic!("ingestion plans require a count-sketch-family backend (ASCS / vanilla CS)")
+                return Err(PlanError::UnsupportedBackend(self.backend_kind));
             }
         };
         if let BackendState::Sharded { sketch, .. } = &mut self.backend {
             sketch.build_slot_router(p as usize);
         }
         self.plan = Some(plan);
-        self
+        Ok(())
     }
 
     /// The attached ingestion plan, if any.
@@ -548,6 +602,234 @@ impl CovarianceEstimator {
             })
             .collect()
     }
+
+    /// Checkpoints the full estimator state: configuration, backend kind,
+    /// solved hyperparameters, sample counter, stream context and the
+    /// backend sketch record. A [`CovarianceEstimator::resume`]d estimator
+    /// continues the stream bit-identically to one that never stopped.
+    ///
+    /// The ingestion plan and the SNR probe are deliberately *not*
+    /// serialized: the plan is a pure function of the sketch's hash family
+    /// (re-attach it after resume via
+    /// [`CovarianceEstimator::attach_ingestion_plan`] — planned and hashed
+    /// ingestion are bit-identical anyway), and the probe is ground-truth
+    /// instrumentation, not estimator state.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Unsupported`] on the ASketch / Cold Filter
+    /// backends — their filter stages have no checkpoint codec; only the
+    /// count-sketch-family backends participate in the lifecycle.
+    pub fn checkpoint<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        let backend_tag = match (&self.backend, self.backend_kind) {
+            (BackendState::Ascs(_), SketchBackend::VanillaCs) => 2u8,
+            (BackendState::Ascs(_), _) => 0u8,
+            (BackendState::Sharded { .. }, _) => 1u8,
+            (BackendState::Asketch { .. } | BackendState::Cold { .. }, _) => {
+                return Err(CodecError::Unsupported(
+                    "checkpointing requires a count-sketch-family backend (ASCS / vanilla CS)",
+                ));
+            }
+        };
+        codec::write_header(w, codec::TAG_ESTIMATOR)?;
+        let c = &self.config;
+        codec::write_u64(w, c.dim)?;
+        codec::write_u64(w, c.total_samples)?;
+        codec::write_u64(w, c.geometry.rows as u64)?;
+        codec::write_u64(w, c.geometry.range as u64)?;
+        codec::write_f64(w, c.alpha)?;
+        codec::write_f64(w, c.signal_strength)?;
+        codec::write_f64(w, c.sigma)?;
+        codec::write_f64(w, c.delta)?;
+        codec::write_f64(w, c.delta_star)?;
+        codec::write_f64(w, c.tau0)?;
+        codec::write_u8(w, c.estimand as u8)?;
+        codec::write_u8(w, c.update_mode as u8)?;
+        codec::write_u64(w, c.seed)?;
+        codec::write_u64(w, c.top_k_capacity as u64)?;
+        codec::write_u8(w, backend_tag)?;
+        if let SketchBackend::ShardedAscs { shards } = self.backend_kind {
+            codec::write_u64(w, shards as u64)?;
+        }
+        match &self.hyper {
+            Some(hp) => {
+                codec::write_bool(w, true)?;
+                codec::write_u64(w, hp.t0)?;
+                codec::write_f64(w, hp.theta)?;
+                codec::write_f64(w, hp.tau0)?;
+                codec::write_f64(w, hp.delta)?;
+                codec::write_f64(w, hp.delta_star)?;
+            }
+            None => codec::write_bool(w, false)?,
+        }
+        codec::write_u64(w, self.t)?;
+        self.ctx.save(w)?;
+        match &self.backend {
+            BackendState::Ascs(a) => a.save(w),
+            BackendState::Sharded { sketch, .. } => sketch.save(w),
+            // Unreachable: filtered out when computing backend_tag above.
+            _ => Err(CodecError::Unsupported(
+                "checkpointing requires a count-sketch-family backend (ASCS / vanilla CS)",
+            )),
+        }
+    }
+
+    /// Restores an estimator checkpointed by
+    /// [`CovarianceEstimator::checkpoint`]. The restored configuration is
+    /// re-validated, so corrupt bytes surface as [`CodecError`] rather than
+    /// a panic downstream.
+    pub fn resume<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        codec::read_header(r, codec::TAG_ESTIMATOR)?;
+        let dim = codec::read_u64(r)?;
+        let total_samples = codec::read_u64(r)?;
+        let rows = codec::read_len(r, 1 << 16, "sketch row count out of range")?;
+        let range = codec::read_len(r, 1 << 40, "sketch range out of range")?;
+        let alpha = codec::read_f64(r)?;
+        let signal_strength = codec::read_f64(r)?;
+        let sigma = codec::read_f64(r)?;
+        let delta = codec::read_f64(r)?;
+        let delta_star = codec::read_f64(r)?;
+        let tau0 = codec::read_f64(r)?;
+        let estimand = match codec::read_u8(r)? {
+            0 => crate::config::EstimandKind::Covariance,
+            1 => crate::config::EstimandKind::Correlation,
+            _ => return Err(CodecError::Corrupt("unknown estimand kind")),
+        };
+        let update_mode = match codec::read_u8(r)? {
+            0 => crate::config::UpdateMode::Product,
+            1 => crate::config::UpdateMode::Centered,
+            _ => return Err(CodecError::Corrupt("unknown update mode")),
+        };
+        let seed = codec::read_u64(r)?;
+        let top_k_capacity = codec::read_len(r, 1 << 28, "tracker capacity out of range")?;
+        let config = AscsConfig {
+            dim,
+            total_samples,
+            geometry: crate::config::SketchGeometry { rows, range },
+            alpha,
+            signal_strength,
+            sigma,
+            delta,
+            delta_star,
+            tau0,
+            estimand,
+            update_mode,
+            seed,
+            top_k_capacity,
+        };
+        if config.validate().is_err() {
+            return Err(CodecError::Corrupt("checkpointed configuration is invalid"));
+        }
+        let backend_kind = match codec::read_u8(r)? {
+            0 => SketchBackend::Ascs,
+            1 => {
+                let shards = codec::read_len(
+                    r,
+                    crate::sharded::MAX_SHARDS as u64,
+                    "shard count out of range",
+                )?;
+                if shards == 0 {
+                    return Err(CodecError::Corrupt("shard count out of range"));
+                }
+                SketchBackend::ShardedAscs { shards }
+            }
+            2 => SketchBackend::VanillaCs,
+            _ => return Err(CodecError::Corrupt("unknown backend kind")),
+        };
+        let hyper = if codec::read_bool(r)? {
+            let t0 = codec::read_u64(r)?;
+            let theta = codec::read_f64(r)?;
+            let tau0 = codec::read_f64(r)?;
+            let delta = codec::read_f64(r)?;
+            let delta_star = codec::read_f64(r)?;
+            Some(HyperParameters {
+                t0,
+                theta,
+                tau0,
+                delta,
+                delta_star,
+            })
+        } else {
+            None
+        };
+        let t = codec::read_u64(r)?;
+        let ctx = StreamContext::restore(r)?;
+        if ctx.dim() != config.dim {
+            return Err(CodecError::Corrupt(
+                "stream context dimensionality disagrees with the configuration",
+            ));
+        }
+        let backend = match backend_kind {
+            SketchBackend::Ascs | SketchBackend::VanillaCs => {
+                BackendState::Ascs(AscsSketch::restore(r)?)
+            }
+            SketchBackend::ShardedAscs { shards } => {
+                let sketch = ShardedAscs::restore(r)?;
+                if sketch.shards() != shards {
+                    return Err(CodecError::Corrupt(
+                        "sharded backend shard count disagrees with the backend kind",
+                    ));
+                }
+                BackendState::Sharded {
+                    sketch,
+                    pending: Vec::new(),
+                }
+            }
+            _ => unreachable!("backend tag decoding covers CS-family kinds only"),
+        };
+        Ok(Self {
+            config,
+            ctx,
+            backend,
+            backend_kind,
+            hyper,
+            probe: None,
+            plan: None,
+            t,
+        })
+    }
+
+    /// Restores another process's checkpoint and merges it into `self` via
+    /// count sketch linearity: sketch tables, insert/skip counters and
+    /// sample counts add; trackers are re-scored against the merged tables;
+    /// per-feature moments combine with Chan's parallel update.
+    ///
+    /// Both estimators must have been built from the *same configuration*
+    /// (geometry, seed, schedule, backend kind) over disjoint stream
+    /// halves. When the update stream is linear — product-mode updates with
+    /// an always-pass gate, or gate decisions that agree with sequential
+    /// ingestion (disjoint keys, collision-free buckets) — the merged
+    /// estimates are bit-identical to single-process sequential ingestion;
+    /// see the ingestion-equivalence test suite for the exact conditions.
+    ///
+    /// # Errors
+    /// [`CodecError::Incompatible`] when configurations or backend kinds
+    /// differ; any [`CodecError`] the checkpoint itself fails with.
+    pub fn merge_from_checkpoint<R: std::io::Read>(&mut self, r: &mut R) -> Result<(), CodecError> {
+        let other = Self::resume(r)?;
+        if self.config != other.config {
+            return Err(CodecError::Incompatible("estimator configuration mismatch"));
+        }
+        if self.backend_kind != other.backend_kind {
+            return Err(CodecError::Incompatible("estimator backend kind mismatch"));
+        }
+        match (&mut self.backend, &other.backend) {
+            (BackendState::Ascs(mine), BackendState::Ascs(theirs)) => {
+                mine.merge_restored(theirs)?;
+            }
+            (
+                BackendState::Sharded { sketch: mine, .. },
+                BackendState::Sharded { sketch: theirs, .. },
+            ) => {
+                mine.merge_restored(theirs)?;
+            }
+            _ => {
+                return Err(CodecError::Incompatible("estimator backend kind mismatch"));
+            }
+        }
+        self.ctx.merge_from(&other.ctx);
+        self.t += other.t;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -680,7 +962,8 @@ mod tests {
             let mut plain = CovarianceEstimator::new(cfg, backend).unwrap();
             let mut planned = CovarianceEstimator::new(cfg, backend)
                 .unwrap()
-                .with_ingestion_plan();
+                .with_ingestion_plan()
+                .unwrap();
             assert!(planned.ingestion_plan().is_some());
             assert_eq!(
                 planned.ingestion_plan().unwrap().len() as u64,
@@ -719,17 +1002,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "count-sketch-family backend")]
-    fn ingestion_plan_rejects_filter_backends() {
+    fn ingestion_plan_rejects_filter_backends_with_typed_error() {
         let cfg = config(20, 100, 500);
-        let _ = CovarianceEstimator::new(
-            cfg,
-            SketchBackend::AugmentedSketch {
-                filter_capacity: 16,
-            },
-        )
-        .unwrap()
-        .with_ingestion_plan();
+        let backend = SketchBackend::AugmentedSketch {
+            filter_capacity: 16,
+        };
+        // Consuming form: the typed error lets callers rebuild and fall
+        // back to the hashed path.
+        let err = CovarianceEstimator::new(cfg, backend)
+            .unwrap()
+            .with_ingestion_plan()
+            .err()
+            .unwrap();
+        assert!(matches!(err, PlanError::UnsupportedBackend(_)));
+        assert!(err.to_string().contains("count-sketch-family backend"));
+        // In-place form: the estimator survives the failure and keeps
+        // working unplanned.
+        let mut est = CovarianceEstimator::new(cfg, backend).unwrap();
+        assert_eq!(
+            est.attach_ingestion_plan(),
+            Err(PlanError::UnsupportedBackend(backend))
+        );
+        assert!(est.ingestion_plan().is_none());
+        est.process_sample(&Sample::dense(vec![1.0; 20]));
+        assert_eq!(est.processed_samples(), 1);
+    }
+
+    #[test]
+    fn ingestion_plan_rejects_oversized_pair_universes() {
+        // 20_000 features → ~2·10^8 pairs, beyond the 5·10^7 plan cap. The
+        // estimator itself constructs fine; only the plan is refused.
+        let mut cfg = config(20_000, 100, 500);
+        cfg.alpha = 1e-4;
+        let err = CovarianceEstimator::new(cfg, SketchBackend::VanillaCs)
+            .unwrap()
+            .with_ingestion_plan()
+            .err()
+            .unwrap();
+        assert!(matches!(err, PlanError::UniverseTooLarge { .. }));
     }
 
     #[test]

@@ -51,12 +51,14 @@ pub mod stream;
 pub mod theory;
 
 pub use ascs::{AscsPhase, AscsSketch, OfferOutcome, SampleGate};
+pub use ascs_count_sketch::codec;
+pub use ascs_count_sketch::CodecError;
 pub use config::{AscsConfig, EstimandKind, SketchGeometry, UpdateMode};
-pub use estimator::{CovarianceEstimator, ReportedPair, SketchBackend};
+pub use estimator::{CovarianceEstimator, PlanError, ReportedPair, SketchBackend};
 pub use hyper::{HyperParameterSolver, HyperParameters, SigmaEstimator, SignalModel};
 pub use pair::{num_pairs, pair_from_index, pair_to_index, PairIndexer};
 pub use schedule::ThresholdSchedule;
-pub use sharded::{ShardUpdate, ShardedAscs};
+pub use sharded::{ShardUpdate, ShardedAscs, MAX_SHARDS};
 pub use snr::SnrProbe;
 pub use stream::{PairUpdate, Sample, StreamContext};
 pub use theory::TheoryBounds;

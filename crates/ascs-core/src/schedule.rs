@@ -9,6 +9,7 @@
 //! they are *not* part of the paper's algorithm but let the benchmark
 //! harness quantify how much the linear ramp actually buys.
 
+use ascs_count_sketch::codec::{self, CodecError};
 use serde::{Deserialize, Serialize};
 
 /// A threshold schedule over stream time `t ∈ [T0, T]`.
@@ -99,6 +100,90 @@ impl ThresholdSchedule {
     /// must clear to still be sampled on the final rounds.
     pub fn final_tau(&self, total: u64) -> f64 {
         self.tau(total)
+    }
+
+    /// Serializes the schedule inline (variant byte + fields) — schedules
+    /// are embedded in sketch records and carry no header of their own.
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        match *self {
+            Self::Linear {
+                tau0,
+                theta,
+                t0,
+                total,
+            } => {
+                codec::write_u8(w, 0)?;
+                codec::write_f64(w, tau0)?;
+                codec::write_f64(w, theta)?;
+                codec::write_u64(w, t0)?;
+                codec::write_u64(w, total)
+            }
+            Self::Constant { tau0 } => {
+                codec::write_u8(w, 1)?;
+                codec::write_f64(w, tau0)
+            }
+            Self::Step {
+                tau0,
+                tau1,
+                step_at,
+            } => {
+                codec::write_u8(w, 2)?;
+                codec::write_f64(w, tau0)?;
+                codec::write_f64(w, tau1)?;
+                codec::write_u64(w, step_at)
+            }
+        }
+    }
+
+    /// Restores a schedule written by [`ThresholdSchedule::save`],
+    /// re-validating the invariants the constructors enforce so corrupt
+    /// bytes surface as [`CodecError::Corrupt`] rather than a panic later.
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        match codec::read_u8(r)? {
+            0 => {
+                let tau0 = codec::read_f64(r)?;
+                let theta = codec::read_f64(r)?;
+                let t0 = codec::read_u64(r)?;
+                let total = codec::read_u64(r)?;
+                if total == 0 || t0 > total {
+                    return Err(CodecError::Corrupt(
+                        "linear schedule exploration exceeds the stream length",
+                    ));
+                }
+                if tau0.is_nan() || tau0 < 0.0 || theta.is_nan() || theta < 0.0 {
+                    return Err(CodecError::Corrupt(
+                        "linear schedule thresholds must be non-negative",
+                    ));
+                }
+                Ok(Self::Linear {
+                    tau0,
+                    theta,
+                    t0,
+                    total,
+                })
+            }
+            1 => {
+                let tau0 = codec::read_f64(r)?;
+                if tau0.is_nan() {
+                    return Err(CodecError::Corrupt("constant schedule threshold is NaN"));
+                }
+                Ok(Self::Constant { tau0 })
+            }
+            2 => {
+                let tau0 = codec::read_f64(r)?;
+                let tau1 = codec::read_f64(r)?;
+                let step_at = codec::read_u64(r)?;
+                if tau0.is_nan() || tau1.is_nan() {
+                    return Err(CodecError::Corrupt("step schedule threshold is NaN"));
+                }
+                Ok(Self::Step {
+                    tau0,
+                    tau1,
+                    step_at,
+                })
+            }
+            _ => Err(CodecError::Corrupt("unknown threshold schedule variant")),
+        }
     }
 }
 

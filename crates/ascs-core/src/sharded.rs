@@ -23,6 +23,7 @@
 use crate::ascs::{AscsSketch, SampleGate};
 use crate::config::SketchGeometry;
 use crate::hyper::HyperParameters;
+use ascs_count_sketch::codec::{self, CodecError};
 use ascs_count_sketch::{median_in_place, CountSketch, HashPlan, MAX_ROWS};
 use ascs_sketch_hash::splitmix64;
 
@@ -47,6 +48,13 @@ const ROUTER_SALT: u64 = 0x9E6C_63D4_7D5F_B1A3;
 /// thread — spawning workers for a handful of updates costs more than the
 /// updates themselves.
 const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
+
+/// Hard cap on the shard count: the plan-driven slot router stores one
+/// `u8` shard id per slot, and no machine this targets comes anywhere near
+/// 256 useful ingestion threads. Checked up front by [`ShardedAscs::new`]
+/// and [`ShardedAscs::vanilla`] (not just deep inside the first planned
+/// batch) so an oversized configuration fails at construction time.
+pub const MAX_SHARDS: usize = 256;
 
 #[inline]
 fn shard_for(key: u64, salt: u64, shards: usize) -> usize {
@@ -81,8 +89,8 @@ impl ShardedAscs {
     /// length a sequential [`AscsSketch::new`] would get.
     ///
     /// # Panics
-    /// Panics if `shards == 0` or the arguments would make
-    /// [`AscsSketch::new`] panic.
+    /// Panics if `shards == 0`, `shards > MAX_SHARDS`, or the arguments
+    /// would make [`AscsSketch::new`] panic.
     pub fn new(
         geometry: SketchGeometry,
         hyper: &HyperParameters,
@@ -92,6 +100,10 @@ impl ShardedAscs {
         shards: usize,
     ) -> Self {
         assert!(shards > 0, "sharded ingestion needs at least one shard");
+        assert!(
+            shards <= MAX_SHARDS,
+            "sharded ingestion supports at most {MAX_SHARDS} shards (slot routing stores u8 shard ids), got {shards}"
+        );
         let workers = (0..shards)
             .map(|_| AscsSketch::new(geometry, hyper, total_samples, top_k_capacity, seed))
             .collect();
@@ -108,6 +120,9 @@ impl ShardedAscs {
     /// counterpart of [`AscsSketch::vanilla`]. Because no gate is involved,
     /// the merged table is exactly the sequential table regardless of
     /// collisions.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `shards > MAX_SHARDS`.
     pub fn vanilla(
         geometry: SketchGeometry,
         total_samples: u64,
@@ -116,6 +131,10 @@ impl ShardedAscs {
         shards: usize,
     ) -> Self {
         assert!(shards > 0, "sharded ingestion needs at least one shard");
+        assert!(
+            shards <= MAX_SHARDS,
+            "sharded ingestion supports at most {MAX_SHARDS} shards (slot routing stores u8 shard ids), got {shards}"
+        );
         let workers = (0..shards)
             .map(|_| AscsSketch::vanilla(geometry, total_samples, top_k_capacity, seed))
             .collect();
@@ -207,11 +226,15 @@ impl ShardedAscs {
     /// existing table when a larger plan arrives.
     ///
     /// # Panics
-    /// Panics with more than 256 shards (the table stores `u8` shard ids —
-    /// far beyond any machine this targets).
+    /// Panics with more than [`MAX_SHARDS`] shards (the table stores `u8`
+    /// shard ids). Unreachable through the public constructors, which
+    /// enforce the cap up front; kept as defense in depth.
     pub fn build_slot_router(&mut self, len: usize) {
         let shards = self.workers.len();
-        assert!(shards <= 256, "slot routing supports at most 256 shards");
+        assert!(
+            shards <= MAX_SHARDS,
+            "slot routing supports at most {MAX_SHARDS} shards"
+        );
         while self.slot_router.len() < len {
             let slot = self.slot_router.len() as u64;
             self.slot_router
@@ -333,6 +356,70 @@ impl ShardedAscs {
     /// Total sketch memory across all shards, in float-equivalent words.
     pub fn memory_words(&self) -> usize {
         self.workers.iter().map(AscsSketch::memory_words).sum()
+    }
+
+    /// Serializes the worker set: shard count, router salt, parallel
+    /// threshold, then one nested [`AscsSketch`] record per worker. The
+    /// staging scratch and the lazily built slot router are transient
+    /// (rebuilt on demand) and do not travel.
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        codec::write_header(w, codec::TAG_SHARDED_ASCS)?;
+        codec::write_u64(w, self.workers.len() as u64)?;
+        codec::write_u64(w, self.router_salt)?;
+        codec::write_u64(w, self.parallel_threshold as u64)?;
+        for worker in &self.workers {
+            worker.save(w)?;
+        }
+        Ok(())
+    }
+
+    /// Restores a worker set saved by [`ShardedAscs::save`]. The shard
+    /// count must be in `1..=MAX_SHARDS` (the same bound the constructors
+    /// enforce), otherwise the record is [`CodecError::Corrupt`].
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        codec::read_header(r, codec::TAG_SHARDED_ASCS)?;
+        let shards = codec::read_len(r, MAX_SHARDS as u64, "shard count out of range")?;
+        if shards == 0 {
+            return Err(CodecError::Corrupt("shard count out of range"));
+        }
+        let router_salt = codec::read_u64(r)?;
+        let parallel_threshold =
+            codec::read_len(r, u64::from(u32::MAX), "parallel threshold out of range")?;
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            workers.push(AscsSketch::restore(r)?);
+        }
+        Ok(Self {
+            workers,
+            router_salt,
+            parallel_threshold: parallel_threshold.max(1),
+            scratch: vec![Vec::new(); shards],
+            slot_router: Vec::new(),
+        })
+    }
+
+    /// Restores a checkpointed worker set and merges it into `self`
+    /// shard-by-shard (worker `i` merges into worker `i`; both processes
+    /// route identically because they share the router salt). Shard count
+    /// or salt mismatches return [`CodecError::Incompatible`].
+    pub fn merge_from_checkpoint<R: std::io::Read>(&mut self, r: &mut R) -> Result<(), CodecError> {
+        let other = Self::restore(r)?;
+        self.merge_restored(&other)
+    }
+
+    /// Merges an already-restored worker set into `self`; see
+    /// [`ShardedAscs::merge_from_checkpoint`].
+    pub fn merge_restored(&mut self, other: &Self) -> Result<(), CodecError> {
+        if self.workers.len() != other.workers.len() {
+            return Err(CodecError::Incompatible("shard count mismatch"));
+        }
+        if self.router_salt != other.router_salt {
+            return Err(CodecError::Incompatible("shard router salt mismatch"));
+        }
+        for (mine, theirs) in self.workers.iter_mut().zip(&other.workers) {
+            mine.merge_restored(theirs)?;
+        }
+        Ok(())
     }
 }
 
@@ -533,6 +620,34 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = ShardedAscs::vanilla(SketchGeometry::new(2, 16), 10, 4, 1, 0);
+    }
+
+    // Regression: the shard cap used to be checked only inside
+    // build_slot_router, so a 257-shard set constructed fine and panicked
+    // deep inside the first planned batch. Both constructors now fail fast.
+    #[test]
+    #[should_panic(expected = "at most 256 shards")]
+    fn oversized_shard_count_panics_at_construction_vanilla() {
+        let _ = ShardedAscs::vanilla(SketchGeometry::new(2, 16), 10, 4, 1, MAX_SHARDS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256 shards")]
+    fn oversized_shard_count_panics_at_construction_gated() {
+        let _ = ShardedAscs::new(
+            SketchGeometry::new(2, 16),
+            &hyper(2, 0.1, 1e-3),
+            10,
+            4,
+            1,
+            MAX_SHARDS + 1,
+        );
+    }
+
+    #[test]
+    fn max_shard_count_still_constructs() {
+        let s = ShardedAscs::vanilla(SketchGeometry::new(2, 16), 10, 4, 1, MAX_SHARDS);
+        assert_eq!(s.shards(), MAX_SHARDS);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use crate::config::{EstimandKind, UpdateMode};
 use crate::pair::PairIndexer;
+use ascs_count_sketch::codec::{self, CodecError};
 use ascs_numerics::RunningMoments;
 use serde::{Deserialize, Serialize};
 
@@ -317,6 +318,90 @@ impl StreamContext {
             }
         }
         emitted
+    }
+
+    /// Serializes the context: dimensionality, update mode, estimand,
+    /// sample counter, then every feature's running-moment accumulator as
+    /// raw `(count, mean, m2, min, max)` parts so a restored context
+    /// resumes centering/normalisation bit-identically.
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        codec::write_header(w, codec::TAG_STREAM_CONTEXT)?;
+        codec::write_u64(w, self.dim())?;
+        codec::write_u8(w, self.update_mode as u8)?;
+        codec::write_u8(w, self.estimand as u8)?;
+        codec::write_u64(w, self.samples_seen)?;
+        for feature in &self.features {
+            let (count, mean, m2, min, max) = feature.to_raw_parts();
+            codec::write_u64(w, count)?;
+            codec::write_f64(w, mean)?;
+            codec::write_f64(w, m2)?;
+            codec::write_f64(w, min)?;
+            codec::write_f64(w, max)?;
+        }
+        Ok(())
+    }
+
+    /// Restores a context saved by [`StreamContext::save`], enforcing the
+    /// same dimensionality bounds as [`StreamContext::new`].
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        codec::read_header(r, codec::TAG_STREAM_CONTEXT)?;
+        let dim = codec::read_u64(r)?;
+        if !(2..=50_000_000).contains(&dim) {
+            return Err(CodecError::Corrupt("stream dimensionality out of range"));
+        }
+        let update_mode = match codec::read_u8(r)? {
+            0 => UpdateMode::Product,
+            1 => UpdateMode::Centered,
+            _ => return Err(CodecError::Corrupt("unknown update mode")),
+        };
+        let estimand = match codec::read_u8(r)? {
+            0 => EstimandKind::Covariance,
+            1 => EstimandKind::Correlation,
+            _ => return Err(CodecError::Corrupt("unknown estimand kind")),
+        };
+        let samples_seen = codec::read_u64(r)?;
+        let mut features = Vec::with_capacity((dim as usize).min(1 << 20));
+        for _ in 0..dim {
+            let count = codec::read_u64(r)?;
+            let mean = codec::read_f64(r)?;
+            let m2 = codec::read_f64(r)?;
+            let min = codec::read_f64(r)?;
+            let max = codec::read_f64(r)?;
+            features.push(RunningMoments::from_raw_parts(count, mean, m2, min, max));
+        }
+        Ok(Self {
+            indexer: PairIndexer::new(dim),
+            update_mode,
+            estimand,
+            features,
+            samples_seen,
+        })
+    }
+
+    /// Merges another context's feature statistics into `self` using
+    /// Chan's parallel-moments combination. Exact in real arithmetic;
+    /// merged moments are *not* bit-identical to sequential ingestion, so
+    /// cross-process merge is bit-exact for the product/covariance path
+    /// (which never reads them) and approximate for centered/correlation
+    /// scaling.
+    ///
+    /// # Panics
+    /// Panics if the contexts disagree on dimensionality, update mode or
+    /// estimand — the estimator-level merge validates compatibility first.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.dim(), other.dim(), "stream context dim mismatch");
+        assert_eq!(
+            self.update_mode, other.update_mode,
+            "stream context update mode mismatch"
+        );
+        assert_eq!(
+            self.estimand, other.estimand,
+            "stream context estimand mismatch"
+        );
+        for (mine, theirs) in self.features.iter_mut().zip(&other.features) {
+            mine.merge(theirs);
+        }
+        self.samples_seen += other.samples_seen;
     }
 }
 

@@ -1,0 +1,300 @@
+//! Sketch lifecycle harness: checkpoint save/restore bandwidth and the cost
+//! of merging two half-stream checkpoints, with the codec's correctness
+//! contract asserted before any number is reported.
+//!
+//! Three flags land in `BENCH_ingest.json` under `"checkpoint"` (CI greps
+//! for them):
+//!
+//! * `checkpoint_roundtrip_asserted` — a mid-stream checkpoint of a gated
+//!   ASCS estimator restores to bit-identical estimates and counters, and a
+//!   sharded worker set round-trips the same way;
+//! * `corrupt_restore_rejected` — truncated bytes, a flipped magic byte and
+//!   a bumped format version all come back as typed [`CodecError`]s, never
+//!   panics;
+//! * `merge_bit_identity_asserted` — two vanilla-CS estimators over
+//!   disjoint dyadic stream halves, serialized and merged via linearity,
+//!   equal one sequential run bit for bit.
+//!
+//! The bandwidth numbers are best-of-N wall clock over the serialized size
+//! (sketch table + tracker + stream context), and the merge cost is the
+//! `merge_from_checkpoint` call alone (the restore of the incoming record
+//! is timed separately as `restore_mb_per_sec`).
+//!
+//! `--smoke` shrinks the workload for CI. The section is *merged* into the
+//! existing `BENCH_ingest.json` (written by the `throughput` bin) rather
+//! than replacing the file.
+
+use ascs_core::{
+    AscsConfig, CodecError, CovarianceEstimator, EstimandKind, HyperParameters, Sample,
+    SketchBackend, SketchGeometry, UpdateMode,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Where the JSON trajectory lands: the repository root, independent of the
+/// invocation directory.
+const OUTPUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+
+fn hyper_gated(total: u64) -> HyperParameters {
+    HyperParameters {
+        t0: (total / 10).max(1),
+        theta: 0.2,
+        tau0: 1e-4,
+        delta: 0.05,
+        delta_star: 0.20,
+    }
+}
+
+fn config(dim: u64, total: u64, range: usize, seed: u64) -> AscsConfig {
+    AscsConfig {
+        dim,
+        total_samples: total,
+        geometry: SketchGeometry::new(5, range),
+        alpha: 0.05,
+        signal_strength: 0.5,
+        sigma: 1.0,
+        delta: 0.05,
+        delta_star: 0.20,
+        tau0: 1e-4,
+        estimand: EstimandKind::Covariance,
+        update_mode: UpdateMode::Product,
+        seed,
+        top_k_capacity: 64,
+    }
+}
+
+/// Deterministic dyadic samples (values in {-1, -0.5, 0, 0.5, 1}): with a
+/// power-of-two `T`, every pair-update weight and every bucket sum is
+/// exactly representable, so a re-associated merge must be bit-exact.
+fn dyadic_samples(dim: u64, total: u64) -> Vec<Sample> {
+    (1..=total)
+        .map(|t| {
+            let values: Vec<f64> = (0..dim)
+                .map(|f| ((t * 31 + f * 7) % 5) as f64 * 0.5 - 1.0)
+                .collect();
+            Sample::dense(values)
+        })
+        .collect()
+}
+
+fn best_of<R>(reps: usize, mut work: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = work();
+    for _ in 0..reps {
+        let start = Instant::now();
+        out = work();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn assert_bit_identical(a: &CovarianceEstimator, b: &CovarianceEstimator, what: &str) {
+    assert_eq!(
+        a.processed_samples(),
+        b.processed_samples(),
+        "{what}: stream time diverged"
+    );
+    assert_eq!(
+        a.update_counts(),
+        b.update_counts(),
+        "{what}: gate counters diverged"
+    );
+    let (ea, eb) = (a.all_estimates(), b.all_estimates());
+    assert!(
+        ea.iter().zip(&eb).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "{what}: estimates diverged"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (dim, total, range, reps) = if smoke {
+        (60u64, 64u64, 4096usize, 2usize)
+    } else {
+        (160u64, 256u64, 16384usize, 7usize)
+    };
+    let samples = dyadic_samples(dim, total);
+    let half = samples.len() / 2;
+
+    // ------------------------------------------------------------------
+    // 1. Round trip: a gated ASCS estimator checkpointed mid-stream must
+    //    restore bit-identically — that checkpoint is also the bandwidth
+    //    specimen.
+    // ------------------------------------------------------------------
+    eprintln!("ingesting {total} samples of d = {dim} (gated ASCS, K×R = 5×{range})...");
+    let cfg = config(dim, total, range, 42);
+    let hp = Some(hyper_gated(total));
+    let mut gated = CovarianceEstimator::with_hyperparameters(cfg, SketchBackend::Ascs, hp);
+    for s in &samples[..half] {
+        gated.process_sample(s);
+    }
+
+    let mut bytes = Vec::new();
+    gated.checkpoint(&mut bytes).expect("checkpoint failed");
+    let record_bytes = bytes.len();
+    let mb = record_bytes as f64 / (1024.0 * 1024.0);
+
+    let (save_secs, _) = best_of(reps, || {
+        let mut sink = Vec::with_capacity(record_bytes);
+        gated.checkpoint(&mut sink).expect("checkpoint failed");
+        sink
+    });
+    let (restore_secs, restored) = best_of(reps, || {
+        CovarianceEstimator::resume(&mut bytes.as_slice()).expect("restore failed")
+    });
+    assert_bit_identical(&gated, &restored, "gated roundtrip");
+
+    // The restored estimator must *continue* exactly as the original.
+    let mut original_run = gated;
+    let mut resumed_run = restored;
+    for s in &samples[half..] {
+        original_run.process_sample(s);
+        resumed_run.process_sample(s);
+    }
+    assert_bit_identical(&original_run, &resumed_run, "gated resumed stream");
+
+    // Sharded worker state round-trips through the same codec.
+    let mut sharded = CovarianceEstimator::with_hyperparameters(
+        cfg,
+        SketchBackend::ShardedAscs { shards: 4 },
+        hp,
+    );
+    for s in &samples[..half] {
+        sharded.process_sample(s);
+    }
+    let mut sharded_bytes = Vec::new();
+    sharded
+        .checkpoint(&mut sharded_bytes)
+        .expect("checkpoint failed");
+    let sharded_back =
+        CovarianceEstimator::resume(&mut sharded_bytes.as_slice()).expect("restore failed");
+    assert_bit_identical(&sharded, &sharded_back, "sharded roundtrip");
+    let checkpoint_roundtrip_asserted = true;
+
+    // ------------------------------------------------------------------
+    // 2. Corruption: truncation, a flipped magic byte and a bumped format
+    //    version must all be typed errors.
+    // ------------------------------------------------------------------
+    for cut in [0, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            matches!(
+                CovarianceEstimator::resume(&mut &bytes[..cut]),
+                Err(CodecError::Truncated)
+            ),
+            "truncation at {cut} was not reported as Truncated"
+        );
+    }
+    let mut flipped = bytes.clone();
+    flipped[0] ^= 0xFF;
+    assert!(matches!(
+        CovarianceEstimator::resume(&mut flipped.as_slice()),
+        Err(CodecError::BadMagic(_))
+    ));
+    let mut bumped = bytes.clone();
+    bumped[4] = 0xFE;
+    assert!(matches!(
+        CovarianceEstimator::resume(&mut bumped.as_slice()),
+        Err(CodecError::UnsupportedVersion(_))
+    ));
+    let corrupt_restore_rejected = true;
+
+    // ------------------------------------------------------------------
+    // 3. Merge: two vanilla-CS estimators over disjoint stream halves,
+    //    merged from a checkpoint, equal one sequential run bit for bit.
+    //    The timed section is the merge call alone.
+    // ------------------------------------------------------------------
+    eprintln!("merging two disjoint-half checkpoints (vanilla CS)...");
+    let vanilla = |n: usize| {
+        let mut est = CovarianceEstimator::new(cfg, SketchBackend::VanillaCs).expect("config");
+        for s in &samples[..n] {
+            est.process_sample(s);
+        }
+        est
+    };
+    let mut seq = CovarianceEstimator::new(cfg, SketchBackend::VanillaCs).expect("config");
+    for s in &samples {
+        seq.process_sample(s);
+    }
+    let first = vanilla(half);
+    let mut second = CovarianceEstimator::new(cfg, SketchBackend::VanillaCs).expect("config");
+    for s in &samples[half..] {
+        second.process_sample(s);
+    }
+    let mut bytes_a = Vec::new();
+    let mut bytes_b = Vec::new();
+    first.checkpoint(&mut bytes_a).expect("checkpoint failed");
+    second.checkpoint(&mut bytes_b).expect("checkpoint failed");
+    let mut merge_best = f64::INFINITY;
+    let mut merged = CovarianceEstimator::resume(&mut bytes_a.as_slice()).expect("restore failed");
+    for _ in 0..reps.max(1) {
+        let mut m = CovarianceEstimator::resume(&mut bytes_a.as_slice()).expect("restore failed");
+        let start = Instant::now();
+        m.merge_from_checkpoint(&mut bytes_b.as_slice())
+            .expect("merge failed");
+        merge_best = merge_best.min(start.elapsed().as_secs_f64());
+        merged = m;
+    }
+    assert_bit_identical(&seq, &merged, "vanilla checkpoint merge");
+    let merge_bit_identity_asserted = true;
+
+    // ------------------------------------------------------------------
+    // Report.
+    // ------------------------------------------------------------------
+    let save_mbps = mb / save_secs;
+    let restore_mbps = mb / restore_secs;
+    println!("\ncheckpoint lifecycle (d = {dim}, T = {total}, K×R = 5×{range}):");
+    println!("  record size        {record_bytes} bytes ({mb:.2} MiB)");
+    println!("  save               {save_secs:.6} s  ({save_mbps:.1} MiB/s)");
+    println!("  restore            {restore_secs:.6} s  ({restore_mbps:.1} MiB/s)");
+    println!("  merge (linearity)  {merge_best:.6} s per half-checkpoint");
+    println!("  roundtrip / corruption / merge contracts: all asserted");
+
+    let mut section = String::new();
+    let _ = write!(
+        section,
+        "{{\"smoke\": {smoke}, \"dim\": {dim}, \"samples\": {total}, \"rows\": 5, \"range\": {range}, \
+         \"record_bytes\": {record_bytes}, \"save_mb_per_sec\": {save_mbps:.1}, \
+         \"restore_mb_per_sec\": {restore_mbps:.1}, \"merge_seconds\": {merge_best:.6}, \
+         \"checkpoint_roundtrip_asserted\": {checkpoint_roundtrip_asserted}, \
+         \"corrupt_restore_rejected\": {corrupt_restore_rejected}, \
+         \"merge_bit_identity_asserted\": {merge_bit_identity_asserted}}}"
+    );
+    merge_into_trajectory(&section);
+}
+
+/// Splices the `"checkpoint"` section into `BENCH_ingest.json`, preserving
+/// whatever the `throughput` bin wrote. The section is always the object's
+/// last key, so an existing section can be replaced by truncating at its
+/// marker; if the file is missing or unparseable a fresh object is written.
+fn merge_into_trajectory(section: &str) {
+    let fresh = format!("{{\n  \"checkpoint\": {section}\n}}\n");
+    let merged = match std::fs::read_to_string(OUTPUT_PATH) {
+        Ok(existing) => {
+            let base = match existing.find("\n  \"checkpoint\":") {
+                Some(pos) => existing[..pos].trim_end().to_string(),
+                None => existing
+                    .trim_end()
+                    .strip_suffix('}')
+                    .map(|body| body.trim_end().to_string())
+                    .unwrap_or_default(),
+            };
+            if base.is_empty() || base == "{" {
+                fresh
+            } else {
+                let mut out = base;
+                if !out.ends_with(',') {
+                    out.push(',');
+                }
+                out.push_str("\n  \"checkpoint\": ");
+                out.push_str(section);
+                out.push_str("\n}\n");
+                out
+            }
+        }
+        Err(_) => fresh,
+    };
+    match std::fs::write(OUTPUT_PATH, merged) {
+        Ok(()) => eprintln!("(merged checkpoint section into {OUTPUT_PATH})"),
+        Err(e) => eprintln!("warning: could not write {OUTPUT_PATH}: {e}"),
+    }
+}

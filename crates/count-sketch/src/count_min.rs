@@ -67,11 +67,13 @@ impl CountMinSketch {
     /// Adds `weight ≥ 0` to item `key`.
     ///
     /// # Panics
-    /// Panics (in debug builds) if `weight` is negative — count-min cannot
-    /// represent signed accumulations.
+    /// Panics if `weight` is negative or NaN. The check runs in release
+    /// builds too: count-min estimates are upper bounds of non-negative
+    /// accumulations, and a signed update would silently corrupt every
+    /// counter the key collides with rather than fail loudly.
     #[inline]
     pub fn update(&mut self, key: u64, weight: f64) {
-        debug_assert!(weight >= 0.0, "count-min requires non-negative weights");
+        assert!(weight >= 0.0, "count-min requires non-negative weights");
         self.updates += 1;
         if self.conservative {
             let current = self.estimate(key);

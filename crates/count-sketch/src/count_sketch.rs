@@ -1,7 +1,12 @@
 //! The Count Sketch data structure (Charikar, Chen, Farach-Colton 2002).
 
 use crate::PointSketch;
+use ascs_sketch_hash::codec::{self, CodecError};
 use ascs_sketch_hash::{HashFamily, HashPlan, RowLocations, MAX_ROWS};
+
+/// Upper bound on `rows × range` accepted by [`CountSketch::restore`] — a
+/// corrupt header cannot demand more than 2 GiB of table.
+pub const MAX_TABLE_WORDS: u64 = 1 << 28;
 
 /// Slots per block of the [`CountSketch::estimate_many`] sweep. Each block
 /// gathers row by row, so the working set per inner loop is one table row
@@ -359,6 +364,70 @@ impl CountSketch {
             *a += b;
         }
         self.updates += other.updates;
+    }
+
+    /// Serializes the sketch: nested hash-family record (the geometry and
+    /// seed), update counter, then the raw table as IEEE-754 bit patterns.
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        codec::write_header(w, codec::TAG_COUNT_SKETCH)?;
+        self.family.save(w)?;
+        codec::write_u64(w, self.updates)?;
+        codec::write_u64(w, self.table.len() as u64)?;
+        codec::write_f64_slice(w, &self.table)
+    }
+
+    /// Restores a sketch saved by [`CountSketch::save`]. Returns a
+    /// [`CodecError`] (never panics) on truncated, corrupt or
+    /// version-bumped input; the table length must agree with the restored
+    /// geometry and stay below [`MAX_TABLE_WORDS`].
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        codec::read_header(r, codec::TAG_COUNT_SKETCH)?;
+        let family = HashFamily::restore(r)?;
+        let updates = codec::read_u64(r)?;
+        let words = codec::read_u64(r)?;
+        let expected = (family.rows() as u64)
+            .checked_mul(family.range() as u64)
+            .filter(|&w| w <= MAX_TABLE_WORDS)
+            .ok_or(CodecError::Corrupt("sketch table exceeds the size cap"))?;
+        if words != expected {
+            return Err(CodecError::Corrupt(
+                "table length disagrees with the sketch geometry",
+            ));
+        }
+        let table = codec::read_f64_vec(r, words as usize)?;
+        Ok(Self {
+            rows: family.rows(),
+            range: family.range(),
+            seed: family.seed(),
+            family,
+            table,
+            updates,
+        })
+    }
+
+    /// Restores a checkpointed sketch and merges it into `self` via
+    /// linearity. Unlike [`CountSketch::merge`] this is the cross-process
+    /// path, so geometry/seed mismatches surface as
+    /// [`CodecError::Incompatible`] instead of a panic.
+    pub fn merge_from_checkpoint<R: std::io::Read>(&mut self, r: &mut R) -> Result<(), CodecError> {
+        let other = Self::restore(r)?;
+        self.merge_restored(&other)
+    }
+
+    /// Merges an already-restored sketch into `self`, reporting mismatched
+    /// geometry or seed as [`CodecError::Incompatible`].
+    pub fn merge_restored(&mut self, other: &Self) -> Result<(), CodecError> {
+        if self.rows != other.rows {
+            return Err(CodecError::Incompatible("row count mismatch in merge"));
+        }
+        if self.range != other.range {
+            return Err(CodecError::Incompatible("range mismatch in merge"));
+        }
+        if self.seed != other.seed {
+            return Err(CodecError::Incompatible("seed mismatch in merge"));
+        }
+        self.merge(other);
+        Ok(())
     }
 
     /// The L2 norm of one row — a cheap proxy for the total noise energy in

@@ -37,9 +37,11 @@ pub use count_min::CountMinSketch;
 pub use count_sketch::{median_in_place, CountSketch};
 pub use topk::TopKTracker;
 
-// Re-exported so sketch consumers can use the fused location APIs and the
-// precomputed hash plans without depending on the hash crate directly.
-pub use ascs_sketch_hash::{HashPlan, RowLocations, MAX_ROWS};
+// Re-exported so sketch consumers can use the fused location APIs, the
+// precomputed hash plans and the checkpoint codec without depending on the
+// hash crate directly.
+pub use ascs_sketch_hash::codec;
+pub use ascs_sketch_hash::{CodecError, HashPlan, RowLocations, MAX_ROWS};
 
 /// Common interface of sketches that ingest `(item, weight)` updates and
 /// answer point queries, letting the evaluation harness treat CS, ASketch

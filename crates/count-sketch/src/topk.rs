@@ -12,6 +12,17 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
+use ascs_sketch_hash::codec::{self, CodecError};
+
+/// Largest tracker capacity accepted on restore; legitimate trackers hold
+/// thousands of pairs, so anything beyond this is a corrupt length field.
+const MAX_TRACKER_CAPACITY: u64 = 1 << 28;
+
+/// Restore pre-allocates the entry map only up to this many slots; longer
+/// (validated) entry lists grow the map incrementally, so a corrupt length
+/// cannot force a giant allocation before the payload bytes run out.
+const MAX_TRACKER_PREALLOC: usize = 1 << 20;
+
 /// Ranking wrapper giving `(estimate, key)` the tracker's reporting order:
 /// larger estimates first, ties broken by **smaller** key — so the *larger*
 /// `Rank` is the entry reported earlier. `total_cmp` makes the order total
@@ -232,6 +243,96 @@ impl TopKTracker {
     /// Smallest retained estimate (the current admission bar once full).
     pub fn threshold(&self) -> Option<f64> {
         self.entries.values().copied().min_by(f64::total_cmp)
+    }
+
+    /// Serializes the tracker: capacity, admission bar (bit pattern, may be
+    /// ±inf), offer counter, then the retained entries sorted by key — the
+    /// sort makes the byte stream canonical, so identical tracker states
+    /// always produce identical checkpoints regardless of map history.
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        codec::write_header(w, codec::TAG_TOP_K_TRACKER)?;
+        codec::write_u64(w, self.capacity as u64)?;
+        codec::write_f64(w, self.admission_bar)?;
+        codec::write_u64(w, self.offers)?;
+        codec::write_u64(w, self.entries.len() as u64)?;
+        let mut entries: Vec<(u64, f64)> = self.entries.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        for (key, value) in entries {
+            codec::write_u64(w, key)?;
+            codec::write_f64(w, value)?;
+        }
+        Ok(())
+    }
+
+    /// Restores a tracker saved by [`TopKTracker::save`]. Keys must be
+    /// strictly ascending and values non-NaN (`offer` never stores NaN),
+    /// otherwise the record is reported as [`CodecError::Corrupt`].
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        codec::read_header(r, codec::TAG_TOP_K_TRACKER)?;
+        let capacity = codec::read_len(r, MAX_TRACKER_CAPACITY, "tracker capacity out of range")?;
+        if capacity == 0 {
+            return Err(CodecError::Corrupt("tracker capacity out of range"));
+        }
+        let admission_bar = codec::read_f64(r)?;
+        if admission_bar.is_nan() {
+            return Err(CodecError::Corrupt("tracker admission bar is NaN"));
+        }
+        let offers = codec::read_u64(r)?;
+        let len = codec::read_len(r, capacity as u64, "tracker holds more than its capacity")?;
+        let mut entries = HashMap::with_capacity_and_hasher(
+            len.min(MAX_TRACKER_PREALLOC) + 1,
+            BuildHasherDefault::default(),
+        );
+        let mut previous: Option<u64> = None;
+        for _ in 0..len {
+            let key = codec::read_u64(r)?;
+            if previous.is_some_and(|p| p >= key) {
+                return Err(CodecError::Corrupt("tracker keys not strictly ascending"));
+            }
+            previous = Some(key);
+            let value = codec::read_f64(r)?;
+            if value.is_nan() {
+                return Err(CodecError::Corrupt("tracker entry value is NaN"));
+            }
+            entries.insert(key, value);
+        }
+        Ok(Self {
+            capacity,
+            entries,
+            admission_bar,
+            offers,
+        })
+    }
+
+    /// Rebuilds a tracker from externally re-scored entries — the
+    /// cross-checkpoint merge path, where the union of two trackers' keys
+    /// is re-scored against the merged sketch and the best `capacity`
+    /// survive. NaN scores are dropped (as `offer` would drop them),
+    /// duplicates keep their best score, and the admission bar re-arms at
+    /// the next real eviction.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn from_rescored(capacity: usize, offers: u64, mut scored: Vec<(u64, f64)>) -> Self {
+        assert!(capacity > 0, "top-k tracker needs positive capacity");
+        scored.retain(|&(_, value)| !value.is_nan());
+        scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut entries = HashMap::with_capacity_and_hasher(
+            capacity.min(MAX_TRACKER_PREALLOC) + 1,
+            BuildHasherDefault::default(),
+        );
+        for (key, value) in scored {
+            if entries.len() == capacity {
+                break;
+            }
+            entries.entry(key).or_insert(value);
+        }
+        Self {
+            capacity,
+            entries,
+            admission_bar: f64::NEG_INFINITY,
+            offers,
+        }
     }
 }
 

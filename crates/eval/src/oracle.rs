@@ -13,7 +13,7 @@
 //! scoring — works unchanged on any checkpoint.
 
 use crate::exact::ExactMatrix;
-use ascs_core::{num_pairs, EstimandKind, PairIndexer, Sample};
+use ascs_core::{codec, num_pairs, CodecError, EstimandKind, PairIndexer, Sample};
 
 /// One checkpoint snapshot: the exact cumulative matrix after `t` samples.
 #[derive(Debug, Clone)]
@@ -137,6 +137,97 @@ impl StreamingExact {
             self.snapshots.push(ExactSnapshot { t: self.n, matrix });
             self.next_checkpoint += 1;
         }
+    }
+
+    /// Serializes the oracle — accumulators, checkpoint plan and already
+    /// taken snapshots — so a drift evaluation can stop mid-stream and
+    /// resume later with bit-identical ground truth.
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        codec::write_header(w, codec::TAG_STREAMING_EXACT)?;
+        codec::write_u64(w, self.dim())?;
+        codec::write_u8(w, self.estimand as u8)?;
+        codec::write_u64(w, self.n)?;
+        // The accumulator lengths are functions of `dim`, so they travel
+        // without explicit length fields.
+        codec::write_f64_slice(w, &self.sum)?;
+        codec::write_f64_slice(w, &self.sum_sq)?;
+        codec::write_f64_slice(w, &self.cross)?;
+        codec::write_u64(w, self.checkpoints.len() as u64)?;
+        for &c in &self.checkpoints {
+            codec::write_u64(w, c)?;
+        }
+        codec::write_u64(w, self.next_checkpoint as u64)?;
+        codec::write_u64(w, self.snapshots.len() as u64)?;
+        for snap in &self.snapshots {
+            codec::write_u64(w, snap.t)?;
+            codec::write_u64(w, snap.matrix.sample_count())?;
+            codec::write_f64_slice(w, snap.matrix.values())?;
+        }
+        Ok(())
+    }
+
+    /// Restores an oracle saved by [`StreamingExact::save`], re-validating
+    /// every constructor invariant so corrupt bytes surface as a
+    /// [`CodecError`] rather than a panic later.
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        codec::read_header(r, codec::TAG_STREAMING_EXACT)?;
+        let dim = codec::read_u64(r)?;
+        if !(2..=20_000).contains(&dim) {
+            return Err(CodecError::Corrupt(
+                "oracle dimensionality outside the dense range",
+            ));
+        }
+        let estimand = match codec::read_u8(r)? {
+            0 => EstimandKind::Covariance,
+            1 => EstimandKind::Correlation,
+            _ => return Err(CodecError::Corrupt("unknown estimand kind")),
+        };
+        let n = codec::read_u64(r)?;
+        let d = dim as usize;
+        let p = num_pairs(dim) as usize;
+        let sum = codec::read_f64_vec(r, d)?;
+        let sum_sq = codec::read_f64_vec(r, d)?;
+        let cross = codec::read_f64_vec(r, p)?;
+        let num_checkpoints = codec::read_len(r, 1 << 20, "checkpoint list length out of range")?;
+        let mut checkpoints = Vec::with_capacity(num_checkpoints);
+        for _ in 0..num_checkpoints {
+            checkpoints.push(codec::read_u64(r)?);
+        }
+        let increasing = checkpoints.windows(2).all(|w| w[0] < w[1]);
+        if !increasing || checkpoints.first().is_some_and(|&c| c == 0) {
+            return Err(CodecError::Corrupt(
+                "checkpoints must be strictly increasing positive stream times",
+            ));
+        }
+        let next_checkpoint = codec::read_len(
+            r,
+            num_checkpoints as u64,
+            "checkpoint cursor beyond the checkpoint list",
+        )?;
+        let num_snapshots =
+            codec::read_len(r, num_checkpoints as u64, "more snapshots than checkpoints")?;
+        let mut snapshots = Vec::with_capacity(num_snapshots);
+        for _ in 0..num_snapshots {
+            let t = codec::read_u64(r)?;
+            let samples = codec::read_u64(r)?;
+            let values = codec::read_f64_vec(r, p)?;
+            snapshots.push(ExactSnapshot {
+                t,
+                matrix: ExactMatrix::from_parts(dim, values, estimand, samples),
+            });
+        }
+        Ok(Self {
+            indexer: PairIndexer::new(dim),
+            estimand,
+            sum,
+            sum_sq,
+            cross,
+            dense_scratch: vec![0.0; d],
+            n,
+            checkpoints,
+            next_checkpoint,
+            snapshots,
+        })
     }
 
     /// The exact cumulative matrix over everything pushed so far.
@@ -267,6 +358,65 @@ mod tests {
         assert_eq!(oracle.snapshots().len(), 1);
         assert_eq!(oracle.snapshots()[0].t, 5);
         assert_eq!(oracle.checkpoints(), &[5, 100]);
+    }
+
+    #[test]
+    fn saved_oracle_resumes_bit_identically() {
+        let all = samples(60, 11);
+        let mut uninterrupted = StreamingExact::new(3, EstimandKind::Correlation, vec![10, 40, 55]);
+        let mut front = StreamingExact::new(3, EstimandKind::Correlation, vec![10, 40, 55]);
+        for s in &all[..25] {
+            uninterrupted.push(s);
+            front.push(s);
+        }
+        let mut bytes = Vec::new();
+        front.save(&mut bytes).unwrap();
+        let mut resumed = StreamingExact::restore(&mut bytes.as_slice()).unwrap();
+        for s in &all[25..] {
+            uninterrupted.push(s);
+            resumed.push(s);
+        }
+        assert_eq!(resumed.sample_count(), uninterrupted.sample_count());
+        assert_eq!(resumed.checkpoints(), uninterrupted.checkpoints());
+        assert_eq!(resumed.snapshots().len(), uninterrupted.snapshots().len());
+        for (a, b) in resumed.snapshots().iter().zip(uninterrupted.snapshots()) {
+            assert_eq!(a.t, b.t);
+            for key in 0..a.matrix.num_pairs() {
+                assert_eq!(
+                    a.matrix.value_by_key(key).to_bits(),
+                    b.matrix.value_by_key(key).to_bits()
+                );
+            }
+        }
+        let (ma, mb) = (resumed.current_matrix(), uninterrupted.current_matrix());
+        for key in 0..ma.num_pairs() {
+            assert_eq!(
+                ma.value_by_key(key).to_bits(),
+                mb.value_by_key(key).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_or_corrupt_oracle_bytes_never_panic() {
+        let mut oracle = StreamingExact::new(3, EstimandKind::Covariance, vec![5]);
+        for s in samples(8, 4) {
+            oracle.push(&s);
+        }
+        let mut bytes = Vec::new();
+        oracle.save(&mut bytes).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                StreamingExact::restore(&mut &bytes[..cut]),
+                Err(ascs_core::CodecError::Truncated)
+            ));
+        }
+        let mut bad_estimand = bytes.clone();
+        bad_estimand[15] = 9; // header (7) + dim (8) + estimand byte
+        assert!(matches!(
+            StreamingExact::restore(&mut bad_estimand.as_slice()),
+            Err(ascs_core::CodecError::Corrupt(_))
+        ));
     }
 
     #[test]

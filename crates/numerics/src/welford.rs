@@ -130,6 +130,27 @@ impl RunningMoments {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Decomposes the accumulator into `(count, mean, m2, min, max)` — the
+    /// exact internal state, exposed so checkpoint codecs can serialize a
+    /// moment accumulator and rebuild it bit-identically.
+    pub fn to_raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from parts produced by
+    /// [`RunningMoments::to_raw_parts`]. No validation is performed beyond
+    /// the type system; callers restoring untrusted bytes should validate
+    /// the fields themselves.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 /// Running covariance between two jointly observed variables.

@@ -1,0 +1,384 @@
+//! Versioned binary codec for sketch lifecycle state.
+//!
+//! Every serialized record starts with a fixed header — the 4-byte magic
+//! [`MAGIC`], a little-endian [`VERSION`], and a one-byte record tag — so a
+//! reader can reject foreign bytes, future formats and mismatched record
+//! types *before* trusting any length field. Payloads are explicit
+//! little-endian primitives (never raw struct dumps): integers via
+//! `to_le_bytes`, floats via `f64::to_bits` so non-finite values (NaN,
+//! ±inf) round-trip bit-exactly.
+//!
+//! Nested records (a count sketch inside an ASCS sketch inside a sharded
+//! worker set) each carry their own header, which keeps every `restore`
+//! self-describing and makes one-byte corruption detectable close to where
+//! it lands. All length fields are validated against caps before any
+//! allocation, and bulk float payloads are read in bounded chunks, so a
+//! corrupt header cannot trigger a huge up-front allocation.
+//!
+//! Restore never panics on truncated, corrupt or version-bumped input — it
+//! returns a typed [`CodecError`] instead.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::family::HashFamily;
+
+/// Magic bytes opening every record header.
+pub const MAGIC: [u8; 4] = *b"ASKC";
+
+/// Current format version. Readers reject any other version with
+/// [`CodecError::UnsupportedVersion`]; the policy is a bump on any layout
+/// change, with no in-place migration (old checkpoints are re-ingested).
+pub const VERSION: u16 = 1;
+
+/// Record tag for [`crate::HashFamily`].
+pub const TAG_HASH_FAMILY: u8 = 7;
+/// Record tag for a count sketch table.
+pub const TAG_COUNT_SKETCH: u8 = 1;
+/// Record tag for a top-k tracker.
+pub const TAG_TOP_K_TRACKER: u8 = 2;
+/// Record tag for an ASCS sketch (gate state + nested sketch/tracker).
+pub const TAG_ASCS_SKETCH: u8 = 3;
+/// Record tag for a sharded ASCS worker set.
+pub const TAG_SHARDED_ASCS: u8 = 4;
+/// Record tag for a full covariance-estimator checkpoint.
+pub const TAG_ESTIMATOR: u8 = 5;
+/// Record tag for a streaming exact oracle.
+pub const TAG_STREAMING_EXACT: u8 = 6;
+/// Record tag for a stream context (per-feature running moments).
+pub const TAG_STREAM_CONTEXT: u8 = 8;
+
+/// Hash-family rows are capped on restore so a corrupt header cannot ask
+/// for an absurd number of row hashers.
+const MAX_FAMILY_ROWS: u64 = 1 << 16;
+/// Bucket ranges beyond this are rejected as corrupt (the workspace never
+/// goes near it; the real allocation guard is the table-word cap).
+const MAX_FAMILY_RANGE: u64 = 1 << 40;
+
+/// Typed error for every save/restore/merge failure. `restore` returns
+/// this instead of panicking, whatever the input bytes look like.
+#[derive(Debug)]
+pub enum CodecError {
+    /// An underlying I/O error (other than a short read).
+    Io(io::Error),
+    /// The input ended before the record did.
+    Truncated,
+    /// The first four bytes are not [`MAGIC`] — not a sketch record.
+    BadMagic([u8; 4]),
+    /// The record was written by a different format version.
+    UnsupportedVersion(u16),
+    /// The header tag does not match the record type being restored.
+    WrongRecord {
+        /// The tag the caller expected.
+        expected: u8,
+        /// The tag found in the header.
+        found: u8,
+    },
+    /// A payload field failed validation; the message names the field.
+    Corrupt(&'static str),
+    /// The record restored fine but cannot be merged into the receiver
+    /// (mismatched geometry, seed or schedule).
+    Incompatible(&'static str),
+    /// The in-memory state cannot be checkpointed (e.g. a filter backend
+    /// with no codec).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(err) => write!(f, "i/o error: {err}"),
+            CodecError::Truncated => write!(f, "input truncated mid-record"),
+            CodecError::BadMagic(found) => {
+                write!(f, "bad magic {found:02x?} (expected {MAGIC:02x?})")
+            }
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported format version {v} (reader speaks {VERSION})"
+                )
+            }
+            CodecError::WrongRecord { expected, found } => {
+                write!(
+                    f,
+                    "wrong record type: expected tag {expected}, found {found}"
+                )
+            }
+            CodecError::Corrupt(what) => write!(f, "corrupt record: {what}"),
+            CodecError::Incompatible(what) => write!(f, "incompatible sketches: {what}"),
+            CodecError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl Error for CodecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodecError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(err: io::Error) -> Self {
+        if err.kind() == io::ErrorKind::UnexpectedEof {
+            CodecError::Truncated
+        } else {
+            CodecError::Io(err)
+        }
+    }
+}
+
+/// Writes the record header: magic, version, tag.
+pub fn write_header<W: Write>(w: &mut W, tag: u8) -> Result<(), CodecError> {
+    w.write_all(&MAGIC)?;
+    write_u16(w, VERSION)?;
+    write_u8(w, tag)
+}
+
+/// Reads and validates a record header against the expected tag.
+pub fn read_header<R: Read>(r: &mut R, expected: u8) -> Result<(), CodecError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = read_u16(r)?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let found = read_u8(r)?;
+    if found != expected {
+        return Err(CodecError::WrongRecord { expected, found });
+    }
+    Ok(())
+}
+
+/// Writes one byte.
+pub fn write_u8<W: Write>(w: &mut W, v: u8) -> Result<(), CodecError> {
+    w.write_all(&[v]).map_err(CodecError::from)
+}
+
+/// Reads one byte.
+pub fn read_u8<R: Read>(r: &mut R) -> Result<u8, CodecError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Writes a little-endian `u16`.
+pub fn write_u16<W: Write>(w: &mut W, v: u16) -> Result<(), CodecError> {
+    w.write_all(&v.to_le_bytes()).map_err(CodecError::from)
+}
+
+/// Reads a little-endian `u16`.
+pub fn read_u16<R: Read>(r: &mut R) -> Result<u16, CodecError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+/// Writes a little-endian `u64`.
+pub fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), CodecError> {
+    w.write_all(&v.to_le_bytes()).map_err(CodecError::from)
+}
+
+/// Reads a little-endian `u64`.
+pub fn read_u64<R: Read>(r: &mut R) -> Result<u64, CodecError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes an `f64` as its IEEE-754 bit pattern (round-trips NaN and ±inf).
+pub fn write_f64<W: Write>(w: &mut W, v: f64) -> Result<(), CodecError> {
+    write_u64(w, v.to_bits())
+}
+
+/// Reads an `f64` from its IEEE-754 bit pattern.
+pub fn read_f64<R: Read>(r: &mut R) -> Result<f64, CodecError> {
+    Ok(f64::from_bits(read_u64(r)?))
+}
+
+/// Writes a boolean as a single 0/1 byte.
+pub fn write_bool<W: Write>(w: &mut W, v: bool) -> Result<(), CodecError> {
+    write_u8(w, u8::from(v))
+}
+
+/// Reads a boolean; any byte other than 0 or 1 is corrupt.
+pub fn read_bool<R: Read>(r: &mut R) -> Result<bool, CodecError> {
+    match read_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CodecError::Corrupt("boolean flag is neither 0 nor 1")),
+    }
+}
+
+/// Reads a `u64` length field that must fit in `usize` and stay at or
+/// below `cap`; `what` names the field in the error.
+pub fn read_len<R: Read>(r: &mut R, cap: u64, what: &'static str) -> Result<usize, CodecError> {
+    let len = read_u64(r)?;
+    if len > cap {
+        return Err(CodecError::Corrupt(what));
+    }
+    usize::try_from(len).map_err(|_| CodecError::Corrupt(what))
+}
+
+/// How many floats travel per bulk-I/O chunk (32 KiB of bytes).
+const F64_CHUNK: usize = 4096;
+
+/// Writes a float slice as consecutive IEEE-754 bit patterns, chunked so
+/// large tables do not go through one `write_all` call per value.
+pub fn write_f64_slice<W: Write>(w: &mut W, values: &[f64]) -> Result<(), CodecError> {
+    let mut buf = [0u8; 8 * F64_CHUNK];
+    for chunk in values.chunks(F64_CHUNK) {
+        for (i, v) in chunk.iter().enumerate() {
+            buf[8 * i..8 * (i + 1)].copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+        w.write_all(&buf[..8 * chunk.len()])?;
+    }
+    Ok(())
+}
+
+/// Reads `len` floats written by [`write_f64_slice`]. The vector grows
+/// chunk by chunk, so a corrupt length fails on [`CodecError::Truncated`]
+/// long before it could force a giant allocation.
+pub fn read_f64_vec<R: Read>(r: &mut R, len: usize) -> Result<Vec<f64>, CodecError> {
+    let mut out = Vec::with_capacity(len.min(F64_CHUNK));
+    let mut buf = [0u8; 8 * F64_CHUNK];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(F64_CHUNK);
+        r.read_exact(&mut buf[..8 * take])?;
+        out.reserve(take);
+        for i in 0..take {
+            let mut bits = [0u8; 8];
+            bits.copy_from_slice(&buf[8 * i..8 * (i + 1)]);
+            out.push(f64::from_bits(u64::from_le_bytes(bits)));
+        }
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+impl HashFamily {
+    /// Serializes the family as `(rows, range, seed)` — every row hasher is
+    /// a pure function of the seed, so nothing else needs to travel.
+    pub fn save<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        write_header(w, TAG_HASH_FAMILY)?;
+        write_u64(w, self.rows() as u64)?;
+        write_u64(w, self.range() as u64)?;
+        write_u64(w, self.seed())
+    }
+
+    /// Restores a family saved by [`HashFamily::save`], re-deriving the row
+    /// hashers from the seed.
+    pub fn restore<R: Read>(r: &mut R) -> Result<Self, CodecError> {
+        read_header(r, TAG_HASH_FAMILY)?;
+        let rows = read_u64(r)?;
+        if rows == 0 || rows > MAX_FAMILY_ROWS {
+            return Err(CodecError::Corrupt("hash family row count out of range"));
+        }
+        let range = read_u64(r)?;
+        if range == 0 || range > MAX_FAMILY_RANGE {
+            return Err(CodecError::Corrupt("hash family bucket range out of range"));
+        }
+        let seed = read_u64(r)?;
+        Ok(HashFamily::new(rows as usize, range as usize, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_roundtrip_rederives_identical_hashers() {
+        let family = HashFamily::new(5, 1 << 14, 0xDEAD_BEEF);
+        let mut bytes = Vec::new();
+        family.save(&mut bytes).unwrap();
+        let back = HashFamily::restore(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.rows(), family.rows());
+        assert_eq!(back.range(), family.range());
+        assert_eq!(back.seed(), family.seed());
+        for (a, b) in family.row_hashers().iter().zip(back.row_hashers()) {
+            for key in [0u64, 1, 42, u64::MAX] {
+                assert_eq!(a.bucket(key, family.range()), b.bucket(key, back.range()));
+                assert_eq!(a.sign(key), b.sign(key));
+            }
+        }
+    }
+
+    #[test]
+    fn header_rejects_magic_version_and_tag_mismatches() {
+        let family = HashFamily::new(3, 64, 9);
+        let mut bytes = Vec::new();
+        family.save(&mut bytes).unwrap();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            HashFamily::restore(&mut bad_magic.as_slice()),
+            Err(CodecError::BadMagic(_))
+        ));
+
+        let mut bumped = bytes.clone();
+        bumped[4] = 2;
+        assert!(matches!(
+            HashFamily::restore(&mut bumped.as_slice()),
+            Err(CodecError::UnsupportedVersion(2))
+        ));
+
+        let mut wrong_tag = bytes.clone();
+        wrong_tag[6] = TAG_COUNT_SKETCH;
+        assert!(matches!(
+            HashFamily::restore(&mut wrong_tag.as_slice()),
+            Err(CodecError::WrongRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_is_reported_not_panicked() {
+        let family = HashFamily::new(4, 128, 77);
+        let mut bytes = Vec::new();
+        family.save(&mut bytes).unwrap();
+        for cut in 0..bytes.len() {
+            let err = HashFamily::restore(&mut &bytes[..cut]).unwrap_err();
+            assert!(matches!(err, CodecError::Truncated));
+        }
+    }
+
+    #[test]
+    fn zero_rows_is_corrupt_not_a_constructor_panic() {
+        let mut bytes = Vec::new();
+        write_header(&mut bytes, TAG_HASH_FAMILY).unwrap();
+        write_u64(&mut bytes, 0).unwrap();
+        write_u64(&mut bytes, 64).unwrap();
+        write_u64(&mut bytes, 1).unwrap();
+        assert!(matches!(
+            HashFamily::restore(&mut bytes.as_slice()),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn f64_slices_roundtrip_nonfinite_bits() {
+        let values = vec![
+            0.0,
+            -0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+        ];
+        let mut bytes = Vec::new();
+        write_f64_slice(&mut bytes, &values).unwrap();
+        let back = read_f64_vec(&mut bytes.as_slice(), values.len()).unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -21,7 +21,11 @@
 //!   sets) and replayed across samples so steady-state ingestion and query
 //!   sweeps stop hashing entirely;
 //! * [`MultiplyShiftHash`] — a 2-universal multiply-shift family matching
-//!   the pairwise-independence assumption used in the paper's analysis.
+//!   the pairwise-independence assumption used in the paper's analysis;
+//! * [`codec`] — the versioned binary format (magic + version + record
+//!   tags, typed [`CodecError`]) underlying every sketch checkpoint; a
+//!   family round-trips as just `(rows, range, seed)` because hashers are
+//!   pure functions of the seed.
 //!
 //! All hashers are deterministic functions of their seed, so experiments are
 //! reproducible end to end.
@@ -29,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod family;
 pub mod mix;
 pub mod plan;
 pub mod universal;
 
+pub use codec::CodecError;
 pub use family::{sign_from_bit, HashFamily, RowHasher, RowLocation, RowLocations, MAX_ROWS};
 pub use mix::{avalanche64, splitmix64, SplitMix64};
 pub use plan::HashPlan;

@@ -263,7 +263,9 @@ pub fn run_scenario(scenario: &dyn Scenario, cfg: &ConformanceConfig) -> Scenari
             let (mut estimator, fb) =
                 CovarianceEstimator::new_or_fallback(config, variant.backend());
             if variant.planned() {
-                estimator = estimator.with_ingestion_plan();
+                estimator
+                    .attach_ingestion_plan()
+                    .expect("planned harness variants require a plan-capable backend");
             }
             fell_back[bi] |= fb;
 

@@ -91,7 +91,12 @@ fn main() {
     }
     // Amortise hashing across the stream: the 1.1M pair keys are hashed
     // once into an ingestion plan, and every sample replays plan entries.
-    let mut estimator = estimator.with_ingestion_plan();
+    // (ASCS is plan-capable; on a filter backend this would return a
+    // PlanError and the hashed path would carry on.)
+    let mut estimator = estimator;
+    if let Err(err) = estimator.attach_ingestion_plan() {
+        println!("(no ingestion plan: {err}; using the hashed path)");
+    }
     println!(
         "sketch: K = {}, R = {} ({} floats for {} gene pairs, {:.0}x compression)",
         geometry.rows,

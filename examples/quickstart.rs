@@ -62,10 +62,13 @@ fn main() {
         // The ingestion plan hashes each of the ~20k pair keys once up
         // front; every sample afterwards replays precomputed locations
         // instead of re-hashing (bit-identical results, less work per
-        // update).
-        let mut estimator = CovarianceEstimator::new(config, backend)
-            .expect("hyperparameter solving failed")
-            .with_ingestion_plan();
+        // update). Filter backends cannot be plan-driven; the typed error
+        // lets us keep the hashed path instead of aborting.
+        let mut estimator =
+            CovarianceEstimator::new(config, backend).expect("hyperparameter solving failed");
+        if let Err(err) = estimator.attach_ingestion_plan() {
+            println!("            (no ingestion plan: {err}; using the hashed path)");
+        }
         for sample in &samples {
             estimator.process_sample(sample);
         }
@@ -114,4 +117,44 @@ fn main() {
             f64::INFINITY
         }
     );
+
+    // ------------------------------------------------------------------
+    // 4. Sketch lifecycle: checkpoint mid-stream, restart from the bytes,
+    //    and finish with exactly the state an uninterrupted run reaches.
+    // ------------------------------------------------------------------
+    let mut uninterrupted =
+        CovarianceEstimator::new(config, SketchBackend::Ascs).expect("solver failed");
+    let mut front = CovarianceEstimator::new(config, SketchBackend::Ascs).expect("solver failed");
+    let half = samples.len() / 2;
+    for sample in &samples {
+        uninterrupted.process_sample(sample);
+    }
+    for sample in &samples[..half] {
+        front.process_sample(sample);
+    }
+    let mut checkpoint = Vec::new();
+    front
+        .checkpoint(&mut checkpoint)
+        .expect("checkpointing an ASCS estimator cannot fail");
+    let mut resumed =
+        CovarianceEstimator::resume(&mut checkpoint.as_slice()).expect("restore failed");
+    for sample in &samples[half..] {
+        resumed.process_sample(sample);
+    }
+    let identical = uninterrupted
+        .all_estimates()
+        .iter()
+        .zip(resumed.all_estimates())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!(
+        "\ncheckpoint/resume: {} byte checkpoint at t = {half}; resumed run is {} \
+         with the uninterrupted run",
+        checkpoint.len(),
+        if identical {
+            "bit-identical"
+        } else {
+            "NOT identical"
+        }
+    );
+    assert!(identical, "resume must be bit-identical");
 }

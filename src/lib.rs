@@ -76,9 +76,10 @@ pub use ascs_sketch_hash as sketch_hash;
 /// Convenience re-exports covering the common end-to-end workflow.
 pub mod prelude {
     pub use ascs_core::{
-        AscsConfig, AscsSketch, CovarianceEstimator, EstimandKind, HyperParameterSolver,
-        HyperParameters, PairIndexer, ReportedPair, Sample, SampleGate, ShardUpdate, ShardedAscs,
-        SketchBackend, SketchGeometry, TheoryBounds, ThresholdSchedule, UpdateMode,
+        AscsConfig, AscsSketch, CodecError, CovarianceEstimator, EstimandKind,
+        HyperParameterSolver, HyperParameters, PairIndexer, PlanError, ReportedPair, Sample,
+        SampleGate, ShardUpdate, ShardedAscs, SketchBackend, SketchGeometry, TheoryBounds,
+        ThresholdSchedule, UpdateMode, MAX_SHARDS,
     };
     pub use ascs_count_sketch::{
         AugmentedSketch, ColdFilter, CountMinSketch, CountSketch, HashPlan, PointSketch,

@@ -304,6 +304,54 @@ proptest! {
         prop_assert_eq!(hashed.top_pairs(), planned.top_pairs());
     }
 
+    /// **Checkpoint merge, vanilla backend.** Two processes sketch disjoint
+    /// time halves of the stream, serialize, and merge via linearity; with
+    /// dyadic weights every intermediate sum is exact, so the merged sketch
+    /// must equal sequential ingestion bit for bit — tables, estimates and
+    /// counters alike.
+    #[test]
+    fn checkpoint_merge_of_time_split_vanilla_equals_sequential(
+        range in 16usize..128,
+        seed in 0u64..500,
+        split_frac in 0.0f64..1.0,
+        updates in proptest::collection::vec((0u64..512, -8i32..8), 64..400),
+    ) {
+        let total = 256u64;
+        let geometry = SketchGeometry::new(5, range);
+        let mut seq = AscsSketch::vanilla(geometry, total, 32, seed);
+        let mut first = AscsSketch::vanilla(geometry, total, 32, seed);
+        let mut second = AscsSketch::vanilla(geometry, total, 32, seed);
+        let mid = ((updates.len() as f64) * split_frac) as usize;
+        for (i, &(key, q)) in updates.iter().enumerate() {
+            let t = (i as u64 % total) + 1;
+            let x = f64::from(q) * 0.25;
+            seq.offer(key, x, t);
+            if i < mid {
+                first.offer(key, x, t);
+            } else {
+                second.offer(key, x, t);
+            }
+        }
+        let mut bytes_a = Vec::new();
+        let mut bytes_b = Vec::new();
+        first.save(&mut bytes_a).unwrap();
+        second.save(&mut bytes_b).unwrap();
+        let mut merged = AscsSketch::restore(&mut bytes_a.as_slice()).unwrap();
+        merged.merge_from_checkpoint(&mut bytes_b.as_slice()).unwrap();
+
+        let ta = seq.sketch().table();
+        let tb = merged.sketch().table();
+        prop_assert!(
+            ta.iter().zip(tb).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "merged table diverged from sequential ingestion"
+        );
+        for key in 0..512u64 {
+            prop_assert_eq!(seq.estimate(key).to_bits(), merged.estimate(key).to_bits());
+        }
+        prop_assert_eq!(seq.inserted_updates(), merged.inserted_updates());
+        prop_assert_eq!(seq.skipped_updates(), merged.skipped_updates());
+    }
+
     /// Sharded vanilla ingestion merges to exactly the sequential sketch
     /// even under heavy collisions: with dyadic weights and a power-of-two
     /// `T`, every intermediate sum is exact, so the re-associated merge
@@ -442,6 +490,230 @@ fn sharded_gated_matches_sequential_on_collision_free_keys() {
     );
     assert_eq!(sharded.skipped_updates(), sharded_planned.skipped_updates());
     assert_eq!(sharded_top, sharded_planned.top_pairs());
+}
+
+/// **Checkpoint merge, gated backend.** Two processes sketch disjoint *key*
+/// halves under a constant threshold (θ = 0) on a collision-free key set:
+/// each key's gate then depends only on its own updates, so per-process
+/// decisions match the sequential gate exactly, and merged buckets receive
+/// `x + 0.0`, which is bit-exact. Tables, estimates, counters *and* the
+/// re-scored tracker must all match sequential ingestion.
+#[test]
+fn checkpoint_merge_of_key_split_gated_equals_sequential() {
+    let geometry = SketchGeometry::new(5, 16384);
+    let total = 128u64;
+    // θ = 0 makes the linear ramp a constant τ — the schedule round-trips
+    // through the codec and gates identically in both processes. τ sits
+    // between what the weak keys accumulate in exploration (~1.2e-3) and a
+    // single strong weight (1/128), so the gate both accepts and rejects.
+    let hp = hyper(16, 0.0, 5e-3);
+    let probe = AscsSketch::new(geometry, &hp, total, 32, 9);
+
+    // Greedily select keys whose buckets are pairwise disjoint in every row.
+    let mut used: Vec<HashSet<usize>> = vec![HashSet::new(); 5];
+    let mut keys: Vec<u64> = Vec::new();
+    for candidate in 0..50_000u64 {
+        let locs = probe.sketch().locate(candidate);
+        let free = (0..locs.len()).all(|row| !used[row].contains(&locs.bucket(row)));
+        if free {
+            for (row, slot) in used.iter_mut().enumerate() {
+                slot.insert(locs.bucket(row));
+            }
+            keys.push(candidate);
+            if keys.len() == 24 {
+                break;
+            }
+        }
+    }
+    assert_eq!(keys.len(), 24, "could not find a collision-free key set");
+
+    let mut seq = AscsSketch::new(geometry, &hp, total, 32, 9);
+    let mut first = AscsSketch::new(geometry, &hp, total, 32, 9);
+    let mut second = AscsSketch::new(geometry, &hp, total, 32, 9);
+    for t in 1..=total {
+        for (i, &key) in keys.iter().enumerate() {
+            // Strong always-on keys and weak occasional ones, so the gate
+            // both accepts and rejects in the sampling phase.
+            let x = if i % 3 == 0 {
+                1.0
+            } else if (t + i as u64).is_multiple_of(5) {
+                0.05
+            } else {
+                continue;
+            };
+            seq.offer(key, x, t);
+            if i < keys.len() / 2 {
+                first.offer(key, x, t);
+            } else {
+                second.offer(key, x, t);
+            }
+        }
+    }
+    assert!(seq.skipped_updates() > 0, "gate never rejected anything");
+
+    let mut bytes_a = Vec::new();
+    let mut bytes_b = Vec::new();
+    first.save(&mut bytes_a).unwrap();
+    second.save(&mut bytes_b).unwrap();
+    let mut merged = AscsSketch::restore(&mut bytes_a.as_slice()).unwrap();
+    merged
+        .merge_from_checkpoint(&mut bytes_b.as_slice())
+        .unwrap();
+
+    let ta = seq.sketch().table();
+    let tb = merged.sketch().table();
+    assert!(
+        ta.iter().zip(tb).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "merged gated table diverged from sequential ingestion"
+    );
+    for &key in &keys {
+        assert_eq!(seq.estimate(key).to_bits(), merged.estimate(key).to_bits());
+    }
+    assert_eq!(seq.inserted_updates(), merged.inserted_updates());
+    assert_eq!(seq.skipped_updates(), merged.skipped_updates());
+    // Collision-free keys: each sequential tracker entry holds the key's
+    // final estimate, which is exactly what the merge re-scores against the
+    // merged sketch — so the reports agree as key→value maps.
+    let mut seq_top = seq.top_pairs();
+    let mut merged_top = merged.top_pairs();
+    seq_top.sort_unstable_by_key(|&(key, _)| key);
+    merged_top.sort_unstable_by_key(|&(key, _)| key);
+    assert_eq!(seq_top, merged_top);
+}
+
+/// **Checkpoint merge, planned backend.** Two plan-driven vanilla-CS
+/// estimators ingest disjoint stream halves (dyadic samples, product
+/// updates), checkpoint, and merge; the result must carry exactly the
+/// estimates of one uninterrupted planned estimator.
+#[test]
+fn checkpoint_merge_of_planned_estimators_equals_sequential() {
+    let dim = 24u64;
+    let total = 64u64;
+    let samples: Vec<Sample> = (1..=total)
+        .map(|t| {
+            let values: Vec<f64> = (0..dim)
+                .map(|f| ((t * 31 + f * 7) % 5) as f64 * 0.5 - 1.0)
+                .collect();
+            Sample::dense(values)
+        })
+        .collect();
+    let config = AscsConfig {
+        dim,
+        total_samples: total,
+        geometry: SketchGeometry::new(5, 2048),
+        alpha: 0.05,
+        signal_strength: 0.5,
+        sigma: 1.0,
+        delta: 0.05,
+        delta_star: 0.20,
+        tau0: 1e-3,
+        estimand: EstimandKind::Covariance,
+        update_mode: UpdateMode::Product,
+        seed: 77,
+        top_k_capacity: 32,
+    };
+    let build = || {
+        CovarianceEstimator::new(config, SketchBackend::VanillaCs)
+            .unwrap()
+            .with_ingestion_plan()
+            .unwrap()
+    };
+    let mut seq = build();
+    let mut first = build();
+    let mut second = build();
+    let half = samples.len() / 2;
+    for s in &samples {
+        seq.process_sample(s);
+    }
+    for s in &samples[..half] {
+        first.process_sample(s);
+    }
+    for s in &samples[half..] {
+        second.process_sample(s);
+    }
+    let mut bytes_a = Vec::new();
+    let mut bytes_b = Vec::new();
+    first.checkpoint(&mut bytes_a).unwrap();
+    second.checkpoint(&mut bytes_b).unwrap();
+    let mut merged = CovarianceEstimator::resume(&mut bytes_a.as_slice()).unwrap();
+    merged
+        .merge_from_checkpoint(&mut bytes_b.as_slice())
+        .unwrap();
+
+    assert_eq!(merged.processed_samples(), seq.processed_samples());
+    assert_eq!(merged.update_counts(), seq.update_counts());
+    let (a, b) = (seq.all_estimates(), merged.all_estimates());
+    assert!(
+        a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "merged planned estimates diverged from sequential ingestion"
+    );
+}
+
+/// **Checkpoint merge, sharded backend.** Two sharded estimators in
+/// always-insert mode (τ ≡ 0, so the gate is key-order independent) ingest
+/// disjoint stream halves and merge worker-by-worker; estimates must match
+/// one uninterrupted sharded run bit for bit.
+#[test]
+fn checkpoint_merge_of_sharded_estimators_equals_sequential() {
+    let dim = 24u64;
+    let total = 64u64;
+    let samples: Vec<Sample> = (1..=total)
+        .map(|t| {
+            let values: Vec<f64> = (0..dim)
+                .map(|f| ((t * 13 + f * 11) % 5) as f64 * 0.5 - 1.0)
+                .collect();
+            Sample::dense(values)
+        })
+        .collect();
+    let config = AscsConfig {
+        dim,
+        total_samples: total,
+        geometry: SketchGeometry::new(5, 1024),
+        alpha: 0.05,
+        signal_strength: 0.5,
+        sigma: 1.0,
+        delta: 0.05,
+        delta_star: 0.20,
+        tau0: 0.0,
+        estimand: EstimandKind::Covariance,
+        update_mode: UpdateMode::Product,
+        seed: 31,
+        top_k_capacity: 32,
+    };
+    // τ0 = 0 and θ = 0: the schedule is identically zero, every update is
+    // inserted, so disjoint halves commute exactly (dyadic weights).
+    let hp = hyper(1, 0.0, 0.0);
+    let backend = SketchBackend::ShardedAscs { shards: 3 };
+    let build = || CovarianceEstimator::with_hyperparameters(config, backend, Some(hp));
+    let mut seq = build();
+    let mut first = build();
+    let mut second = build();
+    let half = samples.len() / 2;
+    for s in &samples {
+        seq.process_sample(s);
+    }
+    for s in &samples[..half] {
+        first.process_sample(s);
+    }
+    for s in &samples[half..] {
+        second.process_sample(s);
+    }
+    let mut bytes_a = Vec::new();
+    let mut bytes_b = Vec::new();
+    first.checkpoint(&mut bytes_a).unwrap();
+    second.checkpoint(&mut bytes_b).unwrap();
+    let mut merged = CovarianceEstimator::resume(&mut bytes_a.as_slice()).unwrap();
+    merged
+        .merge_from_checkpoint(&mut bytes_b.as_slice())
+        .unwrap();
+
+    assert_eq!(merged.processed_samples(), seq.processed_samples());
+    assert_eq!(merged.update_counts(), seq.update_counts());
+    let (a, b) = (seq.all_estimates(), merged.all_estimates());
+    assert!(
+        a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "merged sharded estimates diverged from sequential ingestion"
+    );
 }
 
 /// The fused path must also agree with the naive oracle through the
