@@ -94,6 +94,11 @@ pub struct AscsSketch {
     tracking_enabled: bool,
     inserted: u64,
     skipped: u64,
+    /// Updates rejected at the offer boundary for carrying a non-finite
+    /// value. Diagnostic state only: it is *not* serialized (the codec
+    /// layout is versioned and quarantined updates never touched the
+    /// table), so a restored sketch restarts the count at zero.
+    quarantined: u64,
 }
 
 impl AscsSketch {
@@ -122,6 +127,7 @@ impl AscsSketch {
             tracking_enabled: true,
             inserted: 0,
             skipped: 0,
+            quarantined: 0,
         }
     }
 
@@ -204,6 +210,37 @@ impl AscsSketch {
         self.skipped
     }
 
+    /// Number of updates quarantined for carrying a non-finite value. A
+    /// quarantined update changes nothing besides this counter — a single
+    /// NaN would otherwise poison every bucket its key hashes into, and a
+    /// poisoned bucket corrupts the median of *every* key sharing it.
+    pub fn quarantined_updates(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// [`AscsSketch::offer`] with the non-finite quarantine surfaced as a
+    /// typed error instead of a silent skip: `Err(IngestError::NonFinite)`
+    /// carries the offending key and value, and the sketch state is
+    /// untouched apart from the quarantine counter.
+    ///
+    /// # Errors
+    /// [`IngestError::NonFinite`] when `x` is NaN or ±inf.
+    pub fn offer_checked(
+        &mut self,
+        key: u64,
+        x: f64,
+        t: u64,
+    ) -> Result<OfferOutcome, crate::serve::IngestError> {
+        if !x.is_finite() {
+            self.quarantined += 1;
+            return Err(crate::serve::IngestError::NonFinite {
+                index: key,
+                value: x,
+            });
+        }
+        Ok(self.offer(key, x, t))
+    }
+
     /// The backing count sketch (read-only).
     pub fn sketch(&self) -> &CountSketch {
         &self.sketch
@@ -255,6 +292,15 @@ impl AscsSketch {
     /// of a sample expansion uses.
     #[inline]
     pub fn offer_gated(&mut self, key: u64, x: f64, gate: SampleGate) -> OfferOutcome {
+        if !x.is_finite() {
+            // Quarantine before *any* table access: a NaN inserted once is
+            // unrecoverable (every bucket it touches reads back NaN).
+            self.quarantined += 1;
+            return OfferOutcome {
+                inserted: false,
+                phase: gate.phase,
+            };
+        }
         if self.sketch.rows() > MAX_ROWS {
             // Degenerate geometries beyond the stack buffer take the
             // unfused (but still correct) path.
@@ -347,6 +393,14 @@ impl AscsSketch {
         x: f64,
         gate: SampleGate,
     ) -> OfferOutcome {
+        if !x.is_finite() {
+            // Same quarantine as the hashed path, before any table access.
+            self.quarantined += 1;
+            return OfferOutcome {
+                inserted: false,
+                phase: gate.phase,
+            };
+        }
         if self.sketch.rows() > MAX_ROWS {
             return self.offer_unfused(slot, x, gate);
         }
@@ -469,6 +523,15 @@ impl AscsSketch {
     /// tracker-free variants measure like for like.
     pub fn offer_reference(&mut self, key: u64, x: f64, t: u64) -> OfferOutcome {
         let phase = self.phase(t);
+        if !x.is_finite() {
+            // The reference path quarantines identically, so fused-vs-
+            // reference bit-identity holds on poisoned streams too.
+            self.quarantined += 1;
+            return OfferOutcome {
+                inserted: false,
+                phase,
+            };
+        }
         let accept = match phase {
             AscsPhase::Exploration => true,
             AscsPhase::Sampling => {
@@ -601,6 +664,7 @@ impl AscsSketch {
             tracking_enabled,
             inserted,
             skipped,
+            quarantined: 0,
         })
     }
 
@@ -638,6 +702,7 @@ impl AscsSketch {
         self.sketch.merge_restored(&other.sketch)?;
         self.inserted += other.inserted;
         self.skipped += other.skipped;
+        self.quarantined += other.quarantined;
         let mut union: Vec<u64> = self
             .tracker
             .descending()
@@ -962,6 +1027,56 @@ mod tests {
             a.offer_planned_at(&plan, 7, 1.0, t);
         }
         assert!((a.estimate(7) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn non_finite_offers_are_quarantined_without_touching_state() {
+        let mut a = small_ascs(10, 100);
+        for t in 1..=20 {
+            a.offer(1, 1.0, t);
+        }
+        let table_before: Vec<u64> = a.sketch().table().iter().map(|v| v.to_bits()).collect();
+        let (ins, skip) = (a.inserted_updates(), a.skipped_updates());
+        for (i, bad) in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY]
+            .into_iter()
+            .enumerate()
+        {
+            let out = a.offer(1, bad, 21 + i as u64);
+            assert!(!out.inserted, "non-finite update was inserted");
+        }
+        assert_eq!(a.quarantined_updates(), 3);
+        assert_eq!(a.inserted_updates(), ins);
+        assert_eq!(a.skipped_updates(), skip);
+        let table_after: Vec<u64> = a.sketch().table().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(table_before, table_after, "quarantine touched the table");
+        // The stream keeps working afterwards.
+        assert!(a.offer(1, 1.0, 24).inserted);
+    }
+
+    #[test]
+    fn offer_checked_surfaces_a_typed_non_finite_error() {
+        let mut a = small_ascs(10, 100);
+        let err = a.offer_checked(7, f64::NAN, 1).unwrap_err();
+        match err {
+            crate::serve::IngestError::NonFinite { index, value } => {
+                assert_eq!(index, 7);
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        assert_eq!(a.quarantined_updates(), 1);
+        assert!(a.offer_checked(7, 1.0, 1).unwrap().inserted);
+    }
+
+    #[test]
+    fn quarantine_counter_is_not_serialized() {
+        let mut a = small_ascs(10, 100);
+        a.offer(1, f64::NAN, 1);
+        assert_eq!(a.quarantined_updates(), 1);
+        let mut bytes = Vec::new();
+        a.save(&mut bytes).unwrap();
+        let back = AscsSketch::restore(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.quarantined_updates(), 0, "diagnostic state leaked");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::ascs::AscsSketch;
 use crate::config::AscsConfig;
 use crate::hyper::{HyperParameterSolver, HyperParameters, SolveError};
 use crate::pair::PairIndexer;
+use crate::serve::IngestError;
 use crate::sharded::{ShardUpdate, ShardedAscs};
 use crate::snr::SnrProbe;
 use crate::stream::{Sample, StreamContext};
@@ -26,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// `K = 5` — matching the enumeration bound of
 /// [`CovarianceEstimator::all_estimates`]. Beyond it, planning per pair is
 /// the wrong tool (the tracker-based reporting path is).
-const MAX_PLANNED_PAIRS: u64 = 50_000_000;
+pub(crate) const MAX_PLANNED_PAIRS: u64 = 50_000_000;
 
 /// Pair universes up to this size get a throwaway plan built inside
 /// [`CovarianceEstimator::all_estimates`] when no ingestion plan is
@@ -34,7 +35,7 @@ const MAX_PLANNED_PAIRS: u64 = 50_000_000;
 /// loop would do — and the blocked sweep then beats the loop. Above it the
 /// transient arena allocation outweighs the sweep win, so the plain loop
 /// runs instead.
-const TRANSIENT_PLAN_PAIRS: u64 = 8_000_000;
+pub(crate) const TRANSIENT_PLAN_PAIRS: u64 = 8_000_000;
 
 /// Why an ingestion plan could not be attached. Callers fall back to the
 /// per-update hashed path, which every backend supports.
@@ -185,6 +186,10 @@ pub struct CovarianceEstimator {
     /// point queries. See [`CovarianceEstimator::with_ingestion_plan`].
     plan: Option<HashPlan>,
     t: u64,
+    /// Samples rejected at the ingest boundary for carrying a non-finite
+    /// value. Diagnostic state only — not serialized (quarantined samples
+    /// never touched the estimator), so a resumed estimator restarts at 0.
+    quarantined_samples: u64,
 }
 
 impl CovarianceEstimator {
@@ -321,6 +326,7 @@ impl CovarianceEstimator {
             probe: None,
             plan: None,
             t: 0,
+            quarantined_samples: 0,
         }
     }
 
@@ -453,13 +459,47 @@ impl CovarianceEstimator {
         }
     }
 
+    /// Samples rejected for carrying NaN/±inf. A quarantined sample
+    /// changes *nothing*: no stream time, no feature moments, no sketch
+    /// state — one poisoned coordinate would otherwise corrupt every
+    /// bucket its pair updates hash into, unrecoverably.
+    pub fn quarantined_samples(&self) -> u64 {
+        self.quarantined_samples
+    }
+
+    /// [`CovarianceEstimator::process_sample`] with the non-finite
+    /// quarantine surfaced as a typed error: the whole sample is screened
+    /// *before* any state is touched, so on `Err` the estimator is exactly
+    /// as it was (apart from the quarantine counter) and previously learned
+    /// estimates are unchanged.
+    ///
+    /// # Errors
+    /// [`IngestError::NonFinite`] with the offending feature index and
+    /// value when the sample carries NaN or ±inf.
+    pub fn try_process_sample(&mut self, sample: &Sample) -> Result<u64, IngestError> {
+        if let Some((index, value)) = sample.first_non_finite() {
+            self.quarantined_samples += 1;
+            return Err(IngestError::NonFinite { index, value });
+        }
+        Ok(self.ingest_sample(sample))
+    }
+
     /// Processes one sample; returns the number of pair updates it emitted.
+    /// Non-finite samples are quarantined (counted, then dropped, emitting
+    /// 0 updates) — use [`CovarianceEstimator::try_process_sample`] to
+    /// observe the rejection as a typed error instead.
     ///
     /// The per-sample invariants — the sampling gate (`τ(t−1)`, phase) and
     /// the `1/T` scaling — are hoisted out of the `O(d²)` pair-update loop:
     /// they depend only on `t`, so they are computed once here rather than
     /// once per emitted pair.
     pub fn process_sample(&mut self, sample: &Sample) -> u64 {
+        self.try_process_sample(sample).unwrap_or(0)
+    }
+
+    /// The post-quarantine ingestion body shared by the checked and
+    /// unchecked entry points.
+    fn ingest_sample(&mut self, sample: &Sample) -> u64 {
         self.t += 1;
         let t = self.t;
         let inv_total = 1.0 / self.config.total_samples as f64;
@@ -785,6 +825,7 @@ impl CovarianceEstimator {
             probe: None,
             plan: None,
             t,
+            quarantined_samples: 0,
         })
     }
 
@@ -1172,6 +1213,64 @@ mod tests {
                     || (w[1].estimate == w[0].estimate && w[1].key > w[0].key);
                 assert!(ord, "{backend:?}: ordering violated: {w:?}");
             }
+        }
+    }
+
+    /// The headline NaN-regression: a poisoned sample arriving mid-stream
+    /// must leave every previously learned estimate bit-identical and the
+    /// estimator fully usable afterwards, on every backend.
+    #[test]
+    fn nan_mid_stream_is_quarantined_and_estimates_survive() {
+        let dim = 20u64;
+        let n = 300usize;
+        let samples = correlated_stream(dim as usize, n, 0.9, 29);
+        for backend in [
+            SketchBackend::VanillaCs,
+            SketchBackend::Ascs,
+            SketchBackend::ShardedAscs { shards: 3 },
+            SketchBackend::AugmentedSketch {
+                filter_capacity: 16,
+            },
+            SketchBackend::ColdFilter {
+                threshold: 1e-3,
+                filter_range: 64,
+            },
+        ] {
+            let cfg = config(dim, n as u64, 1000);
+            let mut est = CovarianceEstimator::new(cfg, backend).unwrap();
+            for s in &samples[..150] {
+                est.process_sample(s);
+            }
+            let before: Vec<u64> = est.all_estimates().iter().map(|v| v.to_bits()).collect();
+            let counts = est.update_counts();
+            let mut poisoned = vec![0.5; dim as usize];
+            poisoned[3] = f64::NAN;
+            let err = est
+                .try_process_sample(&Sample::dense(poisoned))
+                .unwrap_err();
+            // NaN != NaN, so compare the error structurally.
+            match err {
+                IngestError::NonFinite { index, value } => {
+                    assert_eq!(index, 3);
+                    assert!(value.is_nan());
+                }
+                other => panic!("{backend:?}: expected NonFinite, got {other:?}"),
+            }
+            // A sparse NaN through the lossy path counts too and emits 0.
+            assert_eq!(
+                est.process_sample(&Sample::sparse(dim, vec![(1, f64::INFINITY)])),
+                0
+            );
+            assert_eq!(est.quarantined_samples(), 2, "{backend:?}");
+            assert_eq!(est.processed_samples(), 150, "{backend:?}: t advanced");
+            assert_eq!(est.update_counts(), counts, "{backend:?}");
+            let after: Vec<u64> = est.all_estimates().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(before, after, "{backend:?}: estimates changed");
+            // The stream continues unharmed.
+            for s in &samples[150..] {
+                est.process_sample(s);
+            }
+            assert_eq!(est.processed_samples(), n as u64, "{backend:?}");
         }
     }
 

@@ -34,7 +34,12 @@
 //!   experiment), with `with_ingestion_plan()` for amortised hashing and
 //!   cache-blocked whole-universe query sweeps;
 //! * [`snr`] — instrumentation measuring the empirical SNR of the ingested
-//!   stream (Figure 5).
+//!   stream (Figure 5);
+//! * [`serve`] — the fault-tolerant serving core: supervised shard workers
+//!   on dedicated threads with bounded-queue backpressure, epoch-stamped
+//!   merged snapshots for torn-read-free queries, non-finite input
+//!   quarantine, and checkpoint-backed crash recovery under a supervisor
+//!   that restarts panicked workers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,9 +50,11 @@ pub mod estimator;
 pub mod hyper;
 pub mod pair;
 pub mod schedule;
+pub mod serve;
 pub mod sharded;
 pub mod snr;
 pub mod stream;
+mod supervisor;
 pub mod theory;
 
 pub use ascs::{AscsPhase, AscsSketch, OfferOutcome, SampleGate};
@@ -58,6 +65,10 @@ pub use estimator::{CovarianceEstimator, PlanError, ReportedPair, SketchBackend}
 pub use hyper::{HyperParameterSolver, HyperParameters, SigmaEstimator, SignalModel};
 pub use pair::{num_pairs, pair_from_index, pair_to_index, PairIndexer};
 pub use schedule::ThresholdSchedule;
+pub use serve::{
+    FaultInjector, IngestError, NoFaults, ServeError, ServeOptions, ServeStats, ServingEstimator,
+    Snapshot, SnapshotReader, SnapshotView,
+};
 pub use sharded::{ShardUpdate, ShardedAscs, MAX_SHARDS};
 pub use snr::SnrProbe;
 pub use stream::{PairUpdate, Sample, StreamContext};

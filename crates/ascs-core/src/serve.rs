@@ -1,0 +1,767 @@
+//! Fault-tolerant serving core: supervised shard workers, epoch-stamped
+//! snapshot reads and checkpoint-backed crash recovery.
+//!
+//! [`ServingEstimator`] turns the batch-oriented estimator into a
+//! long-running service. Each shard worker owns its [`AscsSketch`] on a
+//! dedicated thread fed by a bounded queue; the caller-side
+//! [`ServingEstimator::try_ingest`] expands a sample into pair updates,
+//! routes them with the *same* salted router as [`ShardedAscs`], and
+//! returns a typed [`IngestError::Overloaded`] instead of blocking when a
+//! queue is full. Readers never touch worker state: they read the last
+//! *published* [`Snapshot`] — a merged table built via count-sketch
+//! linearity and swapped in behind an `Arc` — so point queries, whole
+//! universe sweeps and top-k reads never observe a torn table.
+//!
+//! Robustness is structural, not best-effort:
+//!
+//! * **Quarantine** — non-finite samples are rejected at the ingest
+//!   boundary with [`IngestError::NonFinite`] and a counter, before any
+//!   state (stream time, feature moments, queues) is touched.
+//! * **Supervision** — each worker loop runs under `catch_unwind`; a
+//!   supervisor thread restarts a panicked worker from its last good
+//!   in-memory checkpoint (the PR 5 codec) and replays the bounded batch
+//!   log accumulated since that checkpoint, so post-recovery state is
+//!   bit-identical to a run that never crashed.
+//! * **Degraded mode** — while recovery is in progress readers keep being
+//!   served the last published snapshot, stamped with its epoch and a
+//!   staleness flag ([`SnapshotView::degraded`], [`SnapshotView::lag`]).
+//! * **Torn checkpoints** — every checkpoint is validated by restoring it
+//!   before it replaces the previous one; a corrupted write keeps the old
+//!   checkpoint and lets the replay log grow instead.
+//!
+//! Determinism contract: per-shard update order is preserved (bounded FIFO
+//! queues, a single producer), workers apply updates exactly like the
+//! [`ShardedAscs`] worker loop, and snapshots merge worker sketches in
+//! shard order — so a snapshot at epoch `t` is bit-identical to a
+//! sequential [`ShardedAscs`] replay of the first `t` samples with the
+//! same configuration, shard count and seed. The fault-injection tests
+//! pin this down, panics and torn checkpoints included.
+
+use crate::ascs::AscsSketch;
+use crate::config::AscsConfig;
+use crate::estimator::{ReportedPair, MAX_PLANNED_PAIRS, TRANSIENT_PLAN_PAIRS};
+use crate::hyper::{HyperParameterSolver, HyperParameters};
+use crate::pair::PairIndexer;
+use crate::sharded::{shard_for, ShardUpdate, MAX_SHARDS, ROUTER_SALT};
+use crate::stream::{Sample, StreamContext};
+use crate::supervisor::{
+    lock, spawn_supervisor, spawn_worker, Envelope, RecoveryState, ShardQueue, WorkerContext,
+    WorkerShared,
+};
+use crate::theory::TheoryBounds;
+use ascs_count_sketch::CountSketch;
+use ascs_sketch_hash::splitmix64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Typed rejection at the ingest boundary. The failed call mutates
+/// *nothing* besides the corresponding diagnostic counter: the sample can
+/// be retried (for [`IngestError::Overloaded`]) or dropped (for
+/// [`IngestError::NonFinite`]) without the stream time advancing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestError {
+    /// The sample (or update) carries a NaN or ±inf value and was
+    /// quarantined before touching any state. At the sample boundary
+    /// `index` is the offending feature index; at the sketch boundary
+    /// ([`AscsSketch::offer_checked`]) it is the pair key.
+    NonFinite {
+        /// Feature index (sample boundary) or pair key (sketch boundary).
+        index: u64,
+        /// The offending value (NaN or ±inf).
+        value: f64,
+    },
+    /// A shard's bounded queue has no room for another batch; retry after
+    /// readers/workers drain, or treat as load shedding.
+    Overloaded {
+        /// The shard whose queue is full.
+        shard: usize,
+        /// The queue capacity in batches.
+        capacity: usize,
+    },
+    /// The shard exhausted its restart budget and was abandoned by the
+    /// supervisor; the serving instance can still answer reads from the
+    /// last published snapshot but accepts no further ingest.
+    ShardFailed {
+        /// The failed shard.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::NonFinite { index, value } => {
+                write!(f, "non-finite value {value} at index {index} quarantined")
+            }
+            IngestError::Overloaded { shard, capacity } => {
+                write!(f, "shard {shard} queue full ({capacity} batches)")
+            }
+            IngestError::ShardFailed { shard } => {
+                write!(f, "shard {shard} exceeded its restart budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Why a snapshot refresh (or shutdown) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// A shard exhausted its restart budget; its state is unrecoverable
+    /// within this instance.
+    ShardFailed {
+        /// The failed shard.
+        shard: usize,
+    },
+    /// The collect barrier did not complete within the deadline.
+    SnapshotTimeout,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShardFailed { shard } => {
+                write!(f, "shard {shard} exceeded its restart budget")
+            }
+            ServeError::SnapshotTimeout => write!(f, "snapshot collect barrier timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Deterministic fault-injection hooks, implemented by the testkit's
+/// `FaultPlan` and defaulting to no-ops ([`NoFaults`]) in production.
+///
+/// Injected faults fire on the *first delivery* of a batch only: recovery
+/// replays run without injection, so a panic-at-update-N fault cannot put
+/// a worker into an infinite crash loop. Hooks that block
+/// ([`FaultInjector::before_batch`], [`FaultInjector::before_recovery`])
+/// must be released before the serving instance is dropped — shutdown
+/// joins the supervision tree.
+pub trait FaultInjector: Send + Sync + 'static {
+    /// Return `true` to panic the worker right before applying the update
+    /// with this shard-local index (0-based over all updates the shard has
+    /// been asked to apply on first delivery).
+    fn inject_panic(&self, _shard: usize, _update_index: u64) -> bool {
+        false
+    }
+
+    /// Mutate (e.g. truncate) freshly serialized checkpoint bytes before
+    /// they are validated; a corrupted record keeps the previous good
+    /// checkpoint in place.
+    fn corrupt_checkpoint(&self, _shard: usize, _bytes: &mut Vec<u8>) {}
+
+    /// Called at the start of a worker's recovery (restore + replay). May
+    /// block to let tests observe degraded mode.
+    fn before_recovery(&self, _shard: usize) {}
+
+    /// Called before a worker applies a batch. May block to force
+    /// queue-full storms.
+    fn before_batch(&self, _shard: usize) {}
+}
+
+/// The production no-op injector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+/// Tunables of the serving core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Number of shard workers (`1..=MAX_SHARDS`), each owning a
+    /// full-geometry sketch on its own thread.
+    pub shards: usize,
+    /// Bound on *pending* batches per shard queue; one batch is the slice
+    /// of one sample's updates owned by that shard. A full queue surfaces
+    /// as [`IngestError::Overloaded`] instead of unbounded blocking.
+    pub queue_capacity: usize,
+    /// Batches applied between worker checkpoints. Smaller means faster
+    /// recovery (shorter replay log) at more checkpoint serialization
+    /// cost.
+    pub checkpoint_interval: usize,
+    /// Per-shard restart budget; a shard panicking more than this many
+    /// times is abandoned and surfaces as [`IngestError::ShardFailed`].
+    pub max_restarts: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            queue_capacity: 256,
+            checkpoint_interval: 32,
+            max_restarts: 8,
+        }
+    }
+}
+
+/// State shared between the producer, the workers, the supervisor and
+/// every [`SnapshotReader`].
+pub(crate) struct ServeShared {
+    published: Mutex<Arc<Snapshot>>,
+    /// Stream time of the newest fully enqueued sample.
+    pub(crate) ingest_epoch: AtomicU64,
+    /// Workers currently restoring + replaying after a panic.
+    pub(crate) recovering: AtomicU64,
+    /// Worker panics observed by the supervisor.
+    pub(crate) panics: AtomicU64,
+    /// Worker restarts performed by the supervisor.
+    pub(crate) restarts: AtomicU64,
+    /// Checkpoint writes rejected by validation (kept the previous one).
+    pub(crate) torn_checkpoints: AtomicU64,
+    /// Shards abandoned after exhausting their restart budget.
+    pub(crate) failed_shards: AtomicU64,
+}
+
+/// An immutable, epoch-stamped merged view of the whole serving state.
+/// Cheap to share (`Arc`), safe to read from any thread, and bit-identical
+/// to a sequential [`ShardedAscs`] replay of the first
+/// [`Snapshot::epoch`] samples.
+pub struct Snapshot {
+    epoch: u64,
+    merged: CountSketch,
+    top: Vec<(u64, f64)>,
+    inserted: u64,
+    skipped: u64,
+    num_pairs: u64,
+    indexer: PairIndexer,
+}
+
+impl Snapshot {
+    /// Stream time (samples fully ingested) this snapshot reflects.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The merged count-sketch table (read-only; used by the consistency
+    /// tests to compare tables bit for bit).
+    pub fn sketch(&self) -> &CountSketch {
+        &self.merged
+    }
+
+    /// Point estimate for a linear pair key.
+    pub fn estimate(&self, key: u64) -> f64 {
+        self.merged.estimate(key)
+    }
+
+    /// Point estimate for the feature pair `(a, b)`.
+    pub fn estimate_pair(&self, a: u64, b: u64) -> f64 {
+        self.merged.estimate(self.indexer.index(a, b))
+    }
+
+    /// Estimates for every pair key in `0..p` as one blocked
+    /// `estimate_many` sweep (point queries beyond the transient-plan
+    /// bound), mirroring `CovarianceEstimator::all_estimates`.
+    pub fn all_estimates(&self) -> Vec<f64> {
+        let p = self.num_pairs;
+        assert!(
+            p <= MAX_PLANNED_PAIRS,
+            "enumerating {p} pairs would be prohibitively slow; use top_pairs()"
+        );
+        let mut out = Vec::new();
+        if p <= TRANSIENT_PLAN_PAIRS {
+            self.merged
+                .estimate_many(&self.merged.build_plan(p as usize), &mut out);
+            out.truncate(p as usize);
+        } else {
+            out.extend((0..p).map(|key| self.merged.estimate(key)));
+        }
+        out
+    }
+
+    /// The top tracked pairs (largest estimate magnitude first, ties by
+    /// key), decoded into feature coordinates; at most `k` are returned.
+    pub fn top_pairs(&self, k: usize) -> Vec<ReportedPair> {
+        self.top
+            .iter()
+            .take(k)
+            .map(|&(key, estimate)| {
+                let (a, b) = self.indexer.pair(key);
+                ReportedPair {
+                    key,
+                    a,
+                    b,
+                    estimate,
+                }
+            })
+            .collect()
+    }
+
+    /// Updates inserted / skipped by the gates up to this epoch.
+    pub fn update_counts(&self) -> (u64, u64) {
+        (self.inserted, self.skipped)
+    }
+}
+
+/// What a reader sees: the snapshot plus liveness metadata.
+pub struct SnapshotView {
+    /// The last published snapshot.
+    pub snapshot: Arc<Snapshot>,
+    /// `true` while a worker is recovering from a panic or a shard has
+    /// been abandoned — the snapshot is still internally consistent, but
+    /// refreshes are stalled until recovery completes.
+    pub degraded: bool,
+    /// Samples ingested since this snapshot was published
+    /// (`ingest epoch − snapshot epoch`).
+    pub lag: u64,
+}
+
+/// A cheap, cloneable handle for querying published snapshots from any
+/// thread. Readers never block ingestion and never observe a torn table:
+/// they see the previous snapshot until the next one is fully built and
+/// swapped in.
+#[derive(Clone)]
+pub struct SnapshotReader {
+    shared: Arc<ServeShared>,
+}
+
+impl SnapshotReader {
+    /// The current published snapshot with staleness metadata.
+    pub fn current(&self) -> SnapshotView {
+        let snapshot = lock(&self.shared.published).clone();
+        let degraded = self.shared.recovering.load(Ordering::SeqCst) > 0
+            || self.shared.failed_shards.load(Ordering::SeqCst) > 0;
+        let lag = self
+            .shared
+            .ingest_epoch
+            .load(Ordering::SeqCst)
+            .saturating_sub(snapshot.epoch);
+        SnapshotView {
+            snapshot,
+            degraded,
+            lag,
+        }
+    }
+}
+
+/// A point-in-time copy of the serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Samples accepted by `try_ingest`.
+    pub ingested_samples: u64,
+    /// Pair updates emitted into the shard queues.
+    pub emitted_updates: u64,
+    /// Samples rejected for non-finite values.
+    pub quarantined_samples: u64,
+    /// `Overloaded` rejections (including retries of the same sample).
+    pub overload_rejections: u64,
+    /// Worker panics observed by the supervisor.
+    pub worker_panics: u64,
+    /// Worker restarts performed by the supervisor.
+    pub worker_restarts: u64,
+    /// Checkpoint writes rejected by validation.
+    pub torn_checkpoints: u64,
+    /// Workers currently mid-recovery.
+    pub recovering_workers: u64,
+    /// Shards abandoned after exhausting their restart budget.
+    pub failed_shards: u64,
+    /// Epoch of the last published snapshot.
+    pub published_epoch: u64,
+}
+
+/// The long-running serving front end: single-producer ingest with
+/// backpressure, supervised shard workers, and epoch-stamped snapshot
+/// publication.
+pub struct ServingEstimator {
+    config: AscsConfig,
+    ctx: StreamContext,
+    t: u64,
+    router_salt: u64,
+    opts: ServeOptions,
+    shared: Arc<ServeShared>,
+    workers: Vec<Arc<WorkerShared>>,
+    supervisor: Option<JoinHandle<()>>,
+    scratch: Vec<Vec<ShardUpdate>>,
+    quarantined_samples: u64,
+    overload_rejections: u64,
+    emitted_updates: u64,
+    shut_down: bool,
+}
+
+impl ServingEstimator {
+    /// Launches a gated serving instance, solving the hyperparameters via
+    /// Algorithm 3 with the 10 %-exploration fallback (like
+    /// `CovarianceEstimator::new_or_fallback`).
+    pub fn launch(config: AscsConfig, opts: ServeOptions) -> Self {
+        let bounds = TheoryBounds::new(
+            config.num_pairs(),
+            config.geometry.range,
+            config.geometry.rows,
+            config.alpha,
+            config.sigma,
+            config.signal_strength,
+            config.total_samples,
+        );
+        let solver = HyperParameterSolver::new(bounds);
+        let (hp, _fell_back) =
+            solver.solve_or_fallback(config.tau0, config.delta, config.delta_star, 0.1);
+        Self::launch_with_hyperparameters(config, Some(hp), opts)
+    }
+
+    /// Launches a vanilla (always-ingest) serving instance — the gate-free
+    /// counterpart, where sharded state is bit-identical to sequential
+    /// ingestion unconditionally.
+    pub fn launch_vanilla(config: AscsConfig, opts: ServeOptions) -> Self {
+        Self::launch_with_hyperparameters(config, None, opts)
+    }
+
+    /// Launches with explicit hyperparameters (`None` → vanilla workers),
+    /// bypassing Algorithm 3.
+    pub fn launch_with_hyperparameters(
+        config: AscsConfig,
+        hyper: Option<HyperParameters>,
+        opts: ServeOptions,
+    ) -> Self {
+        Self::launch_with_faults(config, hyper, opts, Arc::new(NoFaults))
+    }
+
+    /// [`ServingEstimator::launch_with_hyperparameters`] with a fault
+    /// injector wired into every worker — the entry point the
+    /// deterministic failure tests and the recovery benchmark use.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration, `shards` outside
+    /// `1..=MAX_SHARDS`, or a zero queue capacity / checkpoint interval.
+    pub fn launch_with_faults(
+        config: AscsConfig,
+        hyper: Option<HyperParameters>,
+        opts: ServeOptions,
+        injector: Arc<dyn FaultInjector>,
+    ) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid ASCS configuration: {e}"));
+        assert!(
+            opts.shards >= 1 && opts.shards <= MAX_SHARDS,
+            "serving needs 1..={MAX_SHARDS} shards, got {}",
+            opts.shards
+        );
+        assert!(opts.queue_capacity >= 1, "queue capacity must be positive");
+        assert!(
+            opts.checkpoint_interval >= 1,
+            "checkpoint interval must be positive"
+        );
+        let prototype = match &hyper {
+            Some(hp) => AscsSketch::new(
+                config.geometry,
+                hp,
+                config.total_samples,
+                config.top_k_capacity,
+                config.seed,
+            ),
+            None => AscsSketch::vanilla(
+                config.geometry,
+                config.total_samples,
+                config.top_k_capacity,
+                config.seed,
+            ),
+        };
+        // Every worker boots by restoring the prototype's checkpoint, so
+        // the bootstrap path and the crash-recovery path are one code
+        // path — a recovery bug cannot hide behind a divergent cold start.
+        let mut checkpoint = Vec::new();
+        prototype
+            .save(&mut checkpoint)
+            .expect("in-memory checkpoint write cannot fail");
+        let empty = Snapshot {
+            epoch: 0,
+            merged: prototype.sketch().clone(),
+            top: Vec::new(),
+            inserted: 0,
+            skipped: 0,
+            num_pairs: config.num_pairs(),
+            indexer: PairIndexer::new(config.dim),
+        };
+        let shared = Arc::new(ServeShared {
+            published: Mutex::new(Arc::new(empty)),
+            ingest_epoch: AtomicU64::new(0),
+            recovering: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            torn_checkpoints: AtomicU64::new(0),
+            failed_shards: AtomicU64::new(0),
+        });
+        let (events_tx, events_rx) = mpsc::channel();
+        let mut workers = Vec::with_capacity(opts.shards);
+        let mut contexts = Vec::with_capacity(opts.shards);
+        for shard in 0..opts.shards {
+            let worker = Arc::new(WorkerShared {
+                queue: ShardQueue::new(opts.queue_capacity),
+                recovery: Mutex::new(RecoveryState {
+                    checkpoint: checkpoint.clone(),
+                    checkpoint_updates: 0,
+                    replay: Vec::new(),
+                    applied_updates: 0,
+                }),
+                failed: AtomicBool::new(false),
+            });
+            let ctx = WorkerContext {
+                shard,
+                shared: worker.clone(),
+                stats: shared.clone(),
+                injector: injector.clone(),
+                checkpoint_interval: opts.checkpoint_interval,
+            };
+            spawn_worker(ctx.clone(), events_tx.clone(), false);
+            workers.push(worker);
+            contexts.push(ctx);
+        }
+        let supervisor = spawn_supervisor(contexts, events_tx, events_rx, opts.max_restarts);
+        Self {
+            ctx: StreamContext::new(config.dim, config.update_mode, config.estimand),
+            t: 0,
+            router_salt: splitmix64(config.seed ^ ROUTER_SALT),
+            shared,
+            workers,
+            supervisor: Some(supervisor),
+            scratch: vec![Vec::new(); opts.shards],
+            quarantined_samples: 0,
+            overload_rejections: 0,
+            emitted_updates: 0,
+            shut_down: false,
+            config,
+            opts,
+        }
+    }
+
+    /// Offers one sample. On success the sample's pair updates are routed
+    /// into the shard queues (one batch per shard, FIFO per shard) and the
+    /// stream time advances; the returned count is the number of updates
+    /// emitted.
+    ///
+    /// # Errors
+    /// * [`IngestError::NonFinite`] — the sample carries NaN/±inf and was
+    ///   quarantined; nothing else changed.
+    /// * [`IngestError::Overloaded`] — some shard queue is full; nothing
+    ///   changed, retry later (or use
+    ///   [`ServingEstimator::ingest_blocking`]). The check is
+    ///   all-or-nothing *before* any push, so a rejected sample is never
+    ///   partially enqueued.
+    /// * [`IngestError::ShardFailed`] — a shard exhausted its restart
+    ///   budget; this instance no longer accepts ingest.
+    ///
+    /// # Panics
+    /// Panics if the sample's dimensionality disagrees with the
+    /// configuration (same contract as the batch estimator).
+    pub fn try_ingest(&mut self, sample: &Sample) -> Result<u64, IngestError> {
+        if let Some(shard) = self
+            .workers
+            .iter()
+            .position(|w| w.failed.load(Ordering::SeqCst))
+        {
+            return Err(IngestError::ShardFailed { shard });
+        }
+        if let Some((index, value)) = sample.first_non_finite() {
+            self.quarantined_samples += 1;
+            return Err(IngestError::NonFinite { index, value });
+        }
+        // Conservative all-or-nothing backpressure: `&mut self` makes this
+        // the only producer, and consumers only shrink the queues, so room
+        // observed here still exists at push time below.
+        for (shard, worker) in self.workers.iter().enumerate() {
+            if !worker.queue.has_batch_room() {
+                self.overload_rejections += 1;
+                return Err(IngestError::Overloaded {
+                    shard,
+                    capacity: self.opts.queue_capacity,
+                });
+            }
+        }
+        let t = self.t + 1;
+        for buf in &mut self.scratch {
+            buf.clear();
+        }
+        let scratch = &mut self.scratch;
+        let salt = self.router_salt;
+        let shards = self.workers.len();
+        let emitted = self.ctx.ingest(sample, |u| {
+            scratch[shard_for(u.key, salt, shards)].push(ShardUpdate {
+                key: u.key,
+                value: u.value,
+                t,
+            });
+        });
+        self.t = t;
+        self.shared.ingest_epoch.store(t, Ordering::SeqCst);
+        for (worker, buf) in self.workers.iter().zip(self.scratch.iter_mut()) {
+            if !buf.is_empty() {
+                worker.queue.push(Envelope::Batch(std::mem::take(buf)));
+            }
+        }
+        self.emitted_updates += emitted;
+        Ok(emitted)
+    }
+
+    /// [`ServingEstimator::try_ingest`] that spins (yielding) through
+    /// [`IngestError::Overloaded`] instead of surfacing it — convenience
+    /// for bulk loads; every retry still counts an overload rejection.
+    ///
+    /// # Errors
+    /// Same as [`ServingEstimator::try_ingest`] minus `Overloaded`.
+    pub fn ingest_blocking(&mut self, sample: &Sample) -> Result<u64, IngestError> {
+        loop {
+            match self.try_ingest(sample) {
+                Err(IngestError::Overloaded { .. }) => std::thread::yield_now(),
+                other => return other,
+            }
+        }
+    }
+
+    /// Builds and publishes a fresh snapshot at the current ingest epoch.
+    ///
+    /// A `Collect` envelope is enqueued behind every pending batch, so
+    /// each worker replies with a clone of its sketch reflecting *exactly*
+    /// the samples `1..=epoch` — the barrier rides the same FIFO as the
+    /// data. Replies are merged in shard order (bit-identical to
+    /// [`ShardedAscs::merged_sketch`]) and swapped in atomically; readers
+    /// keep the previous snapshot until then. Blocks until every worker
+    /// replies — through a recovery if one is in progress (that wait *is*
+    /// the recovery-to-fresh-snapshot time the bench reports).
+    ///
+    /// # Errors
+    /// [`ServeError::ShardFailed`] if a shard has been abandoned,
+    /// [`ServeError::SnapshotTimeout`] if the barrier exceeds 60 s.
+    pub fn refresh_snapshot(&mut self) -> Result<Arc<Snapshot>, ServeError> {
+        let epoch = self.t;
+        let (tx, rx) = mpsc::channel();
+        for (shard, worker) in self.workers.iter().enumerate() {
+            if worker.failed.load(Ordering::SeqCst) {
+                return Err(ServeError::ShardFailed { shard });
+            }
+            worker.queue.push(Envelope::Collect { reply: tx.clone() });
+        }
+        drop(tx);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut replies: Vec<(usize, AscsSketch)> = Vec::with_capacity(self.workers.len());
+        while replies.len() < self.workers.len() {
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(reply) => replies.push(reply),
+                Err(mpsc::RecvTimeoutError::Timeout)
+                | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    if let Some(shard) = self
+                        .workers
+                        .iter()
+                        .position(|w| w.failed.load(Ordering::SeqCst))
+                    {
+                        return Err(ServeError::ShardFailed { shard });
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(ServeError::SnapshotTimeout);
+                    }
+                }
+            }
+        }
+        replies.sort_by_key(|&(shard, _)| shard);
+        let snapshot = Arc::new(self.build_snapshot(epoch, &replies));
+        *lock(&self.shared.published) = snapshot.clone();
+        Ok(snapshot)
+    }
+
+    /// Merges worker replies exactly like [`ShardedAscs`]: tables fold in
+    /// shard order, and the top list is the shard-ordered union of tracker
+    /// keys re-scored against the merged table.
+    fn build_snapshot(&self, epoch: u64, replies: &[(usize, AscsSketch)]) -> Snapshot {
+        let mut merged = replies[0].1.sketch().clone();
+        for (_, worker) in &replies[1..] {
+            merged.merge(worker.sketch());
+        }
+        let absolute = replies[0].1.absolute_gate();
+        let capacity = replies[0].1.top_k_capacity();
+        let mut top: Vec<(u64, f64)> = Vec::new();
+        for (_, worker) in replies {
+            for (key, _) in worker.top_pairs() {
+                let est = merged.estimate(key);
+                top.push((key, if absolute { est.abs() } else { est }));
+            }
+        }
+        top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        top.truncate(capacity);
+        let inserted = replies.iter().map(|(_, w)| w.inserted_updates()).sum();
+        let skipped = replies.iter().map(|(_, w)| w.skipped_updates()).sum();
+        Snapshot {
+            epoch,
+            merged,
+            top,
+            inserted,
+            skipped,
+            num_pairs: self.config.num_pairs(),
+            indexer: PairIndexer::new(self.config.dim),
+        }
+    }
+
+    /// A cloneable reader handle over the published snapshots.
+    pub fn snapshot_reader(&self) -> SnapshotReader {
+        SnapshotReader {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Samples accepted so far (the current ingest epoch).
+    pub fn processed_samples(&self) -> u64 {
+        self.t
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The configuration this instance serves.
+    pub fn config(&self) -> &AscsConfig {
+        &self.config
+    }
+
+    /// The options this instance was launched with.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// A copy of every serving counter.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            ingested_samples: self.t,
+            emitted_updates: self.emitted_updates,
+            quarantined_samples: self.quarantined_samples,
+            overload_rejections: self.overload_rejections,
+            worker_panics: self.shared.panics.load(Ordering::SeqCst),
+            worker_restarts: self.shared.restarts.load(Ordering::SeqCst),
+            torn_checkpoints: self.shared.torn_checkpoints.load(Ordering::SeqCst),
+            recovering_workers: self.shared.recovering.load(Ordering::SeqCst),
+            failed_shards: self.shared.failed_shards.load(Ordering::SeqCst),
+            published_epoch: lock(&self.shared.published).epoch,
+        }
+    }
+
+    /// Stops every worker, joins the supervision tree and returns the
+    /// final counters. Dropping the instance performs the same shutdown
+    /// implicitly.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        for worker in &self.workers {
+            // A failed shard has no consumer; the envelope is harmless.
+            worker.queue.push(Envelope::Shutdown);
+        }
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServingEstimator {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

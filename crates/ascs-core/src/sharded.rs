@@ -42,7 +42,7 @@ pub struct ShardUpdate {
 
 /// Salt decorrelating the shard router from the sketch hash family, so that
 /// shard assignment never aligns with bucket assignment.
-const ROUTER_SALT: u64 = 0x9E6C_63D4_7D5F_B1A3;
+pub(crate) const ROUTER_SALT: u64 = 0x9E6C_63D4_7D5F_B1A3;
 
 /// Batch size below which [`ShardedAscs::offer_batch`] stays on the calling
 /// thread — spawning workers for a handful of updates costs more than the
@@ -57,7 +57,7 @@ const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
 pub const MAX_SHARDS: usize = 256;
 
 #[inline]
-fn shard_for(key: u64, salt: u64, shards: usize) -> usize {
+pub(crate) fn shard_for(key: u64, salt: u64, shards: usize) -> usize {
     if shards == 1 {
         0
     } else {

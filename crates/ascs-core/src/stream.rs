@@ -81,6 +81,27 @@ impl Sample {
         }
     }
 
+    /// The first non-finite coordinate of the sample, as
+    /// `(feature index, offending value)`, or `None` when every coordinate
+    /// is finite. Ingest boundaries use this to quarantine poisoned samples
+    /// *before* any state is touched: a single NaN update would otherwise
+    /// corrupt every sketch bucket its pairs hash into. Note that
+    /// [`Sample::sparse`] retains NaN entries (NaN `!= 0.0`), so sparse
+    /// samples are screened like dense ones.
+    pub fn first_non_finite(&self) -> Option<(u64, f64)> {
+        match self {
+            Self::Dense(v) => v
+                .iter()
+                .enumerate()
+                .find(|(_, x)| !x.is_finite())
+                .map(|(i, &x)| (i as u64, x)),
+            Self::Sparse { entries, .. } => entries
+                .iter()
+                .find(|&&(_, x)| !x.is_finite())
+                .map(|&(i, x)| (u64::from(i), x)),
+        }
+    }
+
     /// Value at coordinate `i` (zero when absent).
     pub fn value(&self, i: u64) -> f64 {
         match self {
@@ -427,6 +448,20 @@ mod tests {
         assert_eq!(s.value(7), -2.0);
         assert_eq!(s.value(2), 0.0);
         assert_eq!(s.nonzeros(), vec![(1, 1.0), (7, -2.0)]);
+    }
+
+    #[test]
+    fn first_non_finite_screens_dense_and_sparse_samples() {
+        assert_eq!(dense(&[1.0, 2.0, 3.0]).first_non_finite(), None);
+        let poisoned = dense(&[1.0, f64::NAN, f64::INFINITY]);
+        let (idx, val) = poisoned.first_non_finite().unwrap();
+        assert_eq!(idx, 1);
+        assert!(val.is_nan());
+        // Sparse: NaN entries survive the zero-dropping constructor and are
+        // reported with their feature index.
+        let sparse = Sample::sparse(10, vec![(2, 1.0), (7, f64::NEG_INFINITY)]);
+        assert_eq!(sparse.first_non_finite(), Some((7, f64::NEG_INFINITY)));
+        assert_eq!(Sample::sparse(4, vec![(0, 0.5)]).first_non_finite(), None);
     }
 
     #[test]

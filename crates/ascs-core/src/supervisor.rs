@@ -1,0 +1,291 @@
+//! The supervision tree behind [`crate::serve::ServingEstimator`]: bounded
+//! shard queues, the worker loop (apply → checkpoint → collect), and the
+//! supervisor thread that restarts panicked workers from their last good
+//! checkpoint and replays the in-flight batch log.
+//!
+//! Everything here is crate-private; the public surface lives in
+//! [`crate::serve`].
+
+use crate::ascs::AscsSketch;
+use crate::serve::{FaultInjector, ServeShared};
+use crate::sharded::ShardUpdate;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+
+/// Locks a mutex, clearing poison: a worker panicking while holding a lock
+/// must not take the whole service down — the supervisor restores the
+/// protected state from the checkpoint anyway.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// What flows through a shard queue, in strict FIFO order.
+pub(crate) enum Envelope {
+    /// One sample's updates for this shard, to be applied in order.
+    Batch(Vec<ShardUpdate>),
+    /// Snapshot barrier: reply with `(shard, sketch clone)` once every
+    /// batch enqueued before this envelope has been applied.
+    Collect {
+        /// Where the worker sends its reply.
+        reply: mpsc::Sender<(usize, AscsSketch)>,
+    },
+    /// Stop the worker loop.
+    Shutdown,
+}
+
+struct QueueInner {
+    deque: VecDeque<Envelope>,
+    /// Pending `Batch` envelopes only — `Collect`/`Shutdown` are control
+    /// traffic and never count against the capacity.
+    batches: usize,
+}
+
+/// A bounded FIFO between the single producer and one shard worker.
+/// Capacity is advisory for the producer ([`ShardQueue::has_batch_room`]
+/// before [`ShardQueue::push`]); the queue itself never blocks a push, so
+/// control envelopes always get through.
+pub(crate) struct ShardQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                deque: VecDeque::new(),
+                batches: 0,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Whether another batch fits. Only the single producer may rely on
+    /// this (consumers only shrink the queue, so the answer cannot go
+    /// stale in the overloaded direction).
+    pub(crate) fn has_batch_room(&self) -> bool {
+        lock(&self.inner).batches < self.capacity
+    }
+
+    pub(crate) fn push(&self, envelope: Envelope) {
+        let mut inner = lock(&self.inner);
+        if matches!(envelope, Envelope::Batch(_)) {
+            inner.batches += 1;
+        }
+        inner.deque.push_back(envelope);
+        drop(inner);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until an envelope is available.
+    pub(crate) fn pop(&self) -> Envelope {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(envelope) = inner.deque.pop_front() {
+                if matches!(envelope, Envelope::Batch(_)) {
+                    inner.batches -= 1;
+                }
+                return envelope;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Everything a restarted worker needs to reconstruct its sketch exactly:
+/// the last *validated* checkpoint plus every batch applied (or mid-apply)
+/// since. The producer never touches this; the worker updates it under
+/// lock so a panic at any point leaves a consistent recovery recipe.
+pub(crate) struct RecoveryState {
+    /// Serialized [`AscsSketch`] that passed restore-validation.
+    pub(crate) checkpoint: Vec<u8>,
+    /// Updates the checkpoint reflects.
+    pub(crate) checkpoint_updates: u64,
+    /// Batches enqueued-for-apply since the checkpoint, in order. A batch
+    /// is pushed here *before* the worker starts applying it, so a panic
+    /// mid-batch still replays it in full.
+    pub(crate) replay: Vec<Vec<ShardUpdate>>,
+    /// Updates fully applied since stream start (checkpoint + completed
+    /// replay batches) — the shard-local index base for fault injection.
+    pub(crate) applied_updates: u64,
+}
+
+/// Per-shard state shared between producer, worker and supervisor.
+pub(crate) struct WorkerShared {
+    pub(crate) queue: ShardQueue,
+    pub(crate) recovery: Mutex<RecoveryState>,
+    /// Set by the supervisor once the restart budget is exhausted.
+    pub(crate) failed: AtomicBool,
+}
+
+/// The immutable spawn recipe for one worker thread (cloned to respawn).
+#[derive(Clone)]
+pub(crate) struct WorkerContext {
+    pub(crate) shard: usize,
+    pub(crate) shared: Arc<WorkerShared>,
+    pub(crate) stats: Arc<ServeShared>,
+    pub(crate) injector: Arc<dyn FaultInjector>,
+    pub(crate) checkpoint_interval: usize,
+}
+
+pub(crate) enum WorkerEvent {
+    /// Clean exit (Shutdown envelope).
+    Exited,
+    /// The worker body panicked; the supervisor decides restart vs fail.
+    Panicked(usize),
+}
+
+/// Applies one batch in order, with optional fault injection (first
+/// delivery only; `base` is the shard-local index of the batch's first
+/// update). The gate is memoized per distinct `t`, exactly like the
+/// [`crate::sharded::ShardedAscs`] parallel worker loop, so gated results
+/// are bit-identical to sequential ingestion.
+fn apply_batch(
+    sketch: &mut AscsSketch,
+    batch: &[ShardUpdate],
+    inject: Option<(&dyn FaultInjector, usize, u64)>,
+) {
+    let mut memo: Option<(u64, crate::ascs::SampleGate)> = None;
+    for (i, u) in batch.iter().enumerate() {
+        if let Some((injector, shard, base)) = inject {
+            if injector.inject_panic(shard, base + i as u64) {
+                panic!("injected fault: shard {shard} update {}", base + i as u64);
+            }
+        }
+        let gate = match memo {
+            Some((t, gate)) if t == u.t => gate,
+            _ => {
+                let gate = sketch.sample_gate(u.t);
+                memo = Some((u.t, gate));
+                gate
+            }
+        };
+        sketch.offer_gated(u.key, u.value, gate);
+    }
+}
+
+/// The worker body. On entry (cold start *and* restart) the sketch is
+/// rebuilt from the recovery state: restore the last good checkpoint, then
+/// replay every logged batch — without fault injection, so an injected
+/// panic cannot loop forever. The loop then serves the queue until
+/// `Shutdown`.
+fn run_worker(ctx: &WorkerContext, recovering: bool) {
+    if recovering {
+        ctx.injector.before_recovery(ctx.shard);
+    }
+    let mut sketch = {
+        let mut rec = lock(&ctx.shared.recovery);
+        let mut restored = AscsSketch::restore(&mut rec.checkpoint.as_slice())
+            .expect("recovery checkpoint was validated when written");
+        for batch in &rec.replay {
+            apply_batch(&mut restored, batch, None);
+        }
+        rec.applied_updates =
+            rec.checkpoint_updates + rec.replay.iter().map(|b| b.len() as u64).sum::<u64>();
+        restored
+    };
+    if recovering {
+        ctx.stats.recovering.fetch_sub(1, Ordering::SeqCst);
+    }
+    loop {
+        match ctx.shared.queue.pop() {
+            Envelope::Batch(batch) => {
+                ctx.injector.before_batch(ctx.shard);
+                let len = batch.len() as u64;
+                let mut rec = lock(&ctx.shared.recovery);
+                let base = rec.applied_updates;
+                // Log before applying: a panic mid-batch must replay the
+                // whole batch, and `applied_updates` still points at its
+                // first update.
+                rec.replay.push(batch);
+                let logged = rec.replay.last().expect("just pushed");
+                apply_batch(&mut sketch, logged, Some((&*ctx.injector, ctx.shard, base)));
+                rec.applied_updates = base + len;
+                if rec.replay.len() >= ctx.checkpoint_interval {
+                    let mut bytes = Vec::with_capacity(rec.checkpoint.len());
+                    sketch
+                        .save(&mut bytes)
+                        .expect("in-memory checkpoint write cannot fail");
+                    ctx.injector.corrupt_checkpoint(ctx.shard, &mut bytes);
+                    // Validate before committing: a torn record must never
+                    // become "the last good checkpoint". On rejection the
+                    // old checkpoint stays and the replay log keeps
+                    // growing — correctness is unaffected, recovery just
+                    // replays more.
+                    if AscsSketch::restore(&mut bytes.as_slice()).is_ok() {
+                        rec.checkpoint = bytes;
+                        rec.checkpoint_updates = rec.applied_updates;
+                        rec.replay.clear();
+                    } else {
+                        ctx.stats.torn_checkpoints.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Envelope::Collect { reply } => {
+                let _ = reply.send((ctx.shard, sketch.clone()));
+            }
+            Envelope::Shutdown => return,
+        }
+    }
+}
+
+/// Spawns one worker thread whose body runs under `catch_unwind`; the exit
+/// disposition is reported to the supervisor. Handles are detached — the
+/// supervisor owns lifecycle through the event channel.
+pub(crate) fn spawn_worker(
+    ctx: WorkerContext,
+    events: mpsc::Sender<WorkerEvent>,
+    recovering: bool,
+) {
+    std::thread::spawn(move || {
+        let shard = ctx.shard;
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_worker(&ctx, recovering)));
+        let event = match outcome {
+            Ok(()) => WorkerEvent::Exited,
+            Err(_) => WorkerEvent::Panicked(shard),
+        };
+        let _ = events.send(event);
+    });
+}
+
+/// Spawns the supervisor thread: it watches worker exits, restarts
+/// panicked workers (recovery path) until the per-shard budget is spent,
+/// then marks the shard failed. Returns once every worker is gone.
+pub(crate) fn spawn_supervisor(
+    contexts: Vec<WorkerContext>,
+    events_tx: mpsc::Sender<WorkerEvent>,
+    events_rx: mpsc::Receiver<WorkerEvent>,
+    max_restarts: u64,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut live = contexts.len();
+        let mut restarts = vec![0u64; contexts.len()];
+        while live > 0 {
+            match events_rx.recv() {
+                Ok(WorkerEvent::Exited) => live -= 1,
+                Ok(WorkerEvent::Panicked(shard)) => {
+                    let ctx = &contexts[shard];
+                    ctx.stats.panics.fetch_add(1, Ordering::SeqCst);
+                    if restarts[shard] >= max_restarts {
+                        ctx.shared.failed.store(true, Ordering::SeqCst);
+                        ctx.stats.failed_shards.fetch_add(1, Ordering::SeqCst);
+                        live -= 1;
+                    } else {
+                        restarts[shard] += 1;
+                        ctx.stats.restarts.fetch_add(1, Ordering::SeqCst);
+                        ctx.stats.recovering.fetch_add(1, Ordering::SeqCst);
+                        spawn_worker(ctx.clone(), events_tx.clone(), true);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    })
+}

@@ -1,0 +1,282 @@
+//! Serving-core harness: sustained ingest throughput with concurrent
+//! readers, query latency percentiles, and recovery time from an injected
+//! worker panic to a fresh consistent snapshot — with the correctness
+//! contract asserted in-harness before any number is reported.
+//!
+//! Two flags land in `BENCH_serve.json` (CI greps for them):
+//!
+//! * `snapshot_consistency_asserted` — every snapshot published during the
+//!   live-ingest phase (readers querying concurrently throughout) is
+//!   bit-identical to a sequential replay of the same stream up to its
+//!   epoch: merged table, gate counters and top list;
+//! * `recovery_replay_asserted` — after a scripted worker panic
+//!   mid-stream, the recovered service's final snapshot is bit-identical
+//!   to an uninterrupted sequential run on the same seed.
+//!
+//! Query latency is measured from reader threads doing point queries (with
+//! periodic top-k and whole-universe sweeps mixed in) against the
+//! published snapshot while ingestion runs. Recovery time is the wall
+//! clock from the panic being observed to a *fresh* post-recovery snapshot
+//! being published — restore + replay + backlog drain + merge, the figure
+//! a caller actually waits for.
+//!
+//! `--smoke` shrinks the workload for CI.
+
+use ascs_core::serve::{ServeOptions, ServingEstimator, Snapshot};
+use ascs_core::{AscsConfig, EstimandKind, HyperParameters, Sample, SketchGeometry, UpdateMode};
+use ascs_testkit::{FaultPlan, ReplayOracle};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where the JSON report lands: the repository root, independent of the
+/// invocation directory.
+const OUTPUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+
+fn hyper_gated(total: u64) -> HyperParameters {
+    HyperParameters {
+        t0: (total / 10).max(1),
+        theta: 0.2,
+        tau0: 1e-4,
+        delta: 0.05,
+        delta_star: 0.20,
+    }
+}
+
+fn config(dim: u64, total: u64, range: usize, seed: u64) -> AscsConfig {
+    AscsConfig {
+        dim,
+        total_samples: total,
+        geometry: SketchGeometry::new(5, range),
+        alpha: 0.05,
+        signal_strength: 0.5,
+        sigma: 1.0,
+        delta: 0.05,
+        delta_star: 0.20,
+        tau0: 1e-4,
+        estimand: EstimandKind::Covariance,
+        update_mode: UpdateMode::Product,
+        seed,
+        top_k_capacity: 64,
+    }
+}
+
+/// Deterministic dense samples with every coordinate non-zero, so every
+/// sample emits the full pair universe and shard-local update indices are
+/// exactly computable for the scripted panic.
+fn sample_at(dim: u64, t: u64) -> Sample {
+    let values: Vec<f64> = (0..dim)
+        .map(|f| ((t * 31 + f * 7) % 4) as f64 * 0.6 - 0.9)
+        .collect();
+    Sample::dense(values)
+}
+
+fn assert_snapshot_matches(snapshot: &Snapshot, oracle: &ReplayOracle, what: &str) {
+    assert_eq!(snapshot.epoch(), oracle.samples(), "{what}: epoch mismatch");
+    let served = snapshot.sketch().table();
+    let truth = oracle.merged_sketch();
+    assert!(
+        served
+            .iter()
+            .zip(truth.table())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "{what}: merged tables diverged"
+    );
+    assert_eq!(
+        snapshot.update_counts(),
+        oracle.update_counts(),
+        "{what}: gate counters diverged"
+    );
+    let top: Vec<(u64, f64)> = snapshot
+        .top_pairs(usize::MAX)
+        .into_iter()
+        .map(|p| (p.key, p.estimate))
+        .collect();
+    assert_eq!(top, oracle.top_pairs(), "{what}: top pairs diverged");
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0 // µs
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (dim, total, range, shards, readers, refresh_every) = if smoke {
+        (24u64, 1024u64, 2048usize, 2usize, 2usize, 128u64)
+    } else {
+        (64u64, 8192u64, 8192usize, 4usize, 4usize, 512u64)
+    };
+    let pairs = dim * (dim - 1) / 2;
+    let cfg = config(dim, total, range, 42);
+    let hp = hyper_gated(total);
+    let opts = ServeOptions {
+        shards,
+        ..ServeOptions::default()
+    };
+
+    // ------------------------------------------------------------------
+    // Phase A: sustained ingest with concurrent readers. Every published
+    // snapshot is captured and afterwards checked bit for bit against a
+    // sequential replay at the same epoch.
+    // ------------------------------------------------------------------
+    eprintln!(
+        "serving {total} samples of d = {dim} across {shards} shards \
+         ({readers} readers querying concurrently)..."
+    );
+    let mut serving = ServingEstimator::launch_with_hyperparameters(cfg, Some(hp), opts);
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let reader = serving.snapshot_reader();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut lat_ns: Vec<u64> = Vec::new();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let view = reader.current();
+                    let key = (i * 1099) % pairs;
+                    let start = Instant::now();
+                    let est = view.snapshot.estimate(key);
+                    lat_ns.push(start.elapsed().as_nanos() as u64);
+                    assert!(est.is_finite(), "reader {r} observed a torn estimate");
+                    // Mix in the heavier read shapes without letting them
+                    // dominate the latency distribution.
+                    if i.is_multiple_of(512) {
+                        let top = view.snapshot.top_pairs(16);
+                        assert!(top.iter().all(|p| p.estimate.is_finite()));
+                    }
+                    if i.is_multiple_of(4096) {
+                        let sweep = view.snapshot.all_estimates();
+                        assert_eq!(sweep.len() as u64, pairs);
+                    }
+                    i += 1;
+                }
+                lat_ns
+            })
+        })
+        .collect();
+
+    let ingest_start = Instant::now();
+    let mut snapshots: Vec<Arc<Snapshot>> = Vec::new();
+    for t in 1..=total {
+        serving
+            .ingest_blocking(&sample_at(dim, t))
+            .expect("ingest failed");
+        if t % refresh_every == 0 {
+            snapshots.push(serving.refresh_snapshot().expect("refresh failed"));
+        }
+    }
+    let ingest_secs = ingest_start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let mut lat_ns: Vec<u64> = Vec::new();
+    for h in reader_handles {
+        lat_ns.extend(h.join().expect("reader panicked"));
+    }
+    let live_stats = serving.shutdown();
+    lat_ns.sort_unstable();
+    let queries = lat_ns.len();
+
+    // Consistency: replay the same stream sequentially and check every
+    // captured snapshot at its own epoch.
+    let mut oracle = ReplayOracle::new(&cfg, Some(&hp), shards);
+    {
+        let mut pending = snapshots.iter();
+        let mut next = pending.next();
+        for t in 1..=total {
+            oracle.ingest(&sample_at(dim, t));
+            if let Some(snap) = next {
+                if snap.epoch() == t {
+                    assert_snapshot_matches(snap, &oracle, &format!("live snapshot at epoch {t}"));
+                    next = pending.next();
+                }
+            }
+        }
+        assert!(next.is_none(), "a captured snapshot was never checked");
+    }
+    let snapshot_consistency_asserted = true;
+    eprintln!(
+        "  {} snapshots consistent; {} concurrent queries",
+        snapshots.len(),
+        queries
+    );
+
+    // ------------------------------------------------------------------
+    // Phase B: crash recovery. A scripted panic kills shard 0 mid-stream;
+    // measure panic-observed → fresh snapshot published, then require the
+    // final state to equal an uninterrupted run bit for bit.
+    // ------------------------------------------------------------------
+    eprintln!("injecting a shard-0 panic mid-stream and timing recovery...");
+    let mut fresh_oracle = ReplayOracle::new(&cfg, Some(&hp), shards);
+    let k0 = (0..pairs)
+        .filter(|&key| fresh_oracle.shard_of(key) == 0)
+        .count() as u64;
+    assert!(k0 > 0, "benchmark geometry routes nothing to shard 0");
+    let panic_sample = total / 2;
+    let plan = Arc::new(FaultPlan::new().panic_at(0, k0 * (panic_sample - 1)));
+    let mut faulted = ServingEstimator::launch_with_faults(cfg, Some(hp), opts, plan.clone());
+    let mut recovery_secs = None;
+    for t in 1..=total {
+        faulted
+            .ingest_blocking(&sample_at(dim, t))
+            .expect("ingest failed");
+        fresh_oracle.ingest(&sample_at(dim, t));
+        if recovery_secs.is_none() && faulted.stats().worker_panics >= 1 {
+            // Time to a *fresh* consistent snapshot: restore + replay +
+            // backlog drain + merge — what a caller actually waits for.
+            let start = Instant::now();
+            let snap = faulted.refresh_snapshot().expect("recovery refresh");
+            recovery_secs = Some(start.elapsed().as_secs_f64());
+            assert_eq!(snap.epoch(), t);
+        }
+    }
+    let recovery_secs = recovery_secs.expect("scripted panic never fired");
+    let final_snap = faulted.refresh_snapshot().expect("final refresh");
+    assert_snapshot_matches(&final_snap, &fresh_oracle, "post-recovery final state");
+    let fault_stats = faulted.shutdown();
+    assert_eq!(fault_stats.worker_panics, 1);
+    assert_eq!(fault_stats.worker_restarts, 1);
+    let recovery_replay_asserted = true;
+
+    // ------------------------------------------------------------------
+    // Report.
+    // ------------------------------------------------------------------
+    let updates_per_sec = live_stats.emitted_updates as f64 / ingest_secs;
+    let samples_per_sec = total as f64 / ingest_secs;
+    let p50 = percentile(&lat_ns, 0.50);
+    let p99 = percentile(&lat_ns, 0.99);
+    let recovery_ms = recovery_secs * 1_000.0;
+    println!("\nserving core (d = {dim}, T = {total}, K×R = 5×{range}, {shards} shards):");
+    println!(
+        "  ingest             {:.0} updates/s ({:.0} samples/s) with {readers} readers live",
+        updates_per_sec, samples_per_sec
+    );
+    println!("  point query        p50 {p50:.3} µs   p99 {p99:.3} µs   ({queries} queries)");
+    println!("  recovery           {recovery_ms:.2} ms panic → fresh consistent snapshot");
+    println!("  snapshot consistency / recovery replay: both asserted");
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"smoke\": {smoke}, \"dim\": {dim}, \"samples\": {total}, \"rows\": 5, \
+         \"range\": {range}, \"shards\": {shards}, \"readers\": {readers},\n  \
+         \"updates_per_sec\": {updates_per_sec:.0}, \"samples_per_sec\": {samples_per_sec:.0},\n  \
+         \"query_p50_us\": {p50:.3}, \"query_p99_us\": {p99:.3}, \"queries\": {queries},\n  \
+         \"snapshots_published\": {}, \"recovery_to_fresh_snapshot_ms\": {recovery_ms:.2},\n  \
+         \"overload_rejections\": {}, \"worker_panics\": {}, \"worker_restarts\": {},\n  \
+         \"snapshot_consistency_asserted\": {snapshot_consistency_asserted},\n  \
+         \"recovery_replay_asserted\": {recovery_replay_asserted}\n}}\n",
+        snapshots.len(),
+        live_stats.overload_rejections,
+        fault_stats.worker_panics,
+        fault_stats.worker_restarts,
+    );
+    match std::fs::write(OUTPUT_PATH, &json) {
+        Ok(()) => eprintln!("(wrote {OUTPUT_PATH})"),
+        Err(e) => eprintln!("warning: could not write {OUTPUT_PATH}: {e}"),
+    }
+}

@@ -263,6 +263,58 @@ pub fn read_f64_vec<R: Read>(r: &mut R, len: usize) -> Result<Vec<f64>, CodecErr
     Ok(out)
 }
 
+/// Writes a checkpoint to `path` **atomically**: the record is serialized
+/// into a sibling `<path>.tmp`, flushed and fsynced, then renamed over the
+/// destination. A crash (or a failing `write` closure) at any point leaves
+/// either the previous checkpoint or nothing at the final path — never a
+/// truncated record masquerading as the latest checkpoint.
+///
+/// The closure receives a buffered writer and emits one codec record (or
+/// several back to back); any error aborts the save, removes the temp file
+/// (best effort) and leaves the destination untouched.
+///
+/// # Errors
+/// Any [`CodecError`] the closure fails with, or [`CodecError::Io`] /
+/// [`CodecError::Truncated`] from the filesystem operations themselves.
+pub fn save_to_path<F>(path: impl AsRef<std::path::Path>, write: F) -> Result<(), CodecError>
+where
+    F: FnOnce(&mut io::BufWriter<std::fs::File>) -> Result<(), CodecError>,
+{
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = io::BufWriter::new(file);
+        write(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Reads a checkpoint written by [`save_to_path`] (or any codec record on
+/// disk): opens `path` buffered and hands the reader to the closure. A
+/// missing file surfaces as [`CodecError::Io`]; a torn or tampered record
+/// surfaces as whatever typed error the closure's decoder returns.
+///
+/// # Errors
+/// Any [`CodecError`] the closure fails with, or [`CodecError::Io`] when
+/// the file cannot be opened.
+pub fn load_from_path<T, F>(path: impl AsRef<std::path::Path>, read: F) -> Result<T, CodecError>
+where
+    F: FnOnce(&mut io::BufReader<std::fs::File>) -> Result<T, CodecError>,
+{
+    let file = std::fs::File::open(path.as_ref())?;
+    read(&mut io::BufReader::new(file))
+}
+
 impl HashFamily {
     /// Serializes the family as `(rows, range, seed)` — every row hasher is
     /// a pure function of the seed, so nothing else needs to travel.
@@ -348,6 +400,71 @@ mod tests {
             let err = HashFamily::restore(&mut &bytes[..cut]).unwrap_err();
             assert!(matches!(err, CodecError::Truncated));
         }
+    }
+
+    /// A unique scratch path under the system temp dir (no tempfile dep).
+    fn scratch_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ascs-codec-test-{}-{tag}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn save_to_path_roundtrips_through_disk() {
+        let path = scratch_path("roundtrip");
+        let family = HashFamily::new(5, 1 << 12, 0xFEED);
+        save_to_path(&path, |w| family.save(w)).unwrap();
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        let back = load_from_path(&path, HashFamily::restore).unwrap();
+        assert_eq!(back.seed(), family.seed());
+        assert_eq!(back.rows(), family.rows());
+        assert_eq!(back.range(), family.range());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A failing save — here a closure that writes half a record and then
+    /// errors, simulating a crash mid-serialization — must leave the
+    /// *previous* checkpoint in place and clean up its temp file.
+    #[test]
+    fn failed_save_preserves_the_previous_checkpoint() {
+        let path = scratch_path("torn-save");
+        let good = HashFamily::new(4, 256, 11);
+        save_to_path(&path, |w| good.save(w)).unwrap();
+
+        let err = save_to_path(&path, |w| {
+            write_header(w, TAG_HASH_FAMILY)?;
+            write_u64(w, 4)?;
+            // Partial write, then the simulated crash.
+            Err(CodecError::Io(io::Error::other("disk died mid-save")))
+        })
+        .unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)));
+
+        // No orphaned temp file, and the prior checkpoint restores cleanly.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists(), "temp file leaked");
+        let back = load_from_path(&path, HashFamily::restore).unwrap();
+        assert_eq!(back.seed(), good.seed());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Reading torn bytes directly (as if a non-atomic writer had crashed)
+    /// yields a typed error, never a panic or a half-restored value.
+    #[test]
+    fn torn_file_restores_to_a_typed_error() {
+        let path = scratch_path("torn-read");
+        let family = HashFamily::new(4, 256, 13);
+        let mut bytes = Vec::new();
+        family.save(&mut bytes).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_from_path(&path, HashFamily::restore).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated));
+        std::fs::remove_file(&path).unwrap();
+
+        let missing = scratch_path("never-written");
+        assert!(matches!(
+            load_from_path(&missing, HashFamily::restore),
+            Err(CodecError::Io(_))
+        ));
     }
 
     #[test]

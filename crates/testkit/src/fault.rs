@@ -1,0 +1,284 @@
+//! Deterministic fault injection for the serving core, plus the sequential
+//! replay oracle the consistency tests compare snapshots against.
+//!
+//! [`FaultPlan`] implements [`ascs_core::FaultInjector`] with scripted
+//! faults — panic at a specific shard-local update index, truncate a
+//! checkpoint at byte `K`, hold worker batches to force queue-full storms,
+//! hold recovery to observe degraded mode — all one-shot and in-process,
+//! so every failure test is reproducible without real crashes.
+//!
+//! [`ReplayOracle`] is the ground truth for snapshot consistency: it runs
+//! the *same* sample stream through a plain sequential [`ShardedAscs`]
+//! (same seed, same shard count, same router), so a serving snapshot at
+//! epoch `t` must match the oracle after `t` samples bit for bit.
+
+use ascs_core::config::AscsConfig;
+use ascs_core::{FaultInjector, HyperParameters, Sample, ShardUpdate, ShardedAscs, StreamContext};
+use ascs_count_sketch::CountSketch;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[derive(Default)]
+struct Holds {
+    batches: bool,
+    recovery: bool,
+}
+
+/// A scripted, deterministic fault plan. Build it with the `panic_at` /
+/// `truncate_checkpoint_at` constructors, share it (`Arc`) with
+/// `ServingEstimator::launch_with_faults`, and flip the runtime holds from
+/// the test thread. Scripted faults are **one-shot**: each fires on its
+/// first match and never again, so a restarted worker replays cleanly.
+#[derive(Default)]
+pub struct FaultPlan {
+    /// Pending `(shard, shard-local update index)` panics.
+    panics: Mutex<Vec<(usize, u64)>>,
+    /// Pending `(shard, truncate-at-byte)` checkpoint corruptions.
+    truncations: Mutex<Vec<(usize, usize)>>,
+    holds: Mutex<Holds>,
+    released: Condvar,
+    panics_fired: Mutex<u64>,
+    truncations_fired: Mutex<u64>,
+    recoveries_started: Mutex<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no scripted faults, no holds).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a one-shot panic right before `shard` applies its
+    /// `update_index`-th update (0-based, counted across all first-delivery
+    /// batches of that shard).
+    #[must_use]
+    pub fn panic_at(self, shard: usize, update_index: u64) -> Self {
+        lock(&self.panics).push((shard, update_index));
+        self
+    }
+
+    /// Schedules a one-shot truncation of `shard`'s next checkpoint to
+    /// `at` bytes before validation — the checkpoint must be rejected and
+    /// the previous good one kept.
+    #[must_use]
+    pub fn truncate_checkpoint_at(self, shard: usize, at: usize) -> Self {
+        lock(&self.truncations).push((shard, at));
+        self
+    }
+
+    /// While set, every worker blocks before applying a batch — queues
+    /// fill and `try_ingest` must surface `Overloaded`. Release before
+    /// dropping the serving instance.
+    pub fn set_hold_batches(&self, hold: bool) {
+        lock(&self.holds).batches = hold;
+        self.released.notify_all();
+    }
+
+    /// While set, a recovering worker blocks before its restore + replay —
+    /// the window in which readers must see degraded (stale, flagged)
+    /// snapshots. Release before dropping the serving instance.
+    pub fn set_hold_recovery(&self, hold: bool) {
+        lock(&self.holds).recovery = hold;
+        self.released.notify_all();
+    }
+
+    /// Scripted panics that have fired.
+    pub fn panics_fired(&self) -> u64 {
+        *lock(&self.panics_fired)
+    }
+
+    /// Scripted checkpoint truncations that have fired.
+    pub fn truncations_fired(&self) -> u64 {
+        *lock(&self.truncations_fired)
+    }
+
+    /// Worker recoveries that have started (restore + replay entered).
+    pub fn recoveries_started(&self) -> u64 {
+        *lock(&self.recoveries_started)
+    }
+
+    fn wait_while(&self, which: fn(&Holds) -> bool) {
+        let mut holds = lock(&self.holds);
+        while which(&holds) {
+            holds = self
+                .released
+                .wait(holds)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn inject_panic(&self, shard: usize, update_index: u64) -> bool {
+        let mut pending = lock(&self.panics);
+        if let Some(pos) = pending
+            .iter()
+            .position(|&(s, i)| s == shard && i == update_index)
+        {
+            pending.remove(pos);
+            *lock(&self.panics_fired) += 1;
+            return true;
+        }
+        false
+    }
+
+    fn corrupt_checkpoint(&self, shard: usize, bytes: &mut Vec<u8>) {
+        let mut pending = lock(&self.truncations);
+        if let Some(pos) = pending.iter().position(|&(s, _)| s == shard) {
+            let (_, at) = pending.remove(pos);
+            bytes.truncate(at.min(bytes.len()));
+            *lock(&self.truncations_fired) += 1;
+        }
+    }
+
+    fn before_recovery(&self, _shard: usize) {
+        *lock(&self.recoveries_started) += 1;
+        self.wait_while(|h| h.recovery);
+    }
+
+    fn before_batch(&self, _shard: usize) {
+        self.wait_while(|h| h.batches);
+    }
+}
+
+/// Sequential ground truth for the serving core: the same stream driven
+/// through a plain [`ShardedAscs`] with the same configuration, shard
+/// count and seed — no threads, no queues, no recovery. Serving snapshots
+/// must match this oracle bit for bit at every epoch, panics and torn
+/// checkpoints notwithstanding.
+pub struct ReplayOracle {
+    ctx: StreamContext,
+    sharded: ShardedAscs,
+    t: u64,
+    pending: Vec<ShardUpdate>,
+    emitted: u64,
+}
+
+impl ReplayOracle {
+    /// Builds the oracle. `hyper` selects gated (`Some`) or vanilla
+    /// (`None`) workers, exactly mirroring the serving launch entry points.
+    pub fn new(config: &AscsConfig, hyper: Option<&HyperParameters>, shards: usize) -> Self {
+        let sharded = match hyper {
+            Some(hp) => ShardedAscs::new(
+                config.geometry,
+                hp,
+                config.total_samples,
+                config.top_k_capacity,
+                config.seed,
+                shards,
+            ),
+            None => ShardedAscs::vanilla(
+                config.geometry,
+                config.total_samples,
+                config.top_k_capacity,
+                config.seed,
+                shards,
+            ),
+        };
+        Self {
+            ctx: StreamContext::new(config.dim, config.update_mode, config.estimand),
+            sharded,
+            t: 0,
+            pending: Vec::new(),
+            emitted: 0,
+        }
+    }
+
+    /// Ingests one sample sequentially; returns the updates emitted.
+    pub fn ingest(&mut self, sample: &Sample) -> u64 {
+        self.t += 1;
+        let t = self.t;
+        self.pending.clear();
+        let pending = &mut self.pending;
+        let emitted = self.ctx.ingest(sample, |u| {
+            pending.push(ShardUpdate {
+                key: u.key,
+                value: u.value,
+                t,
+            });
+        });
+        self.sharded.offer_batch(&self.pending);
+        self.emitted += emitted;
+        emitted
+    }
+
+    /// The shard a key routes to — used by tests to compute the shard-local
+    /// update index a scripted panic should target.
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.sharded.shard_of(key)
+    }
+
+    /// The merged table after `samples()` sequential samples.
+    pub fn merged_sketch(&self) -> CountSketch {
+        self.sharded.merged_sketch()
+    }
+
+    /// Cross-shard top pairs (same ordering contract as the serving
+    /// snapshot's top list).
+    pub fn top_pairs(&self) -> Vec<(u64, f64)> {
+        self.sharded.top_pairs()
+    }
+
+    /// Inserted / skipped update counters summed across shards.
+    pub fn update_counts(&self) -> (u64, u64) {
+        (
+            self.sharded.inserted_updates(),
+            self.sharded.skipped_updates(),
+        )
+    }
+
+    /// Samples ingested so far.
+    pub fn samples(&self) -> u64 {
+        self.t
+    }
+
+    /// Pair updates emitted so far.
+    pub fn emitted_updates(&self) -> u64 {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_scripted_faults_are_one_shot() {
+        let plan = FaultPlan::new().panic_at(1, 5).truncate_checkpoint_at(0, 3);
+        assert!(!plan.inject_panic(0, 5), "wrong shard fired");
+        assert!(!plan.inject_panic(1, 4), "wrong index fired");
+        assert!(plan.inject_panic(1, 5));
+        assert!(!plan.inject_panic(1, 5), "panic fired twice");
+        assert_eq!(plan.panics_fired(), 1);
+
+        let mut bytes = vec![0u8; 10];
+        plan.corrupt_checkpoint(1, &mut bytes);
+        assert_eq!(bytes.len(), 10, "wrong shard truncated");
+        plan.corrupt_checkpoint(0, &mut bytes);
+        assert_eq!(bytes.len(), 3);
+        let mut again = vec![0u8; 10];
+        plan.corrupt_checkpoint(0, &mut again);
+        assert_eq!(again.len(), 10, "truncation fired twice");
+        assert_eq!(plan.truncations_fired(), 1);
+    }
+
+    #[test]
+    fn holds_block_and_release() {
+        use std::sync::Arc;
+        let plan = Arc::new(FaultPlan::new());
+        plan.set_hold_batches(true);
+        let worker = {
+            let plan = plan.clone();
+            std::thread::spawn(move || plan.before_batch(0))
+        };
+        // The worker cannot finish while the hold is set; give it a moment
+        // to park, then release and require completion.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!worker.is_finished(), "hold did not block");
+        plan.set_hold_batches(false);
+        worker.join().unwrap();
+    }
+}

@@ -20,6 +20,10 @@
 //!   clear the Theorem 1/2 `ε` budget. Reports are serialisable per
 //!   scenario, so CI and the `scenario_report` binary can emit
 //!   machine-readable pass flags.
+//! * [`fault`] — deterministic fault injection for the serving core: a
+//!   scripted [`FaultPlan`] (panic-at-update-N, checkpoint truncation at
+//!   byte K, queue-full and recovery holds) plus the sequential
+//!   [`ReplayOracle`] serving snapshots must match bit for bit.
 //!
 //! Everything is deterministic from committed seeds: the tier-1 quick
 //! profile (`tests/bound_conformance.rs`) must pass bit-for-bit on every
@@ -29,10 +33,12 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod fault;
 pub mod harness;
 pub mod scenario;
 
 pub use adversarial::{find_row_colliders, AdversarialCollisionScenario, AttackerPlan};
+pub use fault::{FaultPlan, ReplayOracle};
 pub use harness::{
     run_scenario, run_suite, BackendReport, BackendVariant, CheckpointReport, ConformanceConfig,
     ScenarioReport, SuiteReport,

@@ -76,10 +76,11 @@ pub use ascs_sketch_hash as sketch_hash;
 /// Convenience re-exports covering the common end-to-end workflow.
 pub mod prelude {
     pub use ascs_core::{
-        AscsConfig, AscsSketch, CodecError, CovarianceEstimator, EstimandKind,
-        HyperParameterSolver, HyperParameters, PairIndexer, PlanError, ReportedPair, Sample,
-        SampleGate, ShardUpdate, ShardedAscs, SketchBackend, SketchGeometry, TheoryBounds,
-        ThresholdSchedule, UpdateMode, MAX_SHARDS,
+        AscsConfig, AscsSketch, CodecError, CovarianceEstimator, EstimandKind, FaultInjector,
+        HyperParameterSolver, HyperParameters, IngestError, NoFaults, PairIndexer, PlanError,
+        ReportedPair, Sample, SampleGate, ServeError, ServeOptions, ServeStats, ServingEstimator,
+        ShardUpdate, ShardedAscs, SketchBackend, SketchGeometry, Snapshot, SnapshotReader,
+        SnapshotView, TheoryBounds, ThresholdSchedule, UpdateMode, MAX_SHARDS,
     };
     pub use ascs_count_sketch::{
         AugmentedSketch, ColdFilter, CountMinSketch, CountSketch, HashPlan, PointSketch,

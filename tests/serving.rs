@@ -1,0 +1,415 @@
+//! Tier-1 serving-core tests: snapshot consistency against a sequential
+//! replay oracle, concurrent readers over live ingestion, backpressure,
+//! non-finite quarantine, and crash recovery (worker panics and torn
+//! checkpoints) with bit-identical post-recovery state.
+//!
+//! The oracle is [`ascs_testkit::ReplayOracle`]: the same stream through a
+//! plain sequential `ShardedAscs` with the same seed, shard count and
+//! router. Every assertion of "consistent" below means *bit-identical* to
+//! that oracle — tables, gate counters and top lists.
+//!
+//! Note: the injected-panic tests intentionally print panic backtraces to
+//! stderr (the workers really do panic); the supervisor catching and
+//! recovering from them is exactly what is under test.
+
+use ascs::core::serve::{IngestError, ServeOptions, ServingEstimator, Snapshot};
+use ascs::prelude::*;
+use ascs_testkit::{FaultPlan, ReplayOracle};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DIM: u64 = 16;
+const PAIRS: u64 = DIM * (DIM - 1) / 2; // 120
+
+fn config(total: u64, seed: u64) -> AscsConfig {
+    AscsConfig {
+        dim: DIM,
+        total_samples: total,
+        geometry: SketchGeometry::new(5, 512),
+        alpha: 0.05,
+        signal_strength: 0.5,
+        sigma: 1.0,
+        delta: 0.05,
+        delta_star: 0.20,
+        tau0: 1e-4,
+        estimand: EstimandKind::Covariance,
+        update_mode: UpdateMode::Product,
+        seed,
+        top_k_capacity: 16,
+    }
+}
+
+fn hyper(total: u64) -> HyperParameters {
+    HyperParameters {
+        t0: (total / 4).max(1),
+        theta: 0.2,
+        tau0: 1e-4,
+        delta: 0.05,
+        delta_star: 0.20,
+    }
+}
+
+/// Deterministic dense samples with every coordinate non-zero, so every
+/// sample emits all `PAIRS` pair updates — which makes shard-local update
+/// indices (for scripted panics) exactly computable.
+fn sample_at(t: u64) -> Sample {
+    let values: Vec<f64> = (0..DIM)
+        .map(|f| ((t * 31 + f * 7) % 4) as f64 * 0.6 - 0.9)
+        .collect();
+    Sample::dense(values)
+}
+
+/// Updates shard 0 receives per sample (every sample covers all keys).
+fn shard0_keys_per_sample(oracle: &ReplayOracle) -> u64 {
+    let k0 = (0..PAIRS).filter(|&key| oracle.shard_of(key) == 0).count() as u64;
+    assert!(k0 > 0, "test geometry routes nothing to shard 0");
+    k0
+}
+
+/// The full consistency contract: a snapshot at epoch `e` equals the
+/// sequential oracle after `e` samples, bit for bit.
+fn assert_snapshot_matches(snapshot: &Snapshot, oracle: &ReplayOracle, what: &str) {
+    assert_eq!(snapshot.epoch(), oracle.samples(), "{what}: epoch mismatch");
+    let served: Vec<u64> = snapshot
+        .sketch()
+        .table()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let truth: Vec<u64> = oracle
+        .merged_sketch()
+        .table()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(served, truth, "{what}: merged tables diverged");
+    assert_eq!(
+        snapshot.update_counts(),
+        oracle.update_counts(),
+        "{what}: gate counters diverged"
+    );
+    let top: Vec<(u64, f64)> = snapshot
+        .top_pairs(usize::MAX)
+        .into_iter()
+        .map(|p| (p.key, p.estimate))
+        .collect();
+    assert_eq!(top, oracle.top_pairs(), "{what}: top pairs diverged");
+}
+
+#[test]
+fn snapshots_are_bit_identical_to_sequential_replay_at_every_epoch() {
+    let total = 192u64;
+    let cfg = config(total, 41);
+    let hp = hyper(total);
+    let mut serving =
+        ServingEstimator::launch_with_hyperparameters(cfg, Some(hp), ServeOptions::default());
+    let mut oracle = ReplayOracle::new(&cfg, Some(&hp), serving.shards());
+    for t in 1..=total {
+        let s = sample_at(t);
+        let emitted = serving.try_ingest(&s).expect("ingest failed");
+        assert_eq!(emitted, oracle.ingest(&s), "emitted update count diverged");
+        if t % 32 == 0 {
+            let snap = serving.refresh_snapshot().expect("refresh failed");
+            assert_snapshot_matches(&snap, &oracle, &format!("epoch {t}"));
+        }
+    }
+    let stats = serving.shutdown();
+    assert_eq!(stats.ingested_samples, total);
+    assert_eq!(stats.emitted_updates, oracle.emitted_updates());
+    assert_eq!(stats.worker_panics, 0);
+    assert_eq!(stats.published_epoch, total);
+}
+
+#[test]
+fn concurrent_readers_never_observe_a_torn_or_regressing_snapshot() {
+    let total = 256u64;
+    let cfg = config(total, 43);
+    let hp = hyper(total);
+    let mut serving =
+        ServingEstimator::launch_with_hyperparameters(cfg, Some(hp), ServeOptions::default());
+    let mut oracle = ReplayOracle::new(&cfg, Some(&hp), serving.shards());
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let reader = serving.snapshot_reader();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let view = reader.current();
+                    assert!(
+                        view.snapshot.epoch() >= last_epoch,
+                        "snapshot epoch regressed"
+                    );
+                    last_epoch = view.snapshot.epoch();
+                    // A torn table would show up as NaN/garbage medians;
+                    // every published estimate must be finite.
+                    for key in [0u64, 7, 64, PAIRS - 1] {
+                        assert!(view.snapshot.estimate(key).is_finite());
+                    }
+                    assert!(!view.degraded, "no faults were injected");
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+    for t in 1..=total {
+        let s = sample_at(t);
+        serving.ingest_blocking(&s).expect("ingest failed");
+        oracle.ingest(&s);
+        if t % 32 == 0 {
+            serving.refresh_snapshot().expect("refresh failed");
+        }
+    }
+    let final_snap = serving.refresh_snapshot().expect("final refresh");
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        assert!(r.join().expect("reader panicked") > 0, "reader never ran");
+    }
+    assert_snapshot_matches(&final_snap, &oracle, "final state under readers");
+    serving.shutdown();
+}
+
+#[test]
+fn worker_panic_recovers_to_state_bit_identical_to_an_uninterrupted_run() {
+    let total = 192u64;
+    let cfg = config(total, 47);
+    let hp = hyper(total);
+    let mut oracle = ReplayOracle::new(&cfg, Some(&hp), 2);
+    let k0 = shard0_keys_per_sample(&oracle);
+    // Panic on the first update of sample 101's shard-0 batch: several
+    // checkpoints (interval 32) plus a partial replay log are in play.
+    let plan = Arc::new(FaultPlan::new().panic_at(0, k0 * 100));
+    let mut serving =
+        ServingEstimator::launch_with_faults(cfg, Some(hp), ServeOptions::default(), plan.clone());
+    for t in 1..=total {
+        let s = sample_at(t);
+        serving.ingest_blocking(&s).expect("ingest failed");
+        oracle.ingest(&s);
+    }
+    let snap = serving.refresh_snapshot().expect("post-recovery refresh");
+    assert_snapshot_matches(&snap, &oracle, "post-recovery state");
+    assert_eq!(plan.panics_fired(), 1, "scripted panic never fired");
+    let stats = serving.shutdown();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.worker_restarts, 1);
+    assert_eq!(stats.failed_shards, 0);
+    assert_eq!(stats.recovering_workers, 0);
+}
+
+#[test]
+fn torn_checkpoint_is_rejected_and_recovery_still_matches_the_oracle() {
+    let total = 96u64;
+    let cfg = config(total, 53);
+    let hp = hyper(total);
+    let mut oracle = ReplayOracle::new(&cfg, Some(&hp), 2);
+    let k0 = shard0_keys_per_sample(&oracle);
+    // Shard 0's first checkpoint write (after 8 batches) is truncated to
+    // 10 bytes — it must be rejected at validation, leaving the bootstrap
+    // checkpoint in place — and the panic at sample 21 then forces a
+    // recovery that replays through the longer-than-planned log.
+    let plan = Arc::new(
+        FaultPlan::new()
+            .truncate_checkpoint_at(0, 10)
+            .panic_at(0, k0 * 20),
+    );
+    let opts = ServeOptions {
+        checkpoint_interval: 8,
+        ..ServeOptions::default()
+    };
+    let mut serving = ServingEstimator::launch_with_faults(cfg, Some(hp), opts, plan.clone());
+    for t in 1..=total {
+        let s = sample_at(t);
+        serving.ingest_blocking(&s).expect("ingest failed");
+        oracle.ingest(&s);
+    }
+    let snap = serving.refresh_snapshot().expect("post-recovery refresh");
+    assert_snapshot_matches(&snap, &oracle, "post-torn-checkpoint state");
+    assert_eq!(plan.truncations_fired(), 1);
+    assert_eq!(plan.panics_fired(), 1);
+    let stats = serving.shutdown();
+    assert_eq!(stats.torn_checkpoints, 1);
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.worker_restarts, 1);
+}
+
+#[test]
+fn full_queues_surface_typed_overload_instead_of_blocking() {
+    let total = 64u64;
+    let cfg = config(total, 59);
+    let hp = hyper(total);
+    let plan = Arc::new(FaultPlan::new());
+    plan.set_hold_batches(true);
+    let opts = ServeOptions {
+        queue_capacity: 2,
+        ..ServeOptions::default()
+    };
+    let mut serving = ServingEstimator::launch_with_faults(cfg, Some(hp), opts, plan.clone());
+    let mut oracle = ReplayOracle::new(&cfg, Some(&hp), serving.shards());
+
+    // With workers held, each shard absorbs at most `capacity` queued
+    // batches plus one in flight; the storm must then surface as a typed
+    // Overloaded error rather than blocking or dropping on the floor.
+    let mut accepted = 0u64;
+    let overload = loop {
+        match serving.try_ingest(&sample_at(accepted + 1)) {
+            Ok(_) => {
+                accepted += 1;
+                assert!(
+                    accepted <= 3,
+                    "queue_capacity 2 absorbed {accepted} samples"
+                );
+            }
+            Err(e) => break e,
+        }
+    };
+    match overload {
+        IngestError::Overloaded { shard, capacity } => {
+            assert!(shard < serving.shards());
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // The rejected sample mutated nothing: stream time still equals the
+    // accepted count, and retrying the SAME sample after release works.
+    assert_eq!(serving.processed_samples(), accepted);
+    assert!(serving.stats().overload_rejections >= 1);
+
+    plan.set_hold_batches(false);
+    for t in 1..=accepted {
+        oracle.ingest(&sample_at(t));
+    }
+    for t in accepted + 1..=total {
+        let s = sample_at(t);
+        serving.ingest_blocking(&s).expect("ingest failed");
+        oracle.ingest(&s);
+    }
+    let snap = serving.refresh_snapshot().expect("refresh failed");
+    assert_snapshot_matches(&snap, &oracle, "state after overload storm");
+    serving.shutdown();
+}
+
+#[test]
+fn degraded_mode_serves_the_stale_snapshot_while_recovery_is_held() {
+    let total = 96u64;
+    let cfg = config(total, 61);
+    let hp = hyper(total);
+    let mut oracle = ReplayOracle::new(&cfg, Some(&hp), 2);
+    let k0 = shard0_keys_per_sample(&oracle);
+    // The panic fires during sample 67 — AFTER the epoch-48 refresh below,
+    // so the published snapshot is the one degraded mode must keep serving.
+    let plan = Arc::new(FaultPlan::new().panic_at(0, k0 * 66));
+    let mut serving =
+        ServingEstimator::launch_with_faults(cfg, Some(hp), ServeOptions::default(), plan.clone());
+    let reader = serving.snapshot_reader();
+    for t in 1..=48 {
+        let s = sample_at(t);
+        serving.ingest_blocking(&s).expect("ingest failed");
+        oracle.ingest(&s);
+    }
+    serving.refresh_snapshot().expect("refresh failed");
+    plan.set_hold_recovery(true);
+    for t in 49..=total {
+        let s = sample_at(t);
+        serving.ingest_blocking(&s).expect("ingest failed");
+        oracle.ingest(&s);
+    }
+    // Wait for the supervisor to restart the worker; the replacement then
+    // parks in before_recovery, freezing the service mid-recovery.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while serving.stats().recovering_workers == 0 {
+        assert!(Instant::now() < deadline, "recovery never started");
+        std::thread::yield_now();
+    }
+    let view = reader.current();
+    assert!(view.degraded, "mid-recovery reads must be flagged degraded");
+    assert_eq!(
+        view.snapshot.epoch(),
+        48,
+        "degraded mode must serve the last published snapshot"
+    );
+    assert!(view.lag > 0, "staleness must be visible");
+    // Pre-crash history is still fully queryable from the stale snapshot.
+    assert!(view.snapshot.estimate(0).is_finite());
+
+    plan.set_hold_recovery(false);
+    let snap = serving.refresh_snapshot().expect("post-recovery refresh");
+    assert_snapshot_matches(&snap, &oracle, "post-degraded state");
+    let view = reader.current();
+    assert!(!view.degraded, "recovery completed; flag must clear");
+    assert_eq!(view.lag, 0);
+    let stats = serving.shutdown();
+    assert_eq!(stats.worker_restarts, 1);
+}
+
+#[test]
+fn non_finite_samples_are_quarantined_at_the_serving_boundary() {
+    let total = 64u64;
+    let cfg = config(total, 67);
+    let hp = hyper(total);
+    let mut serving =
+        ServingEstimator::launch_with_hyperparameters(cfg, Some(hp), ServeOptions::default());
+    let mut oracle = ReplayOracle::new(&cfg, Some(&hp), serving.shards());
+    for t in 1..=20 {
+        let s = sample_at(t);
+        serving.ingest_blocking(&s).expect("ingest failed");
+        oracle.ingest(&s);
+    }
+    let mut poisoned = vec![0.5f64; DIM as usize];
+    poisoned[5] = f64::NAN;
+    let err = serving
+        .try_ingest(&Sample::dense(poisoned))
+        .expect_err("NaN sample must be rejected");
+    match err {
+        IngestError::NonFinite { index, value } => {
+            assert_eq!(index, 5);
+            assert!(value.is_nan());
+        }
+        other => panic!("expected NonFinite, got {other:?}"),
+    }
+    // Sparse infinities are screened too (the sparse constructor keeps
+    // non-zero entries, NaN and ±inf included).
+    assert!(matches!(
+        serving.try_ingest(&Sample::sparse(DIM, vec![(2, f64::NEG_INFINITY)])),
+        Err(IngestError::NonFinite { index: 2, .. })
+    ));
+    assert_eq!(serving.stats().quarantined_samples, 2);
+    assert_eq!(
+        serving.processed_samples(),
+        20,
+        "quarantine must not advance the stream"
+    );
+    let snap = serving.refresh_snapshot().expect("refresh failed");
+    assert_snapshot_matches(&snap, &oracle, "state after quarantine");
+    serving.shutdown();
+}
+
+#[test]
+fn vanilla_serving_and_shutdown_stats_are_coherent() {
+    let total = 64u64;
+    let cfg = config(total, 71);
+    let mut serving = ServingEstimator::launch_vanilla(cfg, ServeOptions::default());
+    let mut oracle = ReplayOracle::new(&cfg, None, serving.shards());
+    for t in 1..=total {
+        let s = sample_at(t);
+        serving.ingest_blocking(&s).expect("ingest failed");
+        oracle.ingest(&s);
+    }
+    let snap = serving.refresh_snapshot().expect("refresh failed");
+    assert_snapshot_matches(&snap, &oracle, "vanilla serving");
+    let (_, skipped) = snap.update_counts();
+    assert_eq!(skipped, 0, "vanilla workers never skip");
+    let stats = serving.shutdown();
+    assert_eq!(stats.ingested_samples, total);
+    assert_eq!(stats.emitted_updates, total * PAIRS);
+    assert_eq!(stats.quarantined_samples, 0);
+    assert_eq!(stats.overload_rejections, 0);
+    assert_eq!(stats.worker_panics, 0);
+    assert_eq!(stats.worker_restarts, 0);
+    assert_eq!(stats.torn_checkpoints, 0);
+    assert_eq!(stats.failed_shards, 0);
+    assert_eq!(stats.published_epoch, total);
+}
