@@ -46,6 +46,7 @@
 
 pub mod ascs;
 pub mod config;
+pub mod durability;
 pub mod estimator;
 pub mod hyper;
 pub mod pair;
@@ -61,13 +62,17 @@ pub use ascs::{AscsPhase, AscsSketch, OfferOutcome, SampleGate};
 pub use ascs_count_sketch::codec;
 pub use ascs_count_sketch::CodecError;
 pub use config::{AscsConfig, EstimandKind, SketchGeometry, UpdateMode};
+pub use durability::{
+    DurabilityError, DurabilityHealth, DurabilityOptions, FsyncPolicy, RecoveredState,
+    RecoveryManager, RecoveryOutcome, RecoveryReport,
+};
 pub use estimator::{CovarianceEstimator, PlanError, ReportedPair, SketchBackend};
 pub use hyper::{HyperParameterSolver, HyperParameters, SigmaEstimator, SignalModel};
 pub use pair::{num_pairs, pair_from_index, pair_to_index, PairIndexer};
 pub use schedule::ThresholdSchedule;
 pub use serve::{
     FaultInjector, IngestError, NoFaults, ServeError, ServeOptions, ServeStats, ServingEstimator,
-    Snapshot, SnapshotReader, SnapshotView,
+    ServingHealth, Snapshot, SnapshotReader, SnapshotView,
 };
 pub use sharded::{ShardUpdate, ShardedAscs, MAX_SHARDS};
 pub use snr::SnrProbe;

@@ -39,6 +39,10 @@
 
 use crate::ascs::AscsSketch;
 use crate::config::AscsConfig;
+use crate::durability::{
+    prototype_sketch, DurabilityError, DurabilityHealth, DurabilityOptions, DurableStore,
+    RecoveredState, RecoveryManager, RecoveryReport,
+};
 use crate::estimator::{ReportedPair, MAX_PLANNED_PAIRS, TRANSIENT_PLAN_PAIRS};
 use crate::hyper::{HyperParameterSolver, HyperParameters};
 use crate::pair::PairIndexer;
@@ -49,6 +53,7 @@ use crate::supervisor::{
     WorkerShared,
 };
 use crate::theory::TheoryBounds;
+use ascs_count_sketch::codec::{DurableFs, StdFs};
 use ascs_count_sketch::CountSketch;
 use ascs_sketch_hash::splitmix64;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -87,6 +92,13 @@ pub enum IngestError {
         /// The failed shard.
         shard: usize,
     },
+    /// [`ServingEstimator::ingest_with_deadline`] saw `Overloaded` for the
+    /// whole deadline: the queues never drained. Nothing changed; the
+    /// sample can be retried or shed.
+    Timeout {
+        /// How long the call waited before giving up.
+        waited: Duration,
+    },
 }
 
 impl std::fmt::Display for IngestError {
@@ -100,6 +112,13 @@ impl std::fmt::Display for IngestError {
             }
             IngestError::ShardFailed { shard } => {
                 write!(f, "shard {shard} exceeded its restart budget")
+            }
+            IngestError::Timeout { waited } => {
+                write!(
+                    f,
+                    "shard queues stayed full for {:.1} ms",
+                    waited.as_secs_f64() * 1e3
+                )
             }
         }
     }
@@ -187,6 +206,10 @@ pub struct ServeOptions {
     /// Per-shard restart budget; a shard panicking more than this many
     /// times is abandoned and surfaces as [`IngestError::ShardFailed`].
     pub max_restarts: u64,
+    /// How long [`ServingEstimator::ingest_blocking`] waits out a full
+    /// queue (yield, then exponentially backed-off sleeps) before
+    /// surfacing [`IngestError::Timeout`].
+    pub ingest_timeout: Duration,
 }
 
 impl Default for ServeOptions {
@@ -196,6 +219,7 @@ impl Default for ServeOptions {
             queue_capacity: 256,
             checkpoint_interval: 32,
             max_restarts: 8,
+            ingest_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -350,6 +374,9 @@ pub struct ServeStats {
     pub quarantined_samples: u64,
     /// `Overloaded` rejections (including retries of the same sample).
     pub overload_rejections: u64,
+    /// Blocking ingests that exhausted their deadline
+    /// ([`IngestError::Timeout`]).
+    pub ingest_timeouts: u64,
     /// Worker panics observed by the supervisor.
     pub worker_panics: u64,
     /// Worker restarts performed by the supervisor.
@@ -362,6 +389,86 @@ pub struct ServeStats {
     pub failed_shards: u64,
     /// Epoch of the last published snapshot.
     pub published_epoch: u64,
+}
+
+/// The full typed health report of a serving instance — what an operator
+/// (or the bench harness) reads to decide whether the service is healthy,
+/// degraded or durably compromised. Built by [`ServingEstimator::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingHealth {
+    /// Number of shard workers.
+    pub shards: usize,
+    /// Restarts performed per shard (index = shard), the budget spent.
+    pub shard_restarts: Vec<u64>,
+    /// Shards abandoned after exhausting their restart budget.
+    pub failed_shards: Vec<usize>,
+    /// Worker panics observed by the supervisor.
+    pub worker_panics: u64,
+    /// Checkpoint writes rejected by validation.
+    pub torn_checkpoints: u64,
+    /// Samples rejected for non-finite values.
+    pub quarantined_samples: u64,
+    /// `Overloaded` rejections (including retries of the same sample).
+    pub overload_rejections: u64,
+    /// Blocking ingests that exhausted their deadline.
+    pub ingest_timeouts: u64,
+    /// Workers currently mid-recovery.
+    pub recovering_workers: u64,
+    /// Any of: a worker recovering, a shard abandoned, durability lost.
+    pub degraded: bool,
+    /// Stream time of the newest fully enqueued sample.
+    pub ingest_epoch: u64,
+    /// Epoch of the last published snapshot.
+    pub published_epoch: u64,
+    /// Durability-side flags and counters.
+    pub durability: DurabilityHealth,
+}
+
+impl std::fmt::Display for ServingHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serving health: {} ({} shards, ingest epoch {}, published epoch {})",
+            if self.degraded { "DEGRADED" } else { "ok" },
+            self.shards,
+            self.ingest_epoch,
+            self.published_epoch,
+        )?;
+        writeln!(
+            f,
+            "  workers: restarts per shard {:?}, {} panics, {} recovering, abandoned {:?}",
+            self.shard_restarts, self.worker_panics, self.recovering_workers, self.failed_shards,
+        )?;
+        writeln!(
+            f,
+            "  ingest: {} quarantined, {} overload rejections, {} timeouts, {} torn checkpoints",
+            self.quarantined_samples,
+            self.overload_rejections,
+            self.ingest_timeouts,
+            self.torn_checkpoints,
+        )?;
+        if self.durability.enabled {
+            write!(
+                f,
+                "  durability: {}, durable through epoch {} (checkpoint epoch {}, \
+                 {} generations), {} wal records / {} syncs, {} retries, {} failed checkpoints",
+                if self.durability.durability_lost {
+                    "LOST"
+                } else {
+                    "ok"
+                },
+                self.durability.last_durable_epoch,
+                self.durability.last_checkpoint_epoch,
+                self.durability.checkpoint_generations,
+                self.durability.wal_records,
+                self.durability.wal_syncs,
+                self.durability.persistence_retries,
+                self.durability.checkpoint_failures,
+            )
+        } else {
+            write!(f, "  durability: disabled (in-memory only)")
+        }
+    }
 }
 
 /// The long-running serving front end: single-producer ingest with
@@ -379,8 +486,12 @@ pub struct ServingEstimator {
     scratch: Vec<Vec<ShardUpdate>>,
     quarantined_samples: u64,
     overload_rejections: u64,
+    ingest_timeouts: u64,
     emitted_updates: u64,
     shut_down: bool,
+    store: Option<DurableStore>,
+    recovery_report: Option<RecoveryReport>,
+    crash_simulated: bool,
 }
 
 impl ServingEstimator {
@@ -433,6 +544,75 @@ impl ServingEstimator {
         opts: ServeOptions,
         injector: Arc<dyn FaultInjector>,
     ) -> Self {
+        Self::launch_core(config, hyper, opts, injector, None, None, None)
+    }
+
+    /// Launches a *durable* serving instance rooted at the durability
+    /// options' data directory: recovery runs first (scanning checkpoints
+    /// and replaying the WAL tail — a fresh directory recovers to epoch
+    /// 0), every worker boots from the recovered state, and from then on
+    /// each accepted sample is logged to the write-ahead log before its
+    /// updates are delivered, with checkpoint generations rotated on the
+    /// configured cadence.
+    ///
+    /// # Errors
+    /// [`DurabilityError`] when the data directory cannot be read or the
+    /// filesystem fails during recovery. Torn or corrupt *bytes* on disk
+    /// never error — they are discarded with counters in
+    /// [`ServingEstimator::recovery_report`].
+    pub fn launch_durable(
+        config: AscsConfig,
+        hyper: Option<HyperParameters>,
+        opts: ServeOptions,
+        durability: DurabilityOptions,
+    ) -> Result<Self, DurabilityError> {
+        Self::launch_durable_with_faults(
+            config,
+            hyper,
+            opts,
+            durability,
+            Arc::new(NoFaults),
+            Arc::new(StdFs),
+        )
+    }
+
+    /// [`ServingEstimator::launch_durable`] with an explicit fault
+    /// injector and filesystem — the entry point the fault-injection
+    /// tests use to script torn writes, failed fsyncs and crash points.
+    ///
+    /// # Errors
+    /// Same contract as [`ServingEstimator::launch_durable`].
+    pub fn launch_durable_with_faults(
+        config: AscsConfig,
+        hyper: Option<HyperParameters>,
+        opts: ServeOptions,
+        durability: DurabilityOptions,
+        injector: Arc<dyn FaultInjector>,
+        fs: Arc<dyn DurableFs>,
+    ) -> Result<Self, DurabilityError> {
+        let manager = RecoveryManager::with_fs(durability.dir.clone(), fs.clone());
+        let outcome = manager.recover(&config, hyper.as_ref(), opts.shards)?;
+        let store = DurableStore::open(fs, durability, opts.shards, outcome.bootstrap)?;
+        Ok(Self::launch_core(
+            config,
+            hyper,
+            opts,
+            injector,
+            Some(outcome.state),
+            Some(store),
+            Some(outcome.report),
+        ))
+    }
+
+    fn launch_core(
+        config: AscsConfig,
+        hyper: Option<HyperParameters>,
+        opts: ServeOptions,
+        injector: Arc<dyn FaultInjector>,
+        recovered: Option<RecoveredState>,
+        store: Option<DurableStore>,
+        recovery_report: Option<RecoveryReport>,
+    ) -> Self {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid ASCS configuration: {e}"));
@@ -446,40 +626,52 @@ impl ServingEstimator {
             opts.checkpoint_interval >= 1,
             "checkpoint interval must be positive"
         );
-        let prototype = match &hyper {
-            Some(hp) => AscsSketch::new(
-                config.geometry,
-                hp,
-                config.total_samples,
-                config.top_k_capacity,
-                config.seed,
-            ),
-            None => AscsSketch::vanilla(
-                config.geometry,
-                config.total_samples,
-                config.top_k_capacity,
-                config.seed,
-            ),
-        };
-        // Every worker boots by restoring the prototype's checkpoint, so
-        // the bootstrap path and the crash-recovery path are one code
-        // path — a recovery bug cannot hide behind a divergent cold start.
-        let mut checkpoint = Vec::new();
-        prototype
-            .save(&mut checkpoint)
-            .expect("in-memory checkpoint write cannot fail");
-        let empty = Snapshot {
-            epoch: 0,
-            merged: prototype.sketch().clone(),
-            top: Vec::new(),
-            inserted: 0,
-            skipped: 0,
-            num_pairs: config.num_pairs(),
-            indexer: PairIndexer::new(config.dim),
+        // Every worker boots by restoring a serialized checkpoint — the
+        // prototype on a cold start, the recovered shard sketch on a
+        // durable one — so the bootstrap path and the crash-recovery path
+        // are one code path: a recovery bug cannot hide behind a
+        // divergent cold start.
+        let (t, stream_ctx, emitted_updates, boot, initial) = match recovered {
+            Some(state) => {
+                let boot: Vec<(Vec<u8>, u64)> = state
+                    .shard_sketches
+                    .iter()
+                    .map(|sketch| {
+                        let mut bytes = Vec::new();
+                        sketch
+                            .save(&mut bytes)
+                            .expect("in-memory checkpoint write cannot fail");
+                        (bytes, sketch.inserted_updates() + sketch.skipped_updates())
+                    })
+                    .collect();
+                assert_eq!(boot.len(), opts.shards, "recovery shard count mismatch");
+                let replies: Vec<(usize, AscsSketch)> =
+                    state.shard_sketches.into_iter().enumerate().collect();
+                let initial = snapshot_from(&config, state.epoch, &replies);
+                (state.epoch, state.ctx, state.emitted_updates, boot, initial)
+            }
+            None => {
+                let prototype = prototype_sketch(&config, hyper.as_ref());
+                let mut checkpoint = Vec::new();
+                prototype
+                    .save(&mut checkpoint)
+                    .expect("in-memory checkpoint write cannot fail");
+                let initial = Snapshot {
+                    epoch: 0,
+                    merged: prototype.sketch().clone(),
+                    top: Vec::new(),
+                    inserted: 0,
+                    skipped: 0,
+                    num_pairs: config.num_pairs(),
+                    indexer: PairIndexer::new(config.dim),
+                };
+                let ctx = StreamContext::new(config.dim, config.update_mode, config.estimand);
+                (0, ctx, 0, vec![(checkpoint, 0); opts.shards], initial)
+            }
         };
         let shared = Arc::new(ServeShared {
-            published: Mutex::new(Arc::new(empty)),
-            ingest_epoch: AtomicU64::new(0),
+            published: Mutex::new(Arc::new(initial)),
+            ingest_epoch: AtomicU64::new(t),
             recovering: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
@@ -489,16 +681,17 @@ impl ServingEstimator {
         let (events_tx, events_rx) = mpsc::channel();
         let mut workers = Vec::with_capacity(opts.shards);
         let mut contexts = Vec::with_capacity(opts.shards);
-        for shard in 0..opts.shards {
+        for (shard, (checkpoint, checkpoint_updates)) in boot.into_iter().enumerate() {
             let worker = Arc::new(WorkerShared {
                 queue: ShardQueue::new(opts.queue_capacity),
                 recovery: Mutex::new(RecoveryState {
-                    checkpoint: checkpoint.clone(),
-                    checkpoint_updates: 0,
+                    checkpoint,
+                    checkpoint_updates,
                     replay: Vec::new(),
                     applied_updates: 0,
                 }),
                 failed: AtomicBool::new(false),
+                restarts: AtomicU64::new(0),
             });
             let ctx = WorkerContext {
                 shard,
@@ -513,8 +706,8 @@ impl ServingEstimator {
         }
         let supervisor = spawn_supervisor(contexts, events_tx, events_rx, opts.max_restarts);
         Self {
-            ctx: StreamContext::new(config.dim, config.update_mode, config.estimand),
-            t: 0,
+            ctx: stream_ctx,
+            t,
             router_salt: splitmix64(config.seed ^ ROUTER_SALT),
             shared,
             workers,
@@ -522,8 +715,12 @@ impl ServingEstimator {
             scratch: vec![Vec::new(); opts.shards],
             quarantined_samples: 0,
             overload_rejections: 0,
-            emitted_updates: 0,
+            ingest_timeouts: 0,
+            emitted_updates,
             shut_down: false,
+            store,
+            recovery_report,
+            crash_simulated: false,
             config,
             opts,
         }
@@ -573,6 +770,14 @@ impl ServingEstimator {
             }
         }
         let t = self.t + 1;
+        if let Some(store) = self.store.as_mut() {
+            // Write-ahead: the sample is logged before its updates reach
+            // any queue, so a crash after this point replays it. A
+            // persistence failure must not kill serving — the store
+            // retried with backoff, then degraded (`durability_lost` in
+            // the health report); in-memory ingestion continues.
+            let _ = store.append_sample(t, sample);
+        }
         for buf in &mut self.scratch {
             buf.clear();
         }
@@ -594,22 +799,66 @@ impl ServingEstimator {
             }
         }
         self.emitted_updates += emitted;
+        if self.store.as_ref().is_some_and(|s| s.should_checkpoint(t)) {
+            // Cadence-driven durable checkpoint; a failure is counted by
+            // the store and retried at the next cadence boundary.
+            let _ = self.persist_checkpoint();
+        }
         Ok(emitted)
     }
 
-    /// [`ServingEstimator::try_ingest`] that spins (yielding) through
-    /// [`IngestError::Overloaded`] instead of surfacing it — convenience
-    /// for bulk loads; every retry still counts an overload rejection.
+    /// [`ServingEstimator::try_ingest`] that waits out
+    /// [`IngestError::Overloaded`] with bounded exponential backoff — a
+    /// few yields first (the common case: a worker is one batch away from
+    /// draining), then sleeps doubling from 20 µs up to 2.5 ms — instead
+    /// of busy-spinning. Gives up after `timeout` with
+    /// [`IngestError::Timeout`]; every retry still counts an overload
+    /// rejection.
     ///
     /// # Errors
-    /// Same as [`ServingEstimator::try_ingest`] minus `Overloaded`.
-    pub fn ingest_blocking(&mut self, sample: &Sample) -> Result<u64, IngestError> {
+    /// Same as [`ServingEstimator::try_ingest`] with `Overloaded`
+    /// replaced by [`IngestError::Timeout`].
+    pub fn ingest_with_deadline(
+        &mut self,
+        sample: &Sample,
+        timeout: Duration,
+    ) -> Result<u64, IngestError> {
+        const YIELDS: u32 = 16;
+        const SLEEP_BASE: Duration = Duration::from_micros(20);
+        const SLEEP_CAP: Duration = Duration::from_micros(2500);
+        let started = Instant::now();
+        let mut attempt = 0u32;
         loop {
             match self.try_ingest(sample) {
-                Err(IngestError::Overloaded { .. }) => std::thread::yield_now(),
+                Err(IngestError::Overloaded { .. }) => {
+                    let waited = started.elapsed();
+                    if waited >= timeout {
+                        self.ingest_timeouts += 1;
+                        return Err(IngestError::Timeout { waited });
+                    }
+                    if attempt < YIELDS {
+                        std::thread::yield_now();
+                    } else {
+                        let delay = SLEEP_BASE
+                            .saturating_mul(1 << (attempt - YIELDS).min(7))
+                            .min(SLEEP_CAP)
+                            .min(timeout.saturating_sub(waited));
+                        std::thread::sleep(delay);
+                    }
+                    attempt = attempt.saturating_add(1);
+                }
                 other => return other,
             }
         }
+    }
+
+    /// [`ServingEstimator::ingest_with_deadline`] at the configured
+    /// [`ServeOptions::ingest_timeout`] — convenience for bulk loads.
+    ///
+    /// # Errors
+    /// Same as [`ServingEstimator::ingest_with_deadline`].
+    pub fn ingest_blocking(&mut self, sample: &Sample) -> Result<u64, IngestError> {
+        self.ingest_with_deadline(sample, self.opts.ingest_timeout)
     }
 
     /// Builds and publishes a fresh snapshot at the current ingest epoch.
@@ -628,6 +877,17 @@ impl ServingEstimator {
     /// [`ServeError::SnapshotTimeout`] if the barrier exceeds 60 s.
     pub fn refresh_snapshot(&mut self) -> Result<Arc<Snapshot>, ServeError> {
         let epoch = self.t;
+        let replies = self.collect_sketches()?;
+        let snapshot = Arc::new(snapshot_from(&self.config, epoch, &replies));
+        *lock(&self.shared.published) = snapshot.clone();
+        Ok(snapshot)
+    }
+
+    /// Runs the collect barrier: a `Collect` envelope behind every pending
+    /// batch, replies gathered and sorted in shard order. Shared by
+    /// snapshot publication and durable checkpointing — both need every
+    /// shard's sketch at exactly the current ingest epoch.
+    fn collect_sketches(&mut self) -> Result<Vec<(usize, AscsSketch)>, ServeError> {
         let (tx, rx) = mpsc::channel();
         for (shard, worker) in self.workers.iter().enumerate() {
             if worker.failed.load(Ordering::SeqCst) {
@@ -657,41 +917,104 @@ impl ServingEstimator {
             }
         }
         replies.sort_by_key(|&(shard, _)| shard);
-        let snapshot = Arc::new(self.build_snapshot(epoch, &replies));
-        *lock(&self.shared.published) = snapshot.clone();
-        Ok(snapshot)
+        Ok(replies)
     }
 
-    /// Merges worker replies exactly like [`ShardedAscs`]: tables fold in
-    /// shard order, and the top list is the shard-ordered union of tracker
-    /// keys re-scored against the merged table.
-    fn build_snapshot(&self, epoch: u64, replies: &[(usize, AscsSketch)]) -> Snapshot {
-        let mut merged = replies[0].1.sketch().clone();
-        for (_, worker) in &replies[1..] {
-            merged.merge(worker.sketch());
-        }
-        let absolute = replies[0].1.absolute_gate();
-        let capacity = replies[0].1.top_k_capacity();
-        let mut top: Vec<(u64, f64)> = Vec::new();
-        for (_, worker) in replies {
-            for (key, _) in worker.top_pairs() {
-                let est = merged.estimate(key);
-                top.push((key, if absolute { est.abs() } else { est }));
-            }
-        }
-        top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        top.truncate(capacity);
-        let inserted = replies.iter().map(|(_, w)| w.inserted_updates()).sum();
-        let skipped = replies.iter().map(|(_, w)| w.skipped_updates()).sum();
-        Snapshot {
+    /// Writes a durable checkpoint generation at the current ingest epoch:
+    /// collect barrier (so every shard sketch reflects exactly the samples
+    /// `1..=epoch`), per-shard files through the atomic commit protocol,
+    /// manifest last. On success the WAL tail the generation covers
+    /// becomes collectable and a lost durability flag is cleared. Returns
+    /// the epoch persisted.
+    ///
+    /// # Errors
+    /// [`DurabilityError`] when the filesystem rejects the generation even
+    /// after retries (the failure is also counted in the health report),
+    /// or when the collect barrier fails ([`DurabilityError::Collect`]).
+    ///
+    /// # Panics
+    /// Panics when this instance was not launched durable.
+    pub fn persist_checkpoint(&mut self) -> Result<u64, DurabilityError> {
+        assert!(
+            self.store.is_some(),
+            "persist_checkpoint requires a durable launch"
+        );
+        let epoch = self.t;
+        let replies = self.collect_sketches().map_err(DurabilityError::Collect)?;
+        let sketches: Vec<AscsSketch> = replies.into_iter().map(|(_, sketch)| sketch).collect();
+        let store = self.store.as_mut().expect("checked above");
+        store.persist_checkpoint(
             epoch,
-            merged,
-            top,
-            inserted,
-            skipped,
-            num_pairs: self.config.num_pairs(),
-            indexer: PairIndexer::new(self.config.dim),
+            &self.ctx,
+            &sketches,
+            self.config.seed,
+            self.emitted_updates,
+        )?;
+        Ok(epoch)
+    }
+
+    /// What recovery found when this instance was launched durable:
+    /// `None` for in-memory launches.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery_report.as_ref()
+    }
+
+    /// Durability-side health: the degraded flag, last durable epoch and
+    /// persistence counters ([`DurabilityHealth::disabled`] for in-memory
+    /// launches).
+    pub fn durability_health(&self) -> DurabilityHealth {
+        self.store
+            .as_ref()
+            .map_or_else(DurabilityHealth::disabled, |s| s.health())
+    }
+
+    /// The full typed health report: per-shard restart counts, abandoned
+    /// shards, quarantine and torn-checkpoint counters, and the
+    /// durability flags.
+    pub fn health(&self) -> ServingHealth {
+        let shard_restarts: Vec<u64> = self
+            .workers
+            .iter()
+            .map(|w| w.restarts.load(Ordering::SeqCst))
+            .collect();
+        let failed_shards: Vec<usize> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.failed.load(Ordering::SeqCst))
+            .map(|(shard, _)| shard)
+            .collect();
+        let durability = self.durability_health();
+        let recovering_workers = self.shared.recovering.load(Ordering::SeqCst);
+        let degraded =
+            recovering_workers > 0 || !failed_shards.is_empty() || durability.durability_lost;
+        ServingHealth {
+            shards: self.workers.len(),
+            shard_restarts,
+            failed_shards,
+            worker_panics: self.shared.panics.load(Ordering::SeqCst),
+            torn_checkpoints: self.shared.torn_checkpoints.load(Ordering::SeqCst),
+            quarantined_samples: self.quarantined_samples,
+            overload_rejections: self.overload_rejections,
+            ingest_timeouts: self.ingest_timeouts,
+            recovering_workers,
+            degraded,
+            ingest_epoch: self.t,
+            published_epoch: lock(&self.shared.published).epoch,
+            durability,
         }
+    }
+
+    /// Tears the instance down *as if the process had been killed*: no
+    /// final WAL sync, no final checkpoint — the disk keeps exactly what
+    /// the durability policy had made durable mid-stream. The worker
+    /// threads still join (they hold no durable state), so the call is
+    /// safe to follow with an immediate [`ServingEstimator::launch_durable`]
+    /// over the same directory; the in-process recovery assertions in
+    /// `serve_bench` and the tests are built on this.
+    pub fn simulate_crash(mut self) {
+        self.crash_simulated = true;
+        self.shutdown_inner();
     }
 
     /// A cloneable reader handle over the published snapshots.
@@ -728,6 +1051,7 @@ impl ServingEstimator {
             emitted_updates: self.emitted_updates,
             quarantined_samples: self.quarantined_samples,
             overload_rejections: self.overload_rejections,
+            ingest_timeouts: self.ingest_timeouts,
             worker_panics: self.shared.panics.load(Ordering::SeqCst),
             worker_restarts: self.shared.restarts.load(Ordering::SeqCst),
             torn_checkpoints: self.shared.torn_checkpoints.load(Ordering::SeqCst),
@@ -750,6 +1074,14 @@ impl ServingEstimator {
             return;
         }
         self.shut_down = true;
+        if !self.crash_simulated {
+            if let Some(store) = self.store.as_mut() {
+                // Make the WAL tail durable on a clean shutdown so a
+                // relaunch resumes at exactly the last accepted sample,
+                // whatever the fsync policy deferred.
+                let _ = store.sync_wal();
+            }
+        }
         for worker in &self.workers {
             // A failed shard has no consumer; the envelope is harmless.
             worker.queue.push(Envelope::Shutdown);
@@ -757,6 +1089,40 @@ impl ServingEstimator {
         if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
+    }
+}
+
+/// Merges worker replies exactly like [`ShardedAscs`]: tables fold in
+/// shard order, and the top list is the shard-ordered union of tracker
+/// keys re-scored against the merged table. A free function so the
+/// durable launch path can publish the recovered state before the
+/// estimator exists.
+fn snapshot_from(config: &AscsConfig, epoch: u64, replies: &[(usize, AscsSketch)]) -> Snapshot {
+    let mut merged = replies[0].1.sketch().clone();
+    for (_, worker) in &replies[1..] {
+        merged.merge(worker.sketch());
+    }
+    let absolute = replies[0].1.absolute_gate();
+    let capacity = replies[0].1.top_k_capacity();
+    let mut top: Vec<(u64, f64)> = Vec::new();
+    for (_, worker) in replies {
+        for (key, _) in worker.top_pairs() {
+            let est = merged.estimate(key);
+            top.push((key, if absolute { est.abs() } else { est }));
+        }
+    }
+    top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    top.truncate(capacity);
+    let inserted = replies.iter().map(|(_, w)| w.inserted_updates()).sum();
+    let skipped = replies.iter().map(|(_, w)| w.skipped_updates()).sum();
+    Snapshot {
+        epoch,
+        merged,
+        top,
+        inserted,
+        skipped,
+        num_pairs: config.num_pairs(),
+        indexer: PairIndexer::new(config.dim),
     }
 }
 

@@ -11,7 +11,7 @@ use crate::serve::{FaultInjector, ServeShared};
 use crate::sharded::ShardUpdate;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 
 /// Locks a mutex, clearing poison: a worker panicking while holding a lock
@@ -123,6 +123,9 @@ pub(crate) struct WorkerShared {
     pub(crate) recovery: Mutex<RecoveryState>,
     /// Set by the supervisor once the restart budget is exhausted.
     pub(crate) failed: AtomicBool,
+    /// Restarts performed for this shard (the budget spent so far),
+    /// surfaced per shard in `ServingHealth`.
+    pub(crate) restarts: AtomicU64,
 }
 
 /// The immutable spawn recipe for one worker thread (cloned to respawn).
@@ -147,7 +150,7 @@ pub(crate) enum WorkerEvent {
 /// update). The gate is memoized per distinct `t`, exactly like the
 /// [`crate::sharded::ShardedAscs`] parallel worker loop, so gated results
 /// are bit-identical to sequential ingestion.
-fn apply_batch(
+pub(crate) fn apply_batch(
     sketch: &mut AscsSketch,
     batch: &[ShardUpdate],
     inject: Option<(&dyn FaultInjector, usize, u64)>,
@@ -266,19 +269,18 @@ pub(crate) fn spawn_supervisor(
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         let mut live = contexts.len();
-        let mut restarts = vec![0u64; contexts.len()];
         while live > 0 {
             match events_rx.recv() {
                 Ok(WorkerEvent::Exited) => live -= 1,
                 Ok(WorkerEvent::Panicked(shard)) => {
                     let ctx = &contexts[shard];
                     ctx.stats.panics.fetch_add(1, Ordering::SeqCst);
-                    if restarts[shard] >= max_restarts {
+                    if ctx.shared.restarts.load(Ordering::SeqCst) >= max_restarts {
                         ctx.shared.failed.store(true, Ordering::SeqCst);
                         ctx.stats.failed_shards.fetch_add(1, Ordering::SeqCst);
                         live -= 1;
                     } else {
-                        restarts[shard] += 1;
+                        ctx.shared.restarts.fetch_add(1, Ordering::SeqCst);
                         ctx.stats.restarts.fetch_add(1, Ordering::SeqCst);
                         ctx.stats.recovering.fetch_add(1, Ordering::SeqCst);
                         spawn_worker(ctx.clone(), events_tx.clone(), true);

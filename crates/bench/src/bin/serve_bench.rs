@@ -3,7 +3,7 @@
 //! worker panic to a fresh consistent snapshot — with the correctness
 //! contract asserted in-harness before any number is reported.
 //!
-//! Two flags land in `BENCH_serve.json` (CI greps for them):
+//! Three flags land in `BENCH_serve.json` (CI greps for them):
 //!
 //! * `snapshot_consistency_asserted` — every snapshot published during the
 //!   live-ingest phase (readers querying concurrently throughout) is
@@ -11,7 +11,11 @@
 //!   epoch: merged table, gate counters and top list;
 //! * `recovery_replay_asserted` — after a scripted worker panic
 //!   mid-stream, the recovered service's final snapshot is bit-identical
-//!   to an uninterrupted sequential run on the same seed.
+//!   to an uninterrupted sequential run on the same seed;
+//! * `durable_recovery_asserted` — a durable run (WAL + checkpoints) torn
+//!   down mid-flight as if SIGKILLed cold-starts from the bare directory
+//!   to the full stream epoch, bit-identical to the oracle, with the
+//!   recovery wall-clock reported as `durable_recovery_ms`.
 //!
 //! Query latency is measured from reader threads doing point queries (with
 //! periodic top-k and whole-universe sweeps mixed in) against the
@@ -23,7 +27,10 @@
 //! `--smoke` shrinks the workload for CI.
 
 use ascs_core::serve::{ServeOptions, ServingEstimator, Snapshot};
-use ascs_core::{AscsConfig, EstimandKind, HyperParameters, Sample, SketchGeometry, UpdateMode};
+use ascs_core::{
+    AscsConfig, DurabilityOptions, EstimandKind, HyperParameters, Sample, SketchGeometry,
+    UpdateMode,
+};
 use ascs_testkit::{FaultPlan, ReplayOracle};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -243,6 +250,57 @@ fn main() {
     let recovery_replay_asserted = true;
 
     // ------------------------------------------------------------------
+    // Phase C: durable cold-start recovery. The same stream runs with the
+    // WAL + checkpoint store enabled, the process state is torn down as if
+    // SIGKILLed (no final sync, no final checkpoint), and a cold relaunch
+    // over the bare directory is timed — then its snapshot must equal the
+    // sequential oracle bit for bit before any number is reported.
+    // ------------------------------------------------------------------
+    eprintln!("durable ingest, simulated crash, timing cold-start recovery...");
+    let durable_dir = std::env::temp_dir().join(format!("ascs-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&durable_dir);
+    let dopts = DurabilityOptions {
+        checkpoint_every: refresh_every,
+        ..DurabilityOptions::new(&durable_dir)
+    };
+    let mut durable = ServingEstimator::launch_durable(cfg, Some(hp), opts, dopts.clone())
+        .expect("durable launch failed");
+    let durable_start = Instant::now();
+    for t in 1..=total {
+        durable
+            .ingest_blocking(&sample_at(dim, t))
+            .expect("durable ingest failed");
+    }
+    let durable_secs = durable_start.elapsed().as_secs_f64();
+    let health = durable.health();
+    println!("\n{health}");
+    assert!(
+        !health.durability.durability_lost,
+        "durability degraded on a healthy filesystem"
+    );
+    assert!(health.durability.last_durable_epoch > 0);
+    durable.simulate_crash();
+
+    let recover_start = Instant::now();
+    let mut recovered = ServingEstimator::launch_durable(cfg, Some(hp), opts, dopts)
+        .expect("cold-start recovery failed");
+    let durable_recovery_secs = recover_start.elapsed().as_secs_f64();
+    let report = recovered
+        .recovery_report()
+        .expect("durable launch must carry a recovery report")
+        .clone();
+    eprintln!("  {report}");
+    let recovered_epoch = report.recovered_epoch;
+    let wal_records_replayed = report.wal_records_replayed;
+    assert_eq!(recovered_epoch, total, "recovery lost a stream suffix");
+    assert_eq!(report.torn_generations_discarded, 0);
+    let recovered_snap = recovered.refresh_snapshot().expect("recovered refresh");
+    assert_snapshot_matches(&recovered_snap, &oracle, "cold-start recovered state");
+    recovered.shutdown();
+    let _ = std::fs::remove_dir_all(&durable_dir);
+    let durable_recovery_asserted = true;
+
+    // ------------------------------------------------------------------
     // Report.
     // ------------------------------------------------------------------
     let updates_per_sec = live_stats.emitted_updates as f64 / ingest_secs;
@@ -257,7 +315,14 @@ fn main() {
     );
     println!("  point query        p50 {p50:.3} µs   p99 {p99:.3} µs   ({queries} queries)");
     println!("  recovery           {recovery_ms:.2} ms panic → fresh consistent snapshot");
-    println!("  snapshot consistency / recovery replay: both asserted");
+    let durable_recovery_ms = durable_recovery_secs * 1_000.0;
+    let durable_samples_per_sec = total as f64 / durable_secs;
+    println!("  durable ingest     {durable_samples_per_sec:.0} samples/s (WAL + checkpoints on)");
+    println!(
+        "  cold-start recovery {durable_recovery_ms:.2} ms to epoch {recovered_epoch} \
+         ({wal_records_replayed} WAL records replayed)"
+    );
+    println!("  snapshot consistency / recovery replay / durable recovery: all asserted");
 
     let mut json = String::new();
     let _ = write!(
@@ -268,8 +333,13 @@ fn main() {
          \"query_p50_us\": {p50:.3}, \"query_p99_us\": {p99:.3}, \"queries\": {queries},\n  \
          \"snapshots_published\": {}, \"recovery_to_fresh_snapshot_ms\": {recovery_ms:.2},\n  \
          \"overload_rejections\": {}, \"worker_panics\": {}, \"worker_restarts\": {},\n  \
+         \"durable_samples_per_sec\": {durable_samples_per_sec:.0}, \
+         \"durable_recovery_ms\": {durable_recovery_ms:.2},\n  \
+         \"durable_recovered_epoch\": {recovered_epoch}, \
+         \"durable_wal_records_replayed\": {wal_records_replayed},\n  \
          \"snapshot_consistency_asserted\": {snapshot_consistency_asserted},\n  \
-         \"recovery_replay_asserted\": {recovery_replay_asserted}\n}}\n",
+         \"recovery_replay_asserted\": {recovery_replay_asserted},\n  \
+         \"durable_recovery_asserted\": {durable_recovery_asserted}\n}}\n",
         snapshots.len(),
         live_stats.overload_rejections,
         fault_stats.worker_panics,

@@ -48,6 +48,11 @@ pub const TAG_ESTIMATOR: u8 = 5;
 pub const TAG_STREAMING_EXACT: u8 = 6;
 /// Record tag for a stream context (per-feature running moments).
 pub const TAG_STREAM_CONTEXT: u8 = 8;
+/// Record tag for a durable-checkpoint manifest (the commit point of a
+/// generation-numbered on-disk checkpoint).
+pub const TAG_DURABLE_MANIFEST: u8 = 9;
+/// Record tag for one write-ahead-log record (an accepted sample).
+pub const TAG_WAL_RECORD: u8 = 10;
 
 /// Hash-family rows are capped on restore so a corrupt header cannot ask
 /// for an absurd number of row hashers.
@@ -74,6 +79,14 @@ pub enum CodecError {
         expected: u8,
         /// The tag found in the header.
         found: u8,
+    },
+    /// A CRC-framed record's checksum does not match its payload — the
+    /// bytes were torn or tampered with after being written.
+    ChecksumMismatch {
+        /// The checksum stored in the frame header.
+        expected: u32,
+        /// The checksum recomputed over the payload actually read.
+        found: u32,
     },
     /// A payload field failed validation; the message names the field.
     Corrupt(&'static str),
@@ -103,6 +116,12 @@ impl fmt::Display for CodecError {
                 write!(
                     f,
                     "wrong record type: expected tag {expected}, found {found}"
+                )
+            }
+            CodecError::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header says {expected:#010x}, payload hashes to {found:#010x}"
                 )
             }
             CodecError::Corrupt(what) => write!(f, "corrupt record: {what}"),
@@ -263,11 +282,179 @@ pub fn read_f64_vec<R: Read>(r: &mut R, len: usize) -> Result<Vec<f64>, CodecErr
     Ok(out)
 }
 
-/// Writes a checkpoint to `path` **atomically**: the record is serialized
-/// into a sibling `<path>.tmp`, flushed and fsynced, then renamed over the
-/// destination. A crash (or a failing `write` closure) at any point leaves
-/// either the previous checkpoint or nothing at the final path — never a
-/// truncated record masquerading as the latest checkpoint.
+// ---------------------------------------------------------------------
+// CRC-32 framing (write-ahead-log records)
+// ---------------------------------------------------------------------
+
+/// Lookup table for the reflected IEEE CRC-32 polynomial (0xEDB88320),
+/// generated at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 (the zlib/gzip polynomial) of `bytes`. Used to frame
+/// write-ahead-log records so a torn or bit-flipped record is detected
+/// before any of its payload is trusted.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Writes one length-prefixed, CRC32-framed record:
+/// `[payload length: u32 LE][crc32(payload): u32 LE][payload]`.
+///
+/// # Errors
+/// [`CodecError::Corrupt`] if the payload exceeds `u32::MAX` bytes, or any
+/// I/O error from the writer.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), CodecError> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| CodecError::Corrupt("frame payload exceeds u32::MAX bytes"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one record written by [`write_frame`]. Returns `Ok(None)` on a
+/// clean end of input (EOF exactly at a frame boundary) — the normal end
+/// of a fully flushed log.
+///
+/// # Errors
+/// * [`CodecError::Truncated`] — the input ended inside a frame (a torn
+///   tail after a crash);
+/// * [`CodecError::Corrupt`] — the length prefix exceeds `cap` bytes;
+/// * [`CodecError::ChecksumMismatch`] — the payload does not hash to the
+///   stored CRC.
+pub fn read_frame<R: Read>(r: &mut R, cap: u32) -> Result<Option<Vec<u8>>, CodecError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..]).map_err(CodecError::from)?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(None)
+            } else {
+                Err(CodecError::Truncated)
+            };
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(header);
+    if len > cap {
+        return Err(CodecError::Corrupt("frame length exceeds the record cap"));
+    }
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let expected = u32::from_le_bytes(crc_bytes);
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let found = crc32(&payload);
+    if found != expected {
+        return Err(CodecError::ChecksumMismatch { expected, found });
+    }
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Durable filesystem abstraction
+// ---------------------------------------------------------------------
+
+/// A writable file handle that can be forced to stable storage. The
+/// durability layer writes exclusively through this trait so tests can
+/// inject torn writes, short writes, failed fsyncs and full disks.
+pub trait DurableFile: Write + Send {
+    /// Flushes file content (and metadata) to stable storage — `fsync`.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl DurableFile for std::fs::File {
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_all()
+    }
+}
+
+/// The mutating filesystem operations the durability layer performs.
+/// Production uses [`StdFs`]; the testkit's `FaultFs` wraps it with
+/// scripted fault injection. Reads are deliberately absent — recovery
+/// reads plain files, and corruption tests flip real bytes on disk.
+pub trait DurableFs: Send + Sync {
+    /// Creates (truncating) a file for writing.
+    fn create(&self, path: &std::path::Path) -> io::Result<Box<dyn DurableFile>>;
+    /// Atomically renames `from` onto `to` (same directory).
+    fn rename(&self, from: &std::path::Path, to: &std::path::Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &std::path::Path) -> io::Result<()>;
+    /// Fsyncs a **directory**, making renames/creates/removes inside it
+    /// durable. A rename alone only rewrites the in-memory directory
+    /// entry; until the directory itself is synced, a power loss can
+    /// resurrect the old name or lose the new one.
+    fn sync_dir(&self, dir: &std::path::Path) -> io::Result<()>;
+}
+
+/// The production [`DurableFs`]: plain `std::fs` operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdFs;
+
+impl DurableFs for StdFs {
+    fn create(&self, path: &std::path::Path) -> io::Result<Box<dyn DurableFile>> {
+        Ok(Box::new(std::fs::File::create(path)?))
+    }
+
+    fn rename(&self, from: &std::path::Path, to: &std::path::Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &std::path::Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &std::path::Path) -> io::Result<()> {
+        std::fs::File::open(dir)?.sync_all()
+    }
+}
+
+/// Fsyncs the directory containing `path` (or `path` itself when it has no
+/// parent). See [`DurableFs::sync_dir`] for why renames need this.
+pub fn fsync_parent_dir(path: &std::path::Path) -> io::Result<()> {
+    StdFs.sync_dir(parent_dir(path))
+}
+
+fn parent_dir(path: &std::path::Path) -> &std::path::Path {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir,
+        _ => std::path::Path::new("."),
+    }
+}
+
+/// Writes a checkpoint to `path` **atomically and durably**: the record is
+/// serialized into a sibling `<path>.tmp`, flushed and fsynced, renamed
+/// over the destination, and then the parent **directory** is fsynced —
+/// a rename alone is not durable, since the directory entry itself lives
+/// in a page that must reach stable storage. A crash (or a failing
+/// `write` closure) at any point leaves either the previous checkpoint or
+/// nothing at the final path — never a truncated record masquerading as
+/// the latest checkpoint.
 ///
 /// The closure receives a buffered writer and emits one codec record (or
 /// several back to back); any error aborts the save, removes the temp file
@@ -278,23 +465,43 @@ pub fn read_f64_vec<R: Read>(r: &mut R, len: usize) -> Result<Vec<f64>, CodecErr
 /// [`CodecError::Truncated`] from the filesystem operations themselves.
 pub fn save_to_path<F>(path: impl AsRef<std::path::Path>, write: F) -> Result<(), CodecError>
 where
-    F: FnOnce(&mut io::BufWriter<std::fs::File>) -> Result<(), CodecError>,
+    F: FnOnce(&mut io::BufWriter<Box<dyn DurableFile>>) -> Result<(), CodecError>,
+{
+    save_to_path_with(&StdFs, path, write)
+}
+
+/// [`save_to_path`] over an explicit [`DurableFs`] — the entry point the
+/// durability layer and the fault-injection tests use. The operation
+/// order is the commit protocol under test: create temp → write → fsync
+/// file → rename → fsync directory.
+///
+/// # Errors
+/// Same contract as [`save_to_path`].
+pub fn save_to_path_with<F>(
+    fs: &dyn DurableFs,
+    path: impl AsRef<std::path::Path>,
+    write: F,
+) -> Result<(), CodecError>
+where
+    F: FnOnce(&mut io::BufWriter<Box<dyn DurableFile>>) -> Result<(), CodecError>,
 {
     let path = path.as_ref();
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     let result = (|| {
-        let file = std::fs::File::create(&tmp)?;
+        let file = fs.create(&tmp)?;
         let mut w = io::BufWriter::new(file);
         write(&mut w)?;
         w.flush()?;
-        w.get_ref().sync_all()?;
-        std::fs::rename(&tmp, path)?;
+        w.get_mut().sync()?;
+        drop(w);
+        fs.rename(&tmp, path)?;
+        fs.sync_dir(parent_dir(path))?;
         Ok(())
     })();
     if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
+        let _ = fs.remove_file(&tmp);
     }
     result
 }
@@ -476,6 +683,68 @@ mod tests {
         write_u64(&mut bytes, 1).unwrap();
         assert!(matches!(
             HashFamily::restore(&mut bytes.as_slice()),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_stop_cleanly_at_eof() {
+        let mut log = Vec::new();
+        write_frame(&mut log, b"first record").unwrap();
+        write_frame(&mut log, b"").unwrap();
+        write_frame(&mut log, &[0xAB; 300]).unwrap();
+        let mut r = log.as_slice();
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"first record");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), vec![0xAB; 300]);
+        assert!(read_frame(&mut r, 1024).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_frame_tails_and_flipped_bits_are_typed_errors() {
+        let mut log = Vec::new();
+        write_frame(&mut log, b"payload bytes").unwrap();
+        // Every possible torn tail inside the frame is Truncated.
+        for cut in 1..log.len() {
+            let err = read_frame(&mut &log[..cut], 1024).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        // A flipped payload (or CRC) bit is a checksum mismatch; a flipped
+        // length byte is either a cap rejection, a truncation or a
+        // mismatch — never a panic and never a silently accepted frame.
+        for i in 0..log.len() {
+            let mut torn = log.clone();
+            torn[i] ^= 0x40;
+            match read_frame(&mut torn.as_slice(), 1 << 20) {
+                Ok(Some(payload)) => panic!("byte {i}: corrupt frame accepted ({payload:?})"),
+                Ok(None) => panic!("byte {i}: corrupt frame read as clean EOF"),
+                Err(
+                    CodecError::ChecksumMismatch { .. }
+                    | CodecError::Truncated
+                    | CodecError::Corrupt(_),
+                ) => {}
+                Err(other) => panic!("byte {i}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frame_lengths_are_capped_before_allocation() {
+        let mut log = Vec::new();
+        write_frame(&mut log, &[7u8; 100]).unwrap();
+        assert!(matches!(
+            read_frame(&mut log.as_slice(), 10),
             Err(CodecError::Corrupt(_))
         ));
     }

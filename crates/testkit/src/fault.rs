@@ -11,6 +11,12 @@
 //! the *same* sample stream through a plain sequential [`ShardedAscs`]
 //! (same seed, same shard count, same router), so a serving snapshot at
 //! epoch `t` must match the oracle after `t` samples bit for bit.
+//!
+//! [`FaultFs`] extends the same scripted-fault idea to the durability
+//! layer: a [`DurableFs`](ascs_sketch_hash::codec::DurableFs) over the
+//! real filesystem that can tear writes, accept short writes, fail the
+//! Nth fsync, run out of space, or die wholesale at the Nth operation —
+//! the primitive behind the kill-at-every-crash-point recovery matrix.
 
 use ascs_core::config::AscsConfig;
 use ascs_core::{FaultInjector, HyperParameters, Sample, ShardUpdate, ShardedAscs, StreamContext};
@@ -280,5 +286,402 @@ mod tests {
         assert!(!worker.is_finished(), "hold did not block");
         plan.set_hold_batches(false);
         worker.join().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem fault injection
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct FaultFsState {
+    /// Global operation counter (create / write / sync / rename / remove /
+    /// sync_dir), the index space of [`FaultFs::crash_at_op`].
+    ops: u64,
+    writes: u64,
+    syncs: u64,
+    dir_syncs: u64,
+    bytes_written: u64,
+    log: Vec<String>,
+    crashed: bool,
+    crash_at_op: Option<u64>,
+    /// `(write index, bytes that reach the file)` — the write *errors*
+    /// after a prefix lands, like a real torn write.
+    torn_write: Option<(u64, usize)>,
+    /// `(write index, bytes accepted)` — the write *succeeds short*,
+    /// exercising the caller's partial-write loop.
+    short_write: Option<(u64, usize)>,
+    /// File-sync indices that fail.
+    fail_syncs: Vec<u64>,
+    /// Directory-sync indices that fail.
+    fail_dir_syncs: Vec<u64>,
+    /// Remaining byte budget before every write fails with `StorageFull`.
+    enospc_budget: Option<u64>,
+}
+
+impl FaultFsState {
+    /// Counts one operation and applies the crash script: at the crash
+    /// point the filesystem "dies" — this operation and every later one
+    /// fail. Returns the operation's index.
+    fn begin_op(&mut self, what: &str) -> std::io::Result<u64> {
+        if self.crashed {
+            return Err(std::io::Error::other(format!(
+                "simulated crash: {what} after the filesystem died"
+            )));
+        }
+        let op = self.ops;
+        self.ops += 1;
+        if self.crash_at_op == Some(op) {
+            self.crashed = true;
+            self.log.push(format!("CRASH at op {op}: {what}"));
+            return Err(std::io::Error::other(format!(
+                "simulated crash at op {op}: {what}"
+            )));
+        }
+        self.log.push(what.to_string());
+        Ok(op)
+    }
+}
+
+fn short_name(path: &std::path::Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// A [`DurableFs`] wrapper over the real filesystem with scripted fault
+/// injection: torn writes (a prefix lands, then an error), short writes
+/// (fewer bytes accepted than offered), failing the Nth file or directory
+/// fsync, ENOSPC after a byte budget, and a whole-filesystem crash at the
+/// Nth operation — the primitive behind the kill-at-every-crash-point
+/// recovery matrix. Every operation is appended to an inspectable log so
+/// tests can assert protocol ordering (create → write → fsync → rename →
+/// directory fsync).
+///
+/// All faults are scripted up front (builder methods), deterministic, and
+/// shared: wrap the finished script in an [`std::sync::Arc`], hand a clone
+/// to `ServingEstimator::launch_durable_with_faults` (it coerces to
+/// `Arc<dyn DurableFs>`), and keep the other clone to read counters.
+///
+/// [`DurableFs`]: ascs_sketch_hash::codec::DurableFs
+#[derive(Default)]
+pub struct FaultFs {
+    state: std::sync::Arc<Mutex<FaultFsState>>,
+}
+
+impl FaultFs {
+    /// A transparent wrapper: no faults, but full counting and logging.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The write with this index (0-based, counted across all files)
+    /// writes only its first `keep` bytes, then errors.
+    #[must_use]
+    pub fn torn_write_at(self, write_index: u64, keep: usize) -> Self {
+        lock(&self.state).torn_write = Some((write_index, keep));
+        self
+    }
+
+    /// The write with this index accepts only `keep` bytes and returns
+    /// `Ok(keep)` — a well-behaved caller must loop.
+    #[must_use]
+    pub fn short_write_at(self, write_index: u64, keep: usize) -> Self {
+        lock(&self.state).short_write = Some((write_index, keep));
+        self
+    }
+
+    /// The file fsync with this index (0-based) fails.
+    #[must_use]
+    pub fn fail_sync(self, sync_index: u64) -> Self {
+        lock(&self.state).fail_syncs.push(sync_index);
+        self
+    }
+
+    /// The directory fsync with this index (0-based) fails.
+    #[must_use]
+    pub fn fail_dir_sync(self, sync_index: u64) -> Self {
+        lock(&self.state).fail_dir_syncs.push(sync_index);
+        self
+    }
+
+    /// Every write past this cumulative byte budget fails with
+    /// [`std::io::ErrorKind::StorageFull`] (nothing further lands).
+    #[must_use]
+    pub fn enospc_after(self, bytes: u64) -> Self {
+        lock(&self.state).enospc_budget = Some(bytes);
+        self
+    }
+
+    /// The filesystem dies at the operation with this index (0-based over
+    /// every create/write/sync/rename/remove/dir-sync): that operation
+    /// and all later ones fail. Run once unscripted and read
+    /// [`FaultFs::op_count`] to learn the index space.
+    #[must_use]
+    pub fn crash_at_op(self, op_index: u64) -> Self {
+        lock(&self.state).crash_at_op = Some(op_index);
+        self
+    }
+
+    /// Operations performed so far.
+    pub fn op_count(&self) -> u64 {
+        lock(&self.state).ops
+    }
+
+    /// Write operations performed so far.
+    pub fn write_count(&self) -> u64 {
+        lock(&self.state).writes
+    }
+
+    /// File fsyncs performed so far.
+    pub fn sync_count(&self) -> u64 {
+        lock(&self.state).syncs
+    }
+
+    /// Directory fsyncs performed so far.
+    pub fn dir_sync_count(&self) -> u64 {
+        lock(&self.state).dir_syncs
+    }
+
+    /// Bytes accepted by writes so far (short writes count what landed).
+    pub fn bytes_written(&self) -> u64 {
+        lock(&self.state).bytes_written
+    }
+
+    /// Whether the scripted crash point has fired.
+    pub fn crashed(&self) -> bool {
+        lock(&self.state).crashed
+    }
+
+    /// A copy of the operation log, in order.
+    pub fn log(&self) -> Vec<String> {
+        lock(&self.state).log.clone()
+    }
+}
+
+/// One file opened through [`FaultFs`]; every write and sync goes through
+/// the shared fault script.
+struct FaultFile {
+    inner: std::fs::File,
+    name: String,
+    state: std::sync::Arc<Mutex<FaultFsState>>,
+}
+
+impl std::io::Write for FaultFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut s = lock(&self.state);
+        s.begin_op(&format!("write {} bytes -> {}", buf.len(), self.name))?;
+        let write_index = s.writes;
+        s.writes += 1;
+        if let Some((index, keep)) = s.torn_write {
+            if index == write_index {
+                s.torn_write = None;
+                s.log
+                    .push(format!("TORN write -> {} after {keep} bytes", self.name));
+                drop(s);
+                let keep = keep.min(buf.len());
+                self.inner.write_all(&buf[..keep])?;
+                return Err(std::io::Error::other("injected torn write"));
+            }
+        }
+        if let Some((index, keep)) = s.short_write {
+            if index == write_index {
+                s.short_write = None;
+                let keep = keep.min(buf.len());
+                s.log.push(format!(
+                    "SHORT write -> {} accepted {keep} bytes",
+                    self.name
+                ));
+                s.bytes_written += keep as u64;
+                drop(s);
+                self.inner.write_all(&buf[..keep])?;
+                return Ok(keep);
+            }
+        }
+        if let Some(budget) = s.enospc_budget {
+            if buf.len() as u64 > budget {
+                s.log.push(format!("ENOSPC write -> {}", self.name));
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "injected ENOSPC",
+                ));
+            }
+            s.enospc_budget = Some(budget - buf.len() as u64);
+        }
+        s.bytes_written += buf.len() as u64;
+        drop(s);
+        self.inner.write_all(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl ascs_sketch_hash::codec::DurableFile for FaultFile {
+    fn sync(&mut self) -> std::io::Result<()> {
+        let mut s = lock(&self.state);
+        s.begin_op(&format!("sync {}", self.name))?;
+        let sync_index = s.syncs;
+        s.syncs += 1;
+        if let Some(pos) = s.fail_syncs.iter().position(|&i| i == sync_index) {
+            s.fail_syncs.swap_remove(pos);
+            s.log
+                .push(format!("FAILED sync {} (index {sync_index})", self.name));
+            return Err(std::io::Error::other("injected fsync failure"));
+        }
+        drop(s);
+        self.inner.sync_all()
+    }
+}
+
+impl ascs_sketch_hash::codec::DurableFs for FaultFs {
+    fn create(
+        &self,
+        path: &std::path::Path,
+    ) -> std::io::Result<Box<dyn ascs_sketch_hash::codec::DurableFile>> {
+        let name = short_name(path);
+        lock(&self.state).begin_op(&format!("create {name}"))?;
+        let inner = std::fs::File::create(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            name,
+            state: self.state.clone(),
+        }))
+    }
+
+    fn rename(&self, from: &std::path::Path, to: &std::path::Path) -> std::io::Result<()> {
+        lock(&self.state).begin_op(&format!(
+            "rename {} -> {}",
+            short_name(from),
+            short_name(to)
+        ))?;
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        lock(&self.state).begin_op(&format!("remove {}", short_name(path)))?;
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        let mut s = lock(&self.state);
+        s.begin_op(&format!("sync_dir {}", short_name(dir)))?;
+        let dir_sync_index = s.dir_syncs;
+        s.dir_syncs += 1;
+        if let Some(pos) = s.fail_dir_syncs.iter().position(|&i| i == dir_sync_index) {
+            s.fail_dir_syncs.swap_remove(pos);
+            s.log
+                .push(format!("FAILED sync_dir (index {dir_sync_index})"));
+            return Err(std::io::Error::other("injected directory fsync failure"));
+        }
+        drop(s);
+        std::fs::File::open(dir)?.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod fs_tests {
+    use super::*;
+    use ascs_sketch_hash::codec::DurableFs as _;
+    use std::io::Write as _;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ascs-faultfs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn transparent_fs_counts_and_logs_everything() {
+        let dir = temp_dir("clean");
+        let fs = FaultFs::new();
+        let mut f = fs.create(&dir.join("a.tmp")).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        fs.rename(&dir.join("a.tmp"), &dir.join("a")).unwrap();
+        fs.sync_dir(&dir).unwrap();
+        fs.remove_file(&dir.join("a")).unwrap();
+
+        assert_eq!(fs.op_count(), 6);
+        assert_eq!(fs.write_count(), 1);
+        assert_eq!(fs.sync_count(), 1);
+        assert_eq!(fs.dir_sync_count(), 1);
+        assert_eq!(fs.bytes_written(), 5);
+        assert!(!fs.crashed());
+        let log = fs.log();
+        assert!(log[0].starts_with("create"), "{log:?}");
+        assert!(log[1].starts_with("write"), "{log:?}");
+        assert!(log[2].starts_with("sync a.tmp"), "{log:?}");
+        assert!(log[3].starts_with("rename"), "{log:?}");
+        assert!(log[4].starts_with("sync_dir"), "{log:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_lands_prefix_then_errors() {
+        let dir = temp_dir("torn");
+        let fs = FaultFs::new().torn_write_at(0, 3);
+        let mut f = fs.create(&dir.join("t")).unwrap();
+        let err = f.write_all(b"abcdef").unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        drop(f);
+        assert_eq!(std::fs::read(dir.join("t")).unwrap(), b"abc");
+        // The fault is one-shot: a retry through a fresh file succeeds.
+        let mut f = fs.create(&dir.join("t2")).unwrap();
+        f.write_all(b"abcdef").unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(dir.join("t2")).unwrap(), b"abcdef");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_forces_the_caller_to_loop() {
+        let dir = temp_dir("short");
+        let fs = FaultFs::new().short_write_at(0, 2);
+        let mut f = fs.create(&dir.join("s")).unwrap();
+        // write_all loops over the short acceptance, so the full payload
+        // still lands — in two write ops.
+        f.write_all(b"abcdef").unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(dir.join("s")).unwrap(), b"abcdef");
+        assert_eq!(fs.write_count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fail_nth_sync_and_enospc_fire_once_each() {
+        let dir = temp_dir("syncfull");
+        let fs = FaultFs::new().fail_sync(1).enospc_after(4);
+        let mut f = fs.create(&dir.join("f")).unwrap();
+        f.write_all(b"abcd").unwrap();
+        f.sync().unwrap();
+        let err = f.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        let err = f.sync().unwrap_err();
+        assert!(err.to_string().contains("fsync"), "{err}");
+        f.sync().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_at_op_kills_the_filesystem_permanently() {
+        let dir = temp_dir("crash");
+        let fs = FaultFs::new().crash_at_op(2);
+        let mut f = fs.create(&dir.join("c")).unwrap(); // op 0
+        f.write_all(b"ab").unwrap(); // op 1
+        let err = f.write_all(b"cd").unwrap_err(); // op 2: crash
+        assert!(err.to_string().contains("crash"), "{err}");
+        assert!(fs.crashed());
+        // Everything after the crash point fails too.
+        assert!(f.sync().is_err());
+        assert!(fs.create(&dir.join("c2")).is_err());
+        assert!(fs.rename(&dir.join("c"), &dir.join("c3")).is_err());
+        assert!(fs.sync_dir(&dir).is_err());
+        assert_eq!(std::fs::read(dir.join("c")).unwrap(), b"ab");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

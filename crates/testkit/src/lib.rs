@@ -38,7 +38,7 @@ pub mod harness;
 pub mod scenario;
 
 pub use adversarial::{find_row_colliders, AdversarialCollisionScenario, AttackerPlan};
-pub use fault::{FaultPlan, ReplayOracle};
+pub use fault::{FaultFs, FaultPlan, ReplayOracle};
 pub use harness::{
     run_scenario, run_suite, BackendReport, BackendVariant, CheckpointReport, ConformanceConfig,
     ScenarioReport, SuiteReport,

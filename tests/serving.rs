@@ -413,3 +413,86 @@ fn vanilla_serving_and_shutdown_stats_are_coherent() {
     assert_eq!(stats.failed_shards, 0);
     assert_eq!(stats.published_epoch, total);
 }
+
+/// Satellite regression: `ingest_blocking` no longer spins on yield — a
+/// queue held full past the deadline surfaces a typed
+/// [`IngestError::Timeout`] with the waited duration, counted in the
+/// health report, and the same sample succeeds after release.
+#[test]
+fn exhausted_ingest_deadline_is_a_typed_timeout_not_a_livelock() {
+    let total = 64u64;
+    let cfg = config(total, 73);
+    let hp = hyper(total);
+    let plan = Arc::new(FaultPlan::new());
+    plan.set_hold_batches(true);
+    let opts = ServeOptions {
+        queue_capacity: 1,
+        ..ServeOptions::default()
+    };
+    let mut serving = ServingEstimator::launch_with_faults(cfg, Some(hp), opts, plan.clone());
+    let mut oracle = ReplayOracle::new(&cfg, Some(&hp), serving.shards());
+
+    // Storm until overload is *steady*: each held worker parks with one
+    // batch in flight, so room can free up once per shard after the first
+    // rejection. Only when no sample has been accepted for a settle
+    // window is the timeout below guaranteed to fire.
+    let mut accepted = 0u64;
+    let mut last_accept = Instant::now();
+    loop {
+        match serving.try_ingest(&sample_at(accepted + 1)) {
+            Ok(_) => {
+                accepted += 1;
+                last_accept = Instant::now();
+                assert!(accepted <= 4, "held queues absorbed {accepted} samples");
+            }
+            Err(IngestError::Overloaded { .. }) => {
+                if last_accept.elapsed() > Duration::from_millis(300) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(other) => panic!("expected Overloaded during the storm, got {other:?}"),
+        }
+    }
+    let deadline = Duration::from_millis(50);
+    let started = Instant::now();
+    let err = serving
+        .ingest_with_deadline(&sample_at(accepted + 1), deadline)
+        .expect_err("held queues must time the ingest out");
+    let elapsed = started.elapsed();
+    match err {
+        IngestError::Timeout { waited } => {
+            assert!(waited >= deadline, "gave up early after {waited:?}");
+            assert!(
+                elapsed < Duration::from_secs(10),
+                "backoff overslept: {elapsed:?}"
+            );
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+
+    let health = serving.health();
+    assert_eq!(health.ingest_timeouts, 1);
+    assert!(health.overload_rejections > 0);
+    assert!(!health.durability.enabled, "in-memory launch");
+    assert_eq!(health.shard_restarts, vec![0; serving.shards()]);
+    assert_eq!(serving.stats().ingest_timeouts, 1);
+    let rendered = health.to_string();
+    assert!(rendered.contains("serving health"), "{rendered}");
+    assert!(rendered.contains("disabled"), "{rendered}");
+
+    // The timed-out sample was never half-applied: releasing the hold and
+    // retrying the SAME sample keeps the stream oracle-identical.
+    plan.set_hold_batches(false);
+    for t in 1..=accepted {
+        oracle.ingest(&sample_at(t));
+    }
+    for t in accepted + 1..=total {
+        let s = sample_at(t);
+        serving.ingest_blocking(&s).expect("ingest after release");
+        oracle.ingest(&s);
+    }
+    let snap = serving.refresh_snapshot().expect("refresh failed");
+    assert_snapshot_matches(&snap, &oracle, "state after timeout storm");
+    serving.shutdown();
+}
