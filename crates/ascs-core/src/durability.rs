@@ -136,6 +136,15 @@ pub enum DurabilityError {
     /// The collect barrier needed to capture a coordinated checkpoint
     /// failed (a shard was abandoned or the barrier timed out).
     Collect(crate::serve::ServeError),
+    /// Every recovery attempt within the re-entry budget failed —
+    /// typically the filesystem kept dying mid-replay. Carries the final
+    /// attempt's error so the crash loop terminates typed, never hangs.
+    RecoveryBudgetExhausted {
+        /// Recovery attempts made (the whole budget).
+        attempts: u32,
+        /// The error the final attempt failed with.
+        last: Box<DurabilityError>,
+    },
 }
 
 impl std::fmt::Display for DurabilityError {
@@ -145,6 +154,9 @@ impl std::fmt::Display for DurabilityError {
             DurabilityError::Codec { what, source } => write!(f, "{what}: {source}"),
             DurabilityError::Collect(source) => {
                 write!(f, "checkpoint collect barrier: {source}")
+            }
+            DurabilityError::RecoveryBudgetExhausted { attempts, last } => {
+                write!(f, "recovery failed {attempts} times (budget spent): {last}")
             }
         }
     }
@@ -156,6 +168,7 @@ impl std::error::Error for DurabilityError {
             DurabilityError::Io { source, .. } => Some(source),
             DurabilityError::Codec { source, .. } => Some(source),
             DurabilityError::Collect(source) => Some(source),
+            DurabilityError::RecoveryBudgetExhausted { last, .. } => Some(last),
         }
     }
 }
@@ -392,6 +405,11 @@ pub(crate) struct DurableStore {
     generations: Vec<(u64, u64)>,
     next_generation: u64,
     last_checkpoint_epoch: u64,
+    /// Epoch of the last checkpoint *attempt*, successful or not. The
+    /// cadence keys off this too: a failed generation must wait out a full
+    /// interval before retrying, not re-run the collect barrier and the
+    /// failing writes on every subsequent sample.
+    last_checkpoint_attempt: u64,
     last_durable_epoch: u64,
     lost: bool,
     wal_records: u64,
@@ -423,6 +441,7 @@ impl DurableStore {
             generations: bootstrap.generations,
             next_generation: bootstrap.next_generation,
             last_checkpoint_epoch: bootstrap.checkpoint_epoch,
+            last_checkpoint_attempt: bootstrap.checkpoint_epoch,
             last_durable_epoch: bootstrap.start_epoch,
             lost: false,
             wal_records: 0,
@@ -603,9 +622,13 @@ impl DurableStore {
     }
 
     /// Whether the automatic checkpoint cadence is due at stream time `t`.
+    /// Keyed off the last *attempt*, so a failed generation backs off for
+    /// a full interval instead of re-running the collect barrier and the
+    /// failing writes on every later sample.
     pub(crate) fn should_checkpoint(&self, t: u64) -> bool {
         self.opts.checkpoint_every > 0
             && t >= self.last_checkpoint_epoch + self.opts.checkpoint_every
+            && t >= self.last_checkpoint_attempt + self.opts.checkpoint_every
     }
 
     /// Writes one checkpoint generation: every shard sketch through the
@@ -622,6 +645,7 @@ impl DurableStore {
         emitted_updates: u64,
     ) -> Result<(), DurabilityError> {
         assert_eq!(shard_sketches.len(), self.shards, "shard count mismatch");
+        self.last_checkpoint_attempt = epoch;
         let generation = self.next_generation;
         let mut attempt = 0u32;
         loop {
@@ -801,6 +825,13 @@ pub struct RecoveryReport {
     pub wal_records_skipped: u64,
     /// Whether a torn or corrupt WAL tail was discarded.
     pub wal_tail_discarded: bool,
+    /// Whether the log was repaired: a record gap (from corruption or a
+    /// lost segment) ended the replay with live segments still behind
+    /// it. Those can never be replayed by any future recovery, yet new
+    /// appends would land behind them and be unreachable — so the gapped
+    /// segment is rewritten down to its consumed prefix and the segments
+    /// beyond it are deleted before the store reopens.
+    pub wal_repaired: bool,
     /// Stray files removed (interrupted atomic saves, uncommitted shard
     /// files, unreadable old generations).
     pub stray_files_removed: u64,
@@ -828,10 +859,10 @@ impl std::fmt::Display for RecoveryReport {
             self.wal_segments_scanned,
             self.wal_records_skipped,
             self.torn_generations_discarded,
-            if self.wal_tail_discarded {
-                ", torn wal tail discarded"
-            } else {
-                ""
+            match (self.wal_repaired, self.wal_tail_discarded) {
+                (true, _) => ", wal repaired at a record gap",
+                (false, true) => ", torn wal tail discarded",
+                (false, false) => "",
             },
         )
     }
@@ -950,6 +981,7 @@ impl RecoveryManager {
             wal_records_replayed: 0,
             wal_records_skipped: 0,
             wal_tail_discarded: false,
+            wal_repaired: false,
             stray_files_removed: 0,
             recovered_epoch: 0,
             duration: Duration::ZERO,
@@ -1056,11 +1088,16 @@ impl RecoveryManager {
         let cap = wal_frame_cap(config.dim);
         let mut scratch: Vec<Vec<ShardUpdate>> = vec![Vec::new(); shards];
         let mut sealed: Vec<SealedSegment> = Vec::new();
-        'segments: for path in wal_segments.values() {
+        // Valid frames consumed from the segment being read, so a record
+        // gap can rewrite that segment down to exactly this prefix.
+        let mut kept: Vec<Vec<u8>> = Vec::new();
+        let mut gap_at: Option<u64> = None;
+        'segments: for (&seq, path) in &wal_segments {
             report.wal_segments_scanned += 1;
-            let file = std::fs::File::open(path).map_err(io_err("wal open"))?;
+            let file = self.fs.open_read(path).map_err(io_err("wal open"))?;
             let mut r = io::BufReader::new(file);
             let mut segment_last_t = 0u64;
+            kept.clear();
             loop {
                 let payload = match codec::read_frame(&mut r, cap) {
                     Ok(None) => break, // clean end of segment
@@ -1078,8 +1115,9 @@ impl RecoveryManager {
                     report.wal_tail_discarded = true;
                     break;
                 };
-                segment_last_t = segment_last_t.max(t);
                 if t <= epoch {
+                    segment_last_t = segment_last_t.max(t);
+                    kept.push(payload);
                     report.wal_records_skipped += 1;
                     continue;
                 }
@@ -1090,12 +1128,15 @@ impl RecoveryManager {
                     // A gap ends the contiguous durable prefix; anything
                     // beyond it (even valid frames) must not be applied.
                     report.wal_tail_discarded = true;
+                    gap_at = Some(seq);
                     sealed.push(SealedSegment {
                         path: path.clone(),
                         last_t: segment_last_t,
                     });
                     break 'segments;
                 }
+                segment_last_t = segment_last_t.max(t);
+                kept.push(payload);
                 for buf in &mut scratch {
                     buf.clear();
                 }
@@ -1118,6 +1159,53 @@ impl RecoveryManager {
                 path: path.clone(),
                 last_t: segment_last_t,
             });
+        }
+
+        if let Some(gap_seq) = gap_at {
+            // Repair the log. The gap record and everything behind it can
+            // never be replayed (every future recovery stops at the same
+            // gap), yet the store appends *after* the last segment — so
+            // without repair, post-recovery appends would sit behind the
+            // gap, unreachable, and the advertised durable floor would
+            // overstate what a cold start can rebuild. Rewrite the gapped
+            // segment down to its consumed prefix (atomic tmp + rename)
+            // and delete the dead segments beyond it; the next append
+            // then re-joins a contiguous log. A crash anywhere in here
+            // leaves either the old gap or a strictly smaller one, and
+            // the consumed prefix — hence the recovered epoch — intact.
+            report.wal_repaired = true;
+            let gap_path = &wal_segments[&gap_seq];
+            if kept.is_empty() {
+                self.fs
+                    .remove_file(gap_path)
+                    .map_err(io_err("wal repair remove"))?;
+                sealed.retain(|s| &s.path != gap_path);
+            } else {
+                let tmp = gap_path.with_extension("tmp");
+                let mut file = self.fs.create(&tmp).map_err(io_err("wal repair create"))?;
+                let mut frame = Vec::new();
+                for payload in &kept {
+                    frame.clear();
+                    codec::write_frame(&mut frame, payload).map_err(codec_err("wal frame"))?;
+                    use std::io::Write as _;
+                    file.write_all(&frame).map_err(io_err("wal repair write"))?;
+                }
+                file.sync().map_err(io_err("wal repair fsync"))?;
+                drop(file);
+                self.fs
+                    .rename(&tmp, gap_path)
+                    .map_err(io_err("wal repair rename"))?;
+            }
+            for (&seq, path) in wal_segments.range(gap_seq + 1..) {
+                let _ = seq;
+                self.fs
+                    .remove_file(path)
+                    .map_err(io_err("wal repair remove"))?;
+                report.stray_files_removed += 1;
+            }
+            self.fs
+                .sync_dir(&self.dir)
+                .map_err(io_err("wal repair directory fsync"))?;
         }
 
         report.recovered_epoch = epoch;
@@ -1150,7 +1238,7 @@ impl RecoveryManager {
         shards: usize,
     ) -> Result<(u64, (u64, StreamContext)), GenerationError> {
         let cap = checkpoint_frame_cap(config);
-        let loaded = codec::load_from_path(path, |r| {
+        let loaded = codec::load_from_path_with(&*self.fs, path, |r| {
             let payload = read_single_frame(r, cap)?;
             let r = &mut payload.as_slice();
             codec::read_header(r, codec::TAG_DURABLE_MANIFEST)?;
@@ -1202,7 +1290,7 @@ impl RecoveryManager {
                 return Err(GenerationError::Torn);
             };
             let cap = checkpoint_frame_cap(config);
-            let sketch = match codec::load_from_path(path, |r| {
+            let sketch = match codec::load_from_path_with(&*self.fs, path, |r| {
                 let payload = read_single_frame(r, cap)?;
                 let r = &mut payload.as_slice();
                 let sketch = AscsSketch::restore(r)?;
@@ -1239,6 +1327,49 @@ impl RecoveryManager {
             }
         }
     }
+}
+
+/// [`RecoveryManager::recover`] with a bounded re-entry budget, for
+/// environments where recovery *itself* can crash (the chaos harness kills
+/// the filesystem mid-WAL-replay). Each attempt runs over a fresh
+/// filesystem from `fs_for_attempt(attempt)` — a crashed fault filesystem
+/// stays dead, so retrying through it would loop forever. After `budget`
+/// failed attempts the loop terminates with the typed
+/// [`DurabilityError::RecoveryBudgetExhausted`] instead of hanging.
+///
+/// Recovery is read-only plus idempotent stray-file removal, so a crashed
+/// attempt leaves the durable prefix intact for the next one.
+///
+/// # Errors
+/// [`DurabilityError::RecoveryBudgetExhausted`] wrapping the final
+/// attempt's error once all `budget` attempts have failed.
+///
+/// # Panics
+/// If `budget` is zero.
+pub fn recover_with_reentry<F>(
+    dir: &Path,
+    config: &AscsConfig,
+    hyper: Option<&HyperParameters>,
+    shards: usize,
+    budget: u32,
+    mut fs_for_attempt: F,
+) -> Result<RecoveryOutcome, DurabilityError>
+where
+    F: FnMut(u32) -> Arc<dyn DurableFs>,
+{
+    assert!(budget >= 1, "recovery re-entry budget must be positive");
+    let mut last: Option<DurabilityError> = None;
+    for attempt in 0..budget {
+        let manager = RecoveryManager::with_fs(dir, fs_for_attempt(attempt));
+        match manager.recover(config, hyper, shards) {
+            Ok(outcome) => return Ok(outcome),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(DurabilityError::RecoveryBudgetExhausted {
+        attempts: budget,
+        last: Box::new(last.expect("budget >= 1 attempts ran")),
+    })
 }
 
 #[cfg(test)]

@@ -63,16 +63,16 @@ pub use ascs_count_sketch::codec;
 pub use ascs_count_sketch::CodecError;
 pub use config::{AscsConfig, EstimandKind, SketchGeometry, UpdateMode};
 pub use durability::{
-    DurabilityError, DurabilityHealth, DurabilityOptions, FsyncPolicy, RecoveredState,
-    RecoveryManager, RecoveryOutcome, RecoveryReport,
+    recover_with_reentry, DurabilityError, DurabilityHealth, DurabilityOptions, FsyncPolicy,
+    RecoveredState, RecoveryManager, RecoveryOutcome, RecoveryReport,
 };
 pub use estimator::{CovarianceEstimator, PlanError, ReportedPair, SketchBackend};
 pub use hyper::{HyperParameterSolver, HyperParameters, SigmaEstimator, SignalModel};
 pub use pair::{num_pairs, pair_from_index, pair_to_index, PairIndexer};
 pub use schedule::ThresholdSchedule;
 pub use serve::{
-    FaultInjector, IngestError, NoFaults, ServeError, ServeOptions, ServeStats, ServingEstimator,
-    ServingHealth, Snapshot, SnapshotReader, SnapshotView,
+    jittered_backoff, FaultInjector, IngestError, NoFaults, ServeError, ServeOptions, ServeStats,
+    ServingEstimator, ServingHealth, Snapshot, SnapshotReader, SnapshotView,
 };
 pub use sharded::{ShardUpdate, ShardedAscs, MAX_SHARDS};
 pub use snr::SnrProbe;

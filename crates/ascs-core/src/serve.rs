@@ -155,9 +155,12 @@ impl std::error::Error for ServeError {}
 /// Deterministic fault-injection hooks, implemented by the testkit's
 /// `FaultPlan` and defaulting to no-ops ([`NoFaults`]) in production.
 ///
-/// Injected faults fire on the *first delivery* of a batch only: recovery
-/// replays run without injection, so a panic-at-update-N fault cannot put
-/// a worker into an infinite crash loop. Hooks that block
+/// Injected faults fire on the *first delivery* of a batch only by
+/// default: recovery replays run without injection, so a panic-at-update-N
+/// fault cannot put a worker into an infinite crash loop. Returning `true`
+/// from [`FaultInjector::inject_during_recovery`] lifts that exemption —
+/// the supervisor's restart budget then bounds the crash loop, terminating
+/// in a typed [`IngestError::ShardFailed`]. Hooks that block
 /// ([`FaultInjector::before_batch`], [`FaultInjector::before_recovery`])
 /// must be released before the serving instance is dropped — shutdown
 /// joins the supervision tree.
@@ -181,6 +184,14 @@ pub trait FaultInjector: Send + Sync + 'static {
     /// Called before a worker applies a batch. May block to force
     /// queue-full storms.
     fn before_batch(&self, _shard: usize) {}
+
+    /// Whether [`FaultInjector::inject_panic`] may also fire during a
+    /// recovery replay. The `false` default keeps replays clean (a
+    /// one-shot panic cannot loop); `true` exposes the crash-during-
+    /// recovery path, bounded by [`ServeOptions::max_restarts`].
+    fn inject_during_recovery(&self) -> bool {
+        false
+    }
 }
 
 /// The production no-op injector.
@@ -424,6 +435,99 @@ pub struct ServingHealth {
     pub durability: DurabilityHealth,
 }
 
+impl ServingHealth {
+    /// Cross-checks the counters against each other and returns every
+    /// internal inconsistency found — the standing health invariants the
+    /// chaos harness asserts after each fault. Empty means coherent.
+    ///
+    /// The panic identity allows one in-flight event: the supervisor
+    /// counts a panic before deciding restart-vs-abandon, so a concurrent
+    /// read may legitimately observe `panics == restarts + abandoned + 1`.
+    pub fn coherence_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut check = |ok: bool, what: String| {
+            if !ok {
+                out.push(what);
+            }
+        };
+        check(
+            self.shard_restarts.len() == self.shards,
+            format!(
+                "restart counters for {} shards, {} expected",
+                self.shard_restarts.len(),
+                self.shards
+            ),
+        );
+        check(
+            self.published_epoch <= self.ingest_epoch,
+            format!(
+                "published epoch {} ahead of ingest epoch {}",
+                self.published_epoch, self.ingest_epoch
+            ),
+        );
+        check(
+            self.recovering_workers <= self.shards as u64,
+            format!(
+                "{} workers recovering out of {} shards",
+                self.recovering_workers, self.shards
+            ),
+        );
+        check(
+            self.failed_shards.len() <= self.shards
+                && self.failed_shards.iter().all(|&s| s < self.shards)
+                && self.failed_shards.windows(2).all(|w| w[0] < w[1]),
+            format!(
+                "abandoned shard list {:?} invalid for {} shards",
+                self.failed_shards, self.shards
+            ),
+        );
+        let restarts: u64 = self.shard_restarts.iter().sum();
+        let abandoned = self.failed_shards.len() as u64;
+        check(
+            (restarts + abandoned..=restarts + abandoned + 1).contains(&self.worker_panics),
+            format!(
+                "{} panics vs {restarts} restarts + {abandoned} abandoned shards",
+                self.worker_panics
+            ),
+        );
+        check(
+            self.degraded
+                == (self.recovering_workers > 0
+                    || !self.failed_shards.is_empty()
+                    || self.durability.durability_lost),
+            format!(
+                "degraded flag {} contradicts recovering {} / failed {:?} / durability_lost {}",
+                self.degraded,
+                self.recovering_workers,
+                self.failed_shards,
+                self.durability.durability_lost
+            ),
+        );
+        if self.durability.enabled {
+            check(
+                self.durability.last_checkpoint_epoch <= self.durability.last_durable_epoch,
+                format!(
+                    "checkpoint epoch {} ahead of durable epoch {}",
+                    self.durability.last_checkpoint_epoch, self.durability.last_durable_epoch
+                ),
+            );
+            check(
+                self.durability.last_durable_epoch <= self.ingest_epoch,
+                format!(
+                    "durable epoch {} ahead of ingest epoch {}",
+                    self.durability.last_durable_epoch, self.ingest_epoch
+                ),
+            );
+        } else {
+            check(
+                self.durability == DurabilityHealth::disabled(),
+                "durability counters non-zero on an in-memory instance".to_string(),
+            );
+        }
+        out
+    }
+}
+
 impl std::fmt::Display for ServingHealth {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -488,10 +592,31 @@ pub struct ServingEstimator {
     overload_rejections: u64,
     ingest_timeouts: u64,
     emitted_updates: u64,
+    backoff_rng: u64,
     shut_down: bool,
     store: Option<DurableStore>,
     recovery_report: Option<RecoveryReport>,
     crash_simulated: bool,
+}
+
+/// Salt separating the backoff-jitter stream from every other consumer of
+/// the configured seed (router, hashes).
+const JITTER_SALT: u64 = 0x6A09_E667_F3BC_C909;
+
+/// One backoff delay of [`ServingEstimator::ingest_with_deadline`]: the
+/// nominal exponential delay for `step` (20 µs doubling up to a 2.5 ms
+/// cap) scaled by a jitter factor drawn uniformly from `[0.5, 1.0)` out of
+/// the caller's [`splitmix64`]-chained `rng` state. Pure and fully
+/// deterministic in `(step, rng)` — the regression test pins the exact
+/// sequence — while distinct seeds decorrelate concurrent retry storms.
+pub fn jittered_backoff(step: u32, rng: &mut u64) -> Duration {
+    const SLEEP_BASE_MICROS: u64 = 20;
+    const SLEEP_CAP_MICROS: u64 = 2500;
+    let nominal = (SLEEP_BASE_MICROS << step.min(7)).min(SLEEP_CAP_MICROS);
+    *rng = splitmix64(*rng);
+    // Top 53 bits → a uniform f64 in [0, 1), halved and shifted to [0.5, 1).
+    let factor = 0.5 + (*rng >> 11) as f64 * (0.5 / (1u64 << 53) as f64);
+    Duration::from_nanos(((nominal * 1_000) as f64 * factor) as u64)
 }
 
 impl ServingEstimator {
@@ -717,6 +842,7 @@ impl ServingEstimator {
             overload_rejections: 0,
             ingest_timeouts: 0,
             emitted_updates,
+            backoff_rng: splitmix64(config.seed ^ JITTER_SALT),
             shut_down: false,
             store,
             recovery_report,
@@ -810,10 +936,13 @@ impl ServingEstimator {
     /// [`ServingEstimator::try_ingest`] that waits out
     /// [`IngestError::Overloaded`] with bounded exponential backoff — a
     /// few yields first (the common case: a worker is one batch away from
-    /// draining), then sleeps doubling from 20 µs up to 2.5 ms — instead
-    /// of busy-spinning. Gives up after `timeout` with
-    /// [`IngestError::Timeout`]; every retry still counts an overload
-    /// rejection.
+    /// draining), then jittered sleeps doubling from a 20 µs base up to a
+    /// 2.5 ms cap ([`jittered_backoff`]) — instead of busy-spinning. The
+    /// jitter stream is seeded per instance from the configured seed, so
+    /// concurrent blocked ingesters with different seeds don't retry in
+    /// lockstep while each sequence stays deterministic. Gives up after
+    /// `timeout` with [`IngestError::Timeout`]; every retry still counts
+    /// an overload rejection.
     ///
     /// # Errors
     /// Same as [`ServingEstimator::try_ingest`] with `Overloaded`
@@ -824,8 +953,6 @@ impl ServingEstimator {
         timeout: Duration,
     ) -> Result<u64, IngestError> {
         const YIELDS: u32 = 16;
-        const SLEEP_BASE: Duration = Duration::from_micros(20);
-        const SLEEP_CAP: Duration = Duration::from_micros(2500);
         let started = Instant::now();
         let mut attempt = 0u32;
         loop {
@@ -839,9 +966,7 @@ impl ServingEstimator {
                     if attempt < YIELDS {
                         std::thread::yield_now();
                     } else {
-                        let delay = SLEEP_BASE
-                            .saturating_mul(1 << (attempt - YIELDS).min(7))
-                            .min(SLEEP_CAP)
+                        let delay = jittered_backoff(attempt - YIELDS, &mut self.backoff_rng)
                             .min(timeout.saturating_sub(waited));
                         std::thread::sleep(delay);
                     }

@@ -174,29 +174,50 @@ pub(crate) fn apply_batch(
     }
 }
 
+/// Decrements the shared `recovering` gauge exactly once — on the normal
+/// path *and* when an injected panic unwinds out of a recovery replay
+/// (the supervisor re-increments before each respawn). Without this, a
+/// crash-during-recovery would inflate the gauge permanently and pin the
+/// service degraded.
+struct RecoveringGuard<'a> {
+    stats: &'a ServeShared,
+}
+
+impl Drop for RecoveringGuard<'_> {
+    fn drop(&mut self) {
+        self.stats.recovering.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// The worker body. On entry (cold start *and* restart) the sketch is
 /// rebuilt from the recovery state: restore the last good checkpoint, then
-/// replay every logged batch — without fault injection, so an injected
-/// panic cannot loop forever. The loop then serves the queue until
-/// `Shutdown`.
+/// replay every logged batch — without fault injection by default, so an
+/// injected panic cannot loop forever. An injector opting in via
+/// [`FaultInjector::inject_during_recovery`] has its panics offered during
+/// the replay too (shard-local indices continue from the checkpoint base);
+/// the supervisor's restart budget bounds the resulting crash loop. The
+/// loop then serves the queue until `Shutdown`.
 fn run_worker(ctx: &WorkerContext, recovering: bool) {
+    let recovering_guard = recovering.then(|| RecoveringGuard { stats: &ctx.stats });
     if recovering {
         ctx.injector.before_recovery(ctx.shard);
     }
+    let inject_replay = recovering && ctx.injector.inject_during_recovery();
     let mut sketch = {
         let mut rec = lock(&ctx.shared.recovery);
         let mut restored = AscsSketch::restore(&mut rec.checkpoint.as_slice())
             .expect("recovery checkpoint was validated when written");
+        let mut base = rec.checkpoint_updates;
         for batch in &rec.replay {
-            apply_batch(&mut restored, batch, None);
+            let inject =
+                inject_replay.then_some((&*ctx.injector as &dyn FaultInjector, ctx.shard, base));
+            apply_batch(&mut restored, batch, inject);
+            base += batch.len() as u64;
         }
-        rec.applied_updates =
-            rec.checkpoint_updates + rec.replay.iter().map(|b| b.len() as u64).sum::<u64>();
+        rec.applied_updates = base;
         restored
     };
-    if recovering {
-        ctx.stats.recovering.fetch_sub(1, Ordering::SeqCst);
-    }
+    drop(recovering_guard);
     loop {
         match ctx.shared.queue.pop() {
             Envelope::Batch(batch) => {

@@ -394,10 +394,12 @@ impl DurableFile for std::fs::File {
     }
 }
 
-/// The mutating filesystem operations the durability layer performs.
-/// Production uses [`StdFs`]; the testkit's `FaultFs` wraps it with
-/// scripted fault injection. Reads are deliberately absent — recovery
-/// reads plain files, and corruption tests flip real bytes on disk.
+/// The filesystem operations the durability layer performs. Production
+/// uses [`StdFs`]; the testkit's `FaultFs` wraps it with scripted fault
+/// injection. Recovery reads also route through [`DurableFs::open_read`]
+/// (default: plain `std::fs`), so a scripted crash point can fire *while*
+/// the WAL is being replayed — corruption tests still flip real bytes on
+/// disk.
 pub trait DurableFs: Send + Sync {
     /// Creates (truncating) a file for writing.
     fn create(&self, path: &std::path::Path) -> io::Result<Box<dyn DurableFile>>;
@@ -410,6 +412,12 @@ pub trait DurableFs: Send + Sync {
     /// entry; until the directory itself is synced, a power loss can
     /// resurrect the old name or lose the new one.
     fn sync_dir(&self, dir: &std::path::Path) -> io::Result<()>;
+    /// Opens a file for reading. The default reads the real filesystem;
+    /// fault-injecting implementations may count each read as an
+    /// operation and die mid-file.
+    fn open_read(&self, path: &std::path::Path) -> io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(std::fs::File::open(path)?))
+    }
 }
 
 /// The production [`DurableFs`]: plain `std::fs` operations.
@@ -520,6 +528,105 @@ where
 {
     let file = std::fs::File::open(path.as_ref())?;
     read(&mut io::BufReader::new(file))
+}
+
+/// [`load_from_path`] over an explicit [`DurableFs`] — the entry point the
+/// recovery path uses so scripted filesystem faults can fire while a
+/// checkpoint or WAL segment is being *read*, not just written.
+///
+/// # Errors
+/// Same contract as [`load_from_path`].
+pub fn load_from_path_with<T, F>(
+    fs: &dyn DurableFs,
+    path: impl AsRef<std::path::Path>,
+    read: F,
+) -> Result<T, CodecError>
+where
+    F: FnOnce(&mut io::BufReader<Box<dyn Read + Send>>) -> Result<T, CodecError>,
+{
+    let file = fs.open_read(path.as_ref())?;
+    read(&mut io::BufReader::new(file))
+}
+
+// ---------------------------------------------------------------------
+// Fault-site registry
+// ---------------------------------------------------------------------
+
+/// Canonical fault-site names of the durable-filesystem layer. A chaos
+/// harness registers these up front and requires every one to have fired
+/// at least once across a run — proving the scripted faults actually
+/// exercised their injection points instead of silently missing.
+pub const FS_FAULT_SITES: &[&str] = &[
+    SITE_FS_TORN_WRITE,
+    SITE_FS_SHORT_WRITE,
+    SITE_FS_FAIL_SYNC,
+    SITE_FS_FAIL_DIR_SYNC,
+    SITE_FS_ENOSPC,
+    SITE_FS_CRASH,
+];
+
+/// A write that lands a prefix and then errors.
+pub const SITE_FS_TORN_WRITE: &str = "fs.torn_write";
+/// A write that accepts fewer bytes than offered.
+pub const SITE_FS_SHORT_WRITE: &str = "fs.short_write";
+/// A file fsync that fails.
+pub const SITE_FS_FAIL_SYNC: &str = "fs.fail_sync";
+/// A directory fsync that fails.
+pub const SITE_FS_FAIL_DIR_SYNC: &str = "fs.fail_dir_sync";
+/// A write rejected by an exhausted byte budget (`StorageFull`).
+pub const SITE_FS_ENOSPC: &str = "fs.enospc";
+/// The whole-filesystem crash point (including mid-recovery reads).
+pub const SITE_FS_CRASH: &str = "fs.crash_at_op";
+
+/// Thread-safe named counters over fault-injection sites: `register` a
+/// site up front (count 0), `record` every time its fault fires, then
+/// read the coverage map. Sites registered but never recorded are the
+/// coverage holes [`FaultSiteRegistry::unfired`] reports.
+#[derive(Debug, Default)]
+pub struct FaultSiteRegistry {
+    sites: std::sync::Mutex<std::collections::BTreeMap<&'static str, u64>>,
+}
+
+impl FaultSiteRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, std::collections::BTreeMap<&'static str, u64>> {
+        self.sites
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Declares a site (idempotent; keeps any existing count).
+    pub fn register(&self, site: &'static str) {
+        self.lock().entry(site).or_insert(0);
+    }
+
+    /// Counts one firing of `site`, registering it if needed.
+    pub fn record(&self, site: &'static str) {
+        *self.lock().entry(site).or_insert(0) += 1;
+    }
+
+    /// The full coverage map, sorted by site name.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        self.lock().iter().map(|(&s, &n)| (s, n)).collect()
+    }
+
+    /// Registered sites that never fired.
+    pub fn unfired(&self) -> Vec<&'static str> {
+        self.lock()
+            .iter()
+            .filter(|(_, &n)| n == 0)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Total firings across all sites.
+    pub fn total_fired(&self) -> u64 {
+        self.lock().values().sum()
+    }
 }
 
 impl HashFamily {

@@ -21,16 +21,115 @@
 use ascs_core::config::AscsConfig;
 use ascs_core::{FaultInjector, HyperParameters, Sample, ShardUpdate, ShardedAscs, StreamContext};
 use ascs_count_sketch::CountSketch;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use ascs_sketch_hash::codec::{
+    FaultSiteRegistry, FS_FAULT_SITES, SITE_FS_CRASH, SITE_FS_ENOSPC, SITE_FS_FAIL_DIR_SYNC,
+    SITE_FS_FAIL_SYNC, SITE_FS_SHORT_WRITE, SITE_FS_TORN_WRITE,
+};
+use ascs_sketch_hash::splitmix64;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Site name recorded when a scripted worker panic fires.
+pub const SITE_PLAN_PANIC: &str = "plan.worker_panic";
+/// Site name recorded when a scripted checkpoint truncation fires.
+pub const SITE_PLAN_TORN_CHECKPOINT: &str = "plan.torn_checkpoint";
+/// Every [`FaultPlan`]-level fault site.
+pub const PLAN_FAULT_SITES: &[&str] = &[SITE_PLAN_PANIC, SITE_PLAN_TORN_CHECKPOINT];
+
+#[derive(Debug, Clone, Copy)]
+enum TriggerKind {
+    OneShot,
+    EveryN(u64),
+    Probability(f64),
+}
+
+/// A re-armable firing rule for scripted faults. The classic scripted
+/// faults are one-shot — each fires on its first match and never again.
+/// A `Trigger` generalises that: [`Trigger::one_shot`] keeps the old
+/// behaviour, [`Trigger::every`] re-arms after every `n` matching events,
+/// and [`Trigger::probability`] fires each matching event independently
+/// with probability `p`, driven by a seeded [`splitmix64`] chain so the
+/// firing pattern is a pure function of the seed.
+#[derive(Debug, Clone)]
+pub struct Trigger {
+    kind: TriggerKind,
+    matches: u64,
+    fired: u64,
+    rng: u64,
+}
+
+impl Trigger {
+    fn with_kind(kind: TriggerKind, rng: u64) -> Self {
+        Self {
+            kind,
+            matches: 0,
+            fired: 0,
+            rng,
+        }
+    }
+
+    /// Fires on the first matching event only (the classic behaviour).
+    pub fn one_shot() -> Self {
+        Self::with_kind(TriggerKind::OneShot, 0)
+    }
+
+    /// Fires on every `n`-th matching event (the `n`-th, `2n`-th, …).
+    ///
+    /// # Panics
+    /// If `n` is zero.
+    pub fn every(n: u64) -> Self {
+        assert!(n >= 1, "Trigger::every needs n >= 1");
+        Self::with_kind(TriggerKind::EveryN(n), 0)
+    }
+
+    /// Fires each matching event independently with probability `p`,
+    /// deterministically derived from `seed`.
+    pub fn probability(p: f64, seed: u64) -> Self {
+        Self::with_kind(
+            TriggerKind::Probability(p.clamp(0.0, 1.0)),
+            splitmix64(seed),
+        )
+    }
+
+    /// Registers one matching event and decides whether the fault fires.
+    pub fn offer(&mut self) -> bool {
+        self.matches += 1;
+        let fire = match self.kind {
+            TriggerKind::OneShot => self.fired == 0,
+            TriggerKind::EveryN(n) => self.matches.is_multiple_of(n),
+            TriggerKind::Probability(p) => {
+                self.rng = splitmix64(self.rng);
+                ((self.rng >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+            }
+        };
+        if fire {
+            self.fired += 1;
+        }
+        fire
+    }
+
+    /// Times this trigger has fired.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Matching events offered to this trigger.
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
 }
 
 #[derive(Default)]
 struct Holds {
     batches: bool,
     recovery: bool,
+    /// Workers currently parked in the batches hold. A worker blocked in
+    /// `recv` pops one more batch before it reaches the hold, so a full
+    /// queue is only *stably* full once every worker is parked here.
+    parked: usize,
 }
 
 /// A scripted, deterministic fault plan. Build it with the `panic_at` /
@@ -44,11 +143,17 @@ pub struct FaultPlan {
     panics: Mutex<Vec<(usize, u64)>>,
     /// Pending `(shard, truncate-at-byte)` checkpoint corruptions.
     truncations: Mutex<Vec<(usize, usize)>>,
+    /// Re-armable panic rules, offered one matching event per delivery of
+    /// a shard-local update (after the one-shot script is consulted).
+    panic_triggers: Mutex<Vec<(usize, Trigger)>>,
     holds: Mutex<Holds>,
     released: Condvar,
     panics_fired: Mutex<u64>,
     truncations_fired: Mutex<u64>,
     recoveries_started: Mutex<u64>,
+    /// When set, injected panics also fire during recovery replay.
+    inject_recovery: bool,
+    registry: Option<Arc<FaultSiteRegistry>>,
 }
 
 impl FaultPlan {
@@ -73,6 +178,55 @@ impl FaultPlan {
     pub fn truncate_checkpoint_at(self, shard: usize, at: usize) -> Self {
         lock(&self.truncations).push((shard, at));
         self
+    }
+
+    /// Attaches a re-armable panic rule for `shard`: the trigger is offered
+    /// one matching event per shard-local update delivered to that shard
+    /// and panics the worker whenever it fires — including repeatedly, so
+    /// restart budgets and crash loops can be exercised.
+    #[must_use]
+    pub fn panic_trigger(self, shard: usize, trigger: Trigger) -> Self {
+        lock(&self.panic_triggers).push((shard, trigger));
+        self
+    }
+
+    /// Opts this plan into fault injection *during recovery replay*: by
+    /// default a restarted worker replays without injection so one-shot
+    /// panics cannot loop; with this set, panic rules keep firing during
+    /// the replay and the supervisor's restart budget bounds the loop.
+    #[must_use]
+    pub fn with_recovery_injection(mut self) -> Self {
+        self.inject_recovery = true;
+        self
+    }
+
+    /// Attaches a fault-site registry: plan-level sites are registered up
+    /// front and recorded each time a scripted fault fires.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<FaultSiteRegistry>) -> Self {
+        for site in PLAN_FAULT_SITES {
+            registry.register(site);
+        }
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Arms one more one-shot panic after construction (`&self`, so a test
+    /// can keep scripting faults against a plan already shared with a live
+    /// serving instance).
+    pub fn arm_panic(&self, shard: usize, update_index: u64) {
+        lock(&self.panics).push((shard, update_index));
+    }
+
+    /// Arms one more one-shot checkpoint truncation after construction.
+    pub fn arm_truncation(&self, shard: usize, at: usize) {
+        lock(&self.truncations).push((shard, at));
+    }
+
+    fn record(&self, site: &'static str) {
+        if let Some(registry) = &self.registry {
+            registry.record(site);
+        }
     }
 
     /// While set, every worker blocks before applying a batch — queues
@@ -106,6 +260,14 @@ impl FaultPlan {
         *lock(&self.recoveries_started)
     }
 
+    /// Workers currently parked in the batches hold. Overload tests must
+    /// wait for this to reach the shard count before treating a full queue
+    /// as stable: until then a worker that was blocked in `recv` can still
+    /// absorb one batch on its way into the hold, freeing a slot.
+    pub fn workers_held(&self) -> usize {
+        lock(&self.holds).parked
+    }
+
     fn wait_while(&self, which: fn(&Holds) -> bool) {
         let mut holds = lock(&self.holds);
         while which(&holds) {
@@ -126,9 +288,23 @@ impl FaultInjector for FaultPlan {
         {
             pending.remove(pos);
             *lock(&self.panics_fired) += 1;
+            self.record(SITE_PLAN_PANIC);
             return true;
         }
+        drop(pending);
+        let mut triggers = lock(&self.panic_triggers);
+        for (s, trigger) in triggers.iter_mut() {
+            if *s == shard && trigger.offer() {
+                *lock(&self.panics_fired) += 1;
+                self.record(SITE_PLAN_PANIC);
+                return true;
+            }
+        }
         false
+    }
+
+    fn inject_during_recovery(&self) -> bool {
+        self.inject_recovery
     }
 
     fn corrupt_checkpoint(&self, shard: usize, bytes: &mut Vec<u8>) {
@@ -137,6 +313,7 @@ impl FaultInjector for FaultPlan {
             let (_, at) = pending.remove(pos);
             bytes.truncate(at.min(bytes.len()));
             *lock(&self.truncations_fired) += 1;
+            self.record(SITE_PLAN_TORN_CHECKPOINT);
         }
     }
 
@@ -146,7 +323,19 @@ impl FaultInjector for FaultPlan {
     }
 
     fn before_batch(&self, _shard: usize) {
-        self.wait_while(|h| h.batches);
+        let mut holds = lock(&self.holds);
+        if !holds.batches {
+            return;
+        }
+        holds.parked += 1;
+        self.released.notify_all();
+        while holds.batches {
+            holds = self
+                .released
+                .wait(holds)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        holds.parked -= 1;
     }
 }
 
@@ -272,6 +461,31 @@ mod tests {
     }
 
     #[test]
+    fn triggers_fire_per_their_rule_and_deterministically() {
+        let mut once = Trigger::one_shot();
+        assert!(once.offer());
+        assert!(!once.offer());
+        assert_eq!((once.fired(), once.matches()), (1, 2));
+
+        let mut third = Trigger::every(3);
+        let pattern: Vec<bool> = (0..9).map(|_| third.offer()).collect();
+        assert_eq!(
+            pattern,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(third.fired(), 3);
+
+        let mut a = Trigger::probability(0.5, 42);
+        let mut b = Trigger::probability(0.5, 42);
+        let pa: Vec<bool> = (0..64).map(|_| a.offer()).collect();
+        let pb: Vec<bool> = (0..64).map(|_| b.offer()).collect();
+        assert_eq!(pa, pb, "probability trigger not seed-deterministic");
+        assert!(a.fired() > 8 && a.fired() < 56, "fired {} of 64", a.fired());
+        assert!(!Trigger::probability(0.0, 7).offer());
+        assert!(Trigger::probability(1.0, 7).offer());
+    }
+
+    #[test]
     fn holds_block_and_release() {
         use std::sync::Arc;
         let plan = Arc::new(FaultPlan::new());
@@ -317,9 +531,23 @@ struct FaultFsState {
     fail_dir_syncs: Vec<u64>,
     /// Remaining byte budget before every write fails with `StorageFull`.
     enospc_budget: Option<u64>,
+    /// Re-armable torn-write rule: `(trigger, bytes that land)`.
+    torn_trigger: Option<(Trigger, usize)>,
+    /// Re-armable short-write rule: `(trigger, bytes accepted)`.
+    short_trigger: Option<(Trigger, usize)>,
+    /// Re-armable file-fsync failure rule.
+    sync_trigger: Option<Trigger>,
+    /// Re-armable directory-fsync failure rule.
+    dir_sync_trigger: Option<Trigger>,
+    registry: Option<Arc<FaultSiteRegistry>>,
 }
 
 impl FaultFsState {
+    fn record(&self, site: &'static str) {
+        if let Some(registry) = &self.registry {
+            registry.record(site);
+        }
+    }
     /// Counts one operation and applies the crash script: at the crash
     /// point the filesystem "dies" — this operation and every later one
     /// fail. Returns the operation's index.
@@ -334,6 +562,7 @@ impl FaultFsState {
         if self.crash_at_op == Some(op) {
             self.crashed = true;
             self.log.push(format!("CRASH at op {op}: {what}"));
+            self.record(SITE_FS_CRASH);
             return Err(std::io::Error::other(format!(
                 "simulated crash at op {op}: {what}"
             )));
@@ -423,6 +652,76 @@ impl FaultFs {
         self
     }
 
+    /// Re-armable torn writes: each time `trigger` fires, the write lands
+    /// only its first `keep` bytes and then errors. The one-shot
+    /// [`FaultFs::torn_write_at`] script, if also set, is consulted first.
+    #[must_use]
+    pub fn torn_write_trigger(self, trigger: Trigger, keep: usize) -> Self {
+        lock(&self.state).torn_trigger = Some((trigger, keep));
+        self
+    }
+
+    /// Re-armable short writes: each time `trigger` fires, the write
+    /// accepts only `keep` bytes and returns `Ok(keep)`.
+    #[must_use]
+    pub fn short_write_trigger(self, trigger: Trigger, keep: usize) -> Self {
+        lock(&self.state).short_trigger = Some((trigger, keep));
+        self
+    }
+
+    /// Re-armable file-fsync failures: each time `trigger` fires, the
+    /// fsync errors.
+    #[must_use]
+    pub fn fail_sync_trigger(self, trigger: Trigger) -> Self {
+        lock(&self.state).sync_trigger = Some(trigger);
+        self
+    }
+
+    /// Re-armable directory-fsync failures.
+    #[must_use]
+    pub fn fail_dir_sync_trigger(self, trigger: Trigger) -> Self {
+        lock(&self.state).dir_sync_trigger = Some(trigger);
+        self
+    }
+
+    /// Attaches a fault-site registry: every filesystem fault site is
+    /// registered up front and recorded each time its fault fires.
+    #[must_use]
+    pub fn with_registry(self, registry: Arc<FaultSiteRegistry>) -> Self {
+        for site in FS_FAULT_SITES {
+            registry.register(site);
+        }
+        lock(&self.state).registry = Some(registry);
+        self
+    }
+
+    /// Arms a one-shot torn write after construction (`&self`, so the
+    /// chaos runner can script faults against a live filesystem relative
+    /// to its current [`FaultFs::write_count`]).
+    pub fn arm_torn_write(&self, write_index: u64, keep: usize) {
+        lock(&self.state).torn_write = Some((write_index, keep));
+    }
+
+    /// Arms a one-shot short write after construction.
+    pub fn arm_short_write(&self, write_index: u64, keep: usize) {
+        lock(&self.state).short_write = Some((write_index, keep));
+    }
+
+    /// Arms one more failing file fsync after construction.
+    pub fn arm_fail_sync(&self, sync_index: u64) {
+        lock(&self.state).fail_syncs.push(sync_index);
+    }
+
+    /// Arms one more failing directory fsync after construction.
+    pub fn arm_fail_dir_sync(&self, index: u64) {
+        lock(&self.state).fail_dir_syncs.push(index);
+    }
+
+    /// (Re)sets the remaining ENOSPC byte budget after construction.
+    pub fn arm_enospc(&self, bytes: u64) {
+        lock(&self.state).enospc_budget = Some(bytes);
+    }
+
     /// Operations performed so far.
     pub fn op_count(&self) -> u64 {
         lock(&self.state).ops
@@ -473,33 +772,50 @@ impl std::io::Write for FaultFile {
         s.begin_op(&format!("write {} bytes -> {}", buf.len(), self.name))?;
         let write_index = s.writes;
         s.writes += 1;
-        if let Some((index, keep)) = s.torn_write {
-            if index == write_index {
+        let torn = match s.torn_write {
+            Some((index, keep)) if index == write_index => {
                 s.torn_write = None;
-                s.log
-                    .push(format!("TORN write -> {} after {keep} bytes", self.name));
-                drop(s);
-                let keep = keep.min(buf.len());
-                self.inner.write_all(&buf[..keep])?;
-                return Err(std::io::Error::other("injected torn write"));
+                Some(keep)
             }
+            _ => match &mut s.torn_trigger {
+                Some((trigger, keep)) => trigger.offer().then_some(*keep),
+                None => None,
+            },
+        };
+        if let Some(keep) = torn {
+            s.record(SITE_FS_TORN_WRITE);
+            s.log
+                .push(format!("TORN write -> {} after {keep} bytes", self.name));
+            drop(s);
+            let keep = keep.min(buf.len());
+            self.inner.write_all(&buf[..keep])?;
+            return Err(std::io::Error::other("injected torn write"));
         }
-        if let Some((index, keep)) = s.short_write {
-            if index == write_index {
+        let short = match s.short_write {
+            Some((index, keep)) if index == write_index => {
                 s.short_write = None;
-                let keep = keep.min(buf.len());
-                s.log.push(format!(
-                    "SHORT write -> {} accepted {keep} bytes",
-                    self.name
-                ));
-                s.bytes_written += keep as u64;
-                drop(s);
-                self.inner.write_all(&buf[..keep])?;
-                return Ok(keep);
+                Some(keep)
             }
+            _ => match &mut s.short_trigger {
+                Some((trigger, keep)) => trigger.offer().then_some(*keep),
+                None => None,
+            },
+        };
+        if let Some(keep) = short {
+            let keep = keep.min(buf.len());
+            s.record(SITE_FS_SHORT_WRITE);
+            s.log.push(format!(
+                "SHORT write -> {} accepted {keep} bytes",
+                self.name
+            ));
+            s.bytes_written += keep as u64;
+            drop(s);
+            self.inner.write_all(&buf[..keep])?;
+            return Ok(keep);
         }
         if let Some(budget) = s.enospc_budget {
             if buf.len() as u64 > budget {
+                s.record(SITE_FS_ENOSPC);
                 s.log.push(format!("ENOSPC write -> {}", self.name));
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::StorageFull,
@@ -525,8 +841,17 @@ impl ascs_sketch_hash::codec::DurableFile for FaultFile {
         s.begin_op(&format!("sync {}", self.name))?;
         let sync_index = s.syncs;
         s.syncs += 1;
-        if let Some(pos) = s.fail_syncs.iter().position(|&i| i == sync_index) {
+        let scripted = if let Some(pos) = s.fail_syncs.iter().position(|&i| i == sync_index) {
             s.fail_syncs.swap_remove(pos);
+            true
+        } else {
+            match &mut s.sync_trigger {
+                Some(trigger) => trigger.offer(),
+                None => false,
+            }
+        };
+        if scripted {
+            s.record(SITE_FS_FAIL_SYNC);
             s.log
                 .push(format!("FAILED sync {} (index {sync_index})", self.name));
             return Err(std::io::Error::other("injected fsync failure"));
@@ -570,14 +895,52 @@ impl ascs_sketch_hash::codec::DurableFs for FaultFs {
         s.begin_op(&format!("sync_dir {}", short_name(dir)))?;
         let dir_sync_index = s.dir_syncs;
         s.dir_syncs += 1;
-        if let Some(pos) = s.fail_dir_syncs.iter().position(|&i| i == dir_sync_index) {
+        let scripted = if let Some(pos) = s.fail_dir_syncs.iter().position(|&i| i == dir_sync_index)
+        {
             s.fail_dir_syncs.swap_remove(pos);
+            true
+        } else {
+            match &mut s.dir_sync_trigger {
+                Some(trigger) => trigger.offer(),
+                None => false,
+            }
+        };
+        if scripted {
+            s.record(SITE_FS_FAIL_DIR_SYNC);
             s.log
                 .push(format!("FAILED sync_dir (index {dir_sync_index})"));
             return Err(std::io::Error::other("injected directory fsync failure"));
         }
         drop(s);
         std::fs::File::open(dir)?.sync_all()
+    }
+
+    fn open_read(&self, path: &std::path::Path) -> std::io::Result<Box<dyn std::io::Read + Send>> {
+        let name = short_name(path);
+        lock(&self.state).begin_op(&format!("open_read {name}"))?;
+        let inner = std::fs::File::open(path)?;
+        Ok(Box::new(FaultReadFile {
+            inner,
+            name,
+            state: self.state.clone(),
+        }))
+    }
+}
+
+/// One file opened for reading through [`FaultFs`]: every `read` call
+/// counts as an operation against the same crash script as writes, so
+/// [`FaultFs::crash_at_op`] can land *mid-recovery*, while the WAL or a
+/// checkpoint is being replayed.
+struct FaultReadFile {
+    inner: std::fs::File,
+    name: String,
+    state: std::sync::Arc<Mutex<FaultFsState>>,
+}
+
+impl std::io::Read for FaultReadFile {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        lock(&self.state).begin_op(&format!("read {}", self.name))?;
+        std::io::Read::read(&mut self.inner, buf)
     }
 }
 

@@ -22,8 +22,18 @@
 //!   machine-readable pass flags.
 //! * [`fault`] — deterministic fault injection for the serving core: a
 //!   scripted [`FaultPlan`] (panic-at-update-N, checkpoint truncation at
-//!   byte K, queue-full and recovery holds) plus the sequential
-//!   [`ReplayOracle`] serving snapshots must match bit for bit.
+//!   byte K, queue-full and recovery holds, re-armable [`Trigger`] rules)
+//!   plus the sequential [`ReplayOracle`] serving snapshots must match bit
+//!   for bit.
+//! * [`chaos`] — the deterministic chaos harness: a seeded
+//!   [`ChaosSchedule`] composes every fault dimension (worker panics, torn
+//!   checkpoints, filesystem faults, overload windows, byte corruption,
+//!   kill/cold-restart cycles including crash-during-recovery) against
+//!   live serving traffic with concurrent snapshot readers, while a
+//!   standing invariant oracle checks bit-identity, epoch monotonicity,
+//!   durability floors and counter coherence after every event.
+//! * [`shrink`] — greedy minimisation of a violating chaos schedule down
+//!   to a minimal reproducing fault set.
 //!
 //! Everything is deterministic from committed seeds: the tier-1 quick
 //! profile (`tests/bound_conformance.rs`) must pass bit-for-bit on every
@@ -33,14 +43,21 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod chaos;
 pub mod fault;
 pub mod harness;
 pub mod scenario;
+pub mod shrink;
 
 pub use adversarial::{find_row_colliders, AdversarialCollisionScenario, AttackerPlan};
-pub use fault::{FaultFs, FaultPlan, ReplayOracle};
+pub use chaos::{
+    chaos_sample, chaos_values, run_schedule, ChaosFault, ChaosOptions, ChaosReport, ChaosSchedule,
+    CorruptByte, KillPlan, LifePlan, Violation, CHAOS_SITES,
+};
+pub use fault::{FaultFs, FaultPlan, ReplayOracle, Trigger};
 pub use harness::{
     run_scenario, run_suite, BackendReport, BackendVariant, CheckpointReport, ConformanceConfig,
     ScenarioReport, SuiteReport,
 };
 pub use scenario::{deep_suite, mix_seed, quick_suite, Scenario, ScenarioProfile, ScenarioStream};
+pub use shrink::shrink;

@@ -1,0 +1,172 @@
+//! Greedy minimisation of a violating [`ChaosSchedule`].
+//!
+//! When a chaos run trips the invariant oracle, the raw schedule usually
+//! carries a dozen faults that have nothing to do with the failure. The
+//! shrinker re-runs the schedule with fault components removed one at a
+//! time — each scripted fault, each kill's byte corruption, each kill's
+//! crash-during-recovery op, each whole kill cycle — and keeps any removal
+//! that still reproduces the violation, restarting the scan after every
+//! success until a fixpoint: a schedule where removing *any* single
+//! component makes the failure disappear.
+//!
+//! The reproduction predicate is caller-supplied, so tests can shrink
+//! against the real [`crate::chaos::run_schedule`] runner (fresh directory
+//! per attempt) or against a cheap structural stand-in.
+
+use crate::chaos::ChaosSchedule;
+
+/// One removable component of a schedule, addressed structurally so
+/// candidates stay valid as the schedule shrinks.
+#[derive(Debug, Clone, Copy)]
+enum Candidate {
+    /// Remove `faults[fault]` of `lives[life]`.
+    Fault { life: usize, fault: usize },
+    /// Drop the byte corruption from `lives[life]`'s kill.
+    Corrupt { life: usize },
+    /// Drop the crash-during-recovery op from `lives[life]`'s kill.
+    CrashRecovery { life: usize },
+    /// Drop `lives[life]`'s kill entirely (the instance then survives
+    /// into the next life).
+    Kill { life: usize },
+}
+
+fn candidates(schedule: &ChaosSchedule) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (life, plan) in schedule.lives.iter().enumerate() {
+        for fault in 0..plan.faults.len() {
+            out.push(Candidate::Fault { life, fault });
+        }
+        if let Some(kill) = plan.kill {
+            if kill.corrupt.is_some() {
+                out.push(Candidate::Corrupt { life });
+            }
+            if kill.crash_recovery_at_op.is_some() {
+                out.push(Candidate::CrashRecovery { life });
+            }
+            out.push(Candidate::Kill { life });
+        }
+    }
+    out
+}
+
+fn without(schedule: &ChaosSchedule, candidate: Candidate) -> ChaosSchedule {
+    let mut next = schedule.clone();
+    match candidate {
+        Candidate::Fault { life, fault } => {
+            next.lives[life].faults.remove(fault);
+        }
+        Candidate::Corrupt { life } => {
+            if let Some(kill) = next.lives[life].kill.as_mut() {
+                kill.corrupt = None;
+            }
+        }
+        Candidate::CrashRecovery { life } => {
+            if let Some(kill) = next.lives[life].kill.as_mut() {
+                kill.crash_recovery_at_op = None;
+            }
+        }
+        Candidate::Kill { life } => {
+            next.lives[life].kill = None;
+        }
+    }
+    next
+}
+
+/// Greedily minimises `schedule` under `reproduces`: returns a schedule
+/// that still satisfies the predicate but from which no single fault
+/// component can be removed without losing the reproduction.
+///
+/// `reproduces` must return `true` for the input schedule itself (the
+/// caller has already observed the violation); if it does not, the input
+/// is returned unchanged. Each candidate removal calls the predicate once,
+/// so the cost is `O(components²)` runs in the worst case — small, since
+/// generated schedules carry at most a few dozen components.
+pub fn shrink(
+    schedule: &ChaosSchedule,
+    mut reproduces: impl FnMut(&ChaosSchedule) -> bool,
+) -> ChaosSchedule {
+    let mut current = schedule.clone();
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            let attempt = without(&current, candidate);
+            if reproduces(&attempt) {
+                current = attempt;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{ChaosFault, ChaosOptions, CorruptByte, KillPlan, LifePlan};
+
+    /// A structural predicate: "fails" iff a PoisonSample at sample 5
+    /// survives anywhere in the schedule. The shrinker must strip every
+    /// other component.
+    #[test]
+    fn shrinks_to_the_single_guilty_fault() {
+        let schedule = ChaosSchedule {
+            seed: 99,
+            lives: vec![
+                LifePlan {
+                    end_sample: 48,
+                    faults: vec![
+                        ChaosFault::WorkerPanic {
+                            shard: 0,
+                            at_sample: 3,
+                            offset: 7,
+                        },
+                        ChaosFault::PoisonSample { at_sample: 5 },
+                        ChaosFault::Enospc { budget: 512 },
+                    ],
+                    kill: Some(KillPlan {
+                        corrupt: Some(CorruptByte {
+                            file_salt: 1,
+                            offset_salt: 2,
+                            xor: 3,
+                        }),
+                        crash_recovery_at_op: Some(1),
+                    }),
+                },
+                LifePlan {
+                    end_sample: 96,
+                    faults: vec![ChaosFault::FailWalSync { sync: 0 }],
+                    kill: None,
+                },
+            ],
+        };
+        let guilty = |s: &ChaosSchedule| {
+            s.lives
+                .iter()
+                .flat_map(|l| &l.faults)
+                .any(|f| matches!(f, ChaosFault::PoisonSample { at_sample: 5 }))
+        };
+        let minimal = shrink(&schedule, guilty);
+        assert_eq!(minimal.fault_count(), 1);
+        assert_eq!(
+            minimal
+                .lives
+                .iter()
+                .flat_map(|l| &l.faults)
+                .collect::<Vec<_>>(),
+            vec![&ChaosFault::PoisonSample { at_sample: 5 }]
+        );
+        assert!(minimal.lives.iter().all(|l| l.kill.is_none()));
+        assert_eq!(minimal.seed, 99, "seed preserved for reproduction");
+    }
+
+    #[test]
+    fn non_reproducing_input_is_returned_unchanged() {
+        let opts = ChaosOptions::default();
+        let schedule = ChaosSchedule::generate(5, &opts);
+        let shrunk = shrink(&schedule, |_| false);
+        assert_eq!(shrunk, schedule);
+    }
+}

@@ -76,13 +76,13 @@ pub use ascs_sketch_hash as sketch_hash;
 /// Convenience re-exports covering the common end-to-end workflow.
 pub mod prelude {
     pub use ascs_core::{
-        AscsConfig, AscsSketch, CodecError, CovarianceEstimator, DurabilityError, DurabilityHealth,
-        DurabilityOptions, EstimandKind, FaultInjector, FsyncPolicy, HyperParameterSolver,
-        HyperParameters, IngestError, NoFaults, PairIndexer, PlanError, RecoveredState,
-        RecoveryManager, RecoveryOutcome, RecoveryReport, ReportedPair, Sample, SampleGate,
-        ServeError, ServeOptions, ServeStats, ServingEstimator, ServingHealth, ShardUpdate,
-        ShardedAscs, SketchBackend, SketchGeometry, Snapshot, SnapshotReader, SnapshotView,
-        TheoryBounds, ThresholdSchedule, UpdateMode, MAX_SHARDS,
+        jittered_backoff, recover_with_reentry, AscsConfig, AscsSketch, CodecError,
+        CovarianceEstimator, DurabilityError, DurabilityHealth, DurabilityOptions, EstimandKind,
+        FaultInjector, FsyncPolicy, HyperParameterSolver, HyperParameters, IngestError, NoFaults,
+        PairIndexer, PlanError, RecoveredState, RecoveryManager, RecoveryOutcome, RecoveryReport,
+        ReportedPair, Sample, SampleGate, ServeError, ServeOptions, ServeStats, ServingEstimator,
+        ServingHealth, ShardUpdate, ShardedAscs, SketchBackend, SketchGeometry, Snapshot,
+        SnapshotReader, SnapshotView, TheoryBounds, ThresholdSchedule, UpdateMode, MAX_SHARDS,
     };
     pub use ascs_count_sketch::{
         AugmentedSketch, ColdFilter, CountMinSketch, CountSketch, HashPlan, PointSketch,

@@ -694,3 +694,220 @@ fn recovery_on_a_pristine_directory_is_a_clean_cold_start() {
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Double crash: first a real SIGKILL mid-ingest, then a fault-injected
+/// process death landing *while the recovery replays the WAL*, absorbed
+/// by the bounded re-entry budget. A third, clean cold start must see
+/// exactly the same directory: the crashed recovery attempt may not have
+/// changed what any later recovery rebuilds, and the final state must be
+/// bit-identical to the sequential oracle at the recovered epoch.
+#[test]
+fn double_crash_with_kill_during_wal_replay_recovers_bit_identically() {
+    use ascs::core::codec::DurableFs;
+
+    let dir = temp_dir("double-crash");
+    let total = 1_000_000u64;
+    let cfg = config(total, 127); // must mirror the SIGKILL child exactly
+    let hp = hyper(total);
+    let shards = ServeOptions::default().shards;
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = std::process::Command::new(exe)
+        .args(["sigkill_child_ingest_loop", "--exact", "--nocapture"])
+        .env("ASCS_SIGKILL_CHILD_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawning the child failed");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "child produced no durable progress in time"
+        );
+        if let Some(status) = child.try_wait().expect("try_wait failed") {
+            panic!("child exited prematurely: {status}");
+        }
+        let manifests = std::fs::read_dir(&dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().to_string_lossy().ends_with(".manifest"))
+                    .count()
+            })
+            .unwrap_or(0);
+        if manifests >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill failed");
+    child.wait().expect("wait failed");
+
+    // Probe twice with a counting filesystem: the first pass may sweep
+    // stray files, the second gives the steady-state op count a repeat
+    // recovery performs — so the injected crash below lands two ops short
+    // of the finish line, squarely inside the WAL tail replay.
+    let mut clean_epoch = 0;
+    let mut ops = 0;
+    for _ in 0..2 {
+        let probe = Arc::new(FaultFs::new());
+        let outcome = RecoveryManager::with_fs(&dir, probe.clone())
+            .recover(&cfg, Some(&hp), shards)
+            .expect("probe recovery failed");
+        assert!(
+            outcome.report.wal_records_replayed + outcome.report.wal_records_skipped > 0,
+            "recovery must walk WAL records for the crash to land mid-replay: {}",
+            outcome.report
+        );
+        clean_epoch = outcome.state.epoch();
+        ops = probe.op_count();
+    }
+    assert!(clean_epoch >= 64, "no checkpointed progress: {clean_epoch}");
+
+    let crash_fs = Arc::new(FaultFs::new().crash_at_op(ops - 2));
+    let outcome = recover_with_reentry(&dir, &cfg, Some(&hp), shards, 3, |attempt| {
+        if attempt == 0 {
+            crash_fs.clone() as Arc<dyn DurableFs>
+        } else {
+            Arc::new(StdFs) as Arc<dyn DurableFs>
+        }
+    })
+    .expect("re-entry recovery failed");
+    // The crashing op itself is counted, so a fired crash leaves the
+    // count exactly one past its trigger — and short of a full recovery.
+    assert_eq!(
+        crash_fs.op_count(),
+        ops - 1,
+        "the first recovery attempt must have died mid-replay"
+    );
+    assert_eq!(outcome.state.epoch(), clean_epoch);
+    assert_recovered_matches(
+        &outcome.state,
+        &oracle_at(&cfg, Some(&hp), shards, clean_epoch),
+        "recovery re-entered after crash-during-replay",
+    );
+
+    // Third crash survived implicitly: a clean cold start over the same
+    // directory reaches the same epoch, bit for bit.
+    let outcome = RecoveryManager::new(&dir)
+        .recover(&cfg, Some(&hp), shards)
+        .expect("clean third recovery failed");
+    assert_eq!(outcome.state.epoch(), clean_epoch);
+    assert_recovered_matches(
+        &outcome.state,
+        &oracle_at(&cfg, Some(&hp), shards, clean_epoch),
+        "third cold start",
+    );
+
+    // And the directory still relaunches into live serving.
+    let mut serving = ServingEstimator::launch_durable(
+        cfg,
+        Some(hp),
+        ServeOptions::default(),
+        DurabilityOptions::new(&dir),
+    )
+    .expect("relaunch after double crash failed");
+    let mut oracle = oracle_at(&cfg, Some(&hp), serving.shards(), clean_epoch);
+    for t in clean_epoch + 1..=clean_epoch + 32 {
+        let s = sample_at(t);
+        serving.ingest_blocking(&s).expect("ingest failed");
+        oracle.ingest(&s);
+    }
+    let snap = serving.refresh_snapshot().expect("refresh failed");
+    assert_snapshot_matches(&snap, &oracle, "stream resumed after double crash");
+    serving.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Regression for a durable-floor hole the chaos harness found (seed
+/// 1249): when corruption opens a record *gap* in the WAL, every future
+/// recovery stops at the gap — yet a reopened store appended *behind* it,
+/// so the records backing its advertised `last_durable_epoch` were
+/// unreachable on the next cold start. Recovery now repairs the log:
+/// the gapped segment is rewritten down to its consumed prefix, dead
+/// segments beyond it are deleted, and appends re-join a contiguous log.
+#[test]
+fn wal_gap_is_repaired_so_later_appends_stay_recoverable() {
+    let dir = temp_dir("wal-gap-repair");
+    let cfg = config(96, 137);
+    let hp = hyper(96);
+    let mut serving = ServingEstimator::launch_durable(
+        cfg,
+        Some(hp),
+        ServeOptions::default(),
+        DurabilityOptions {
+            checkpoint_every: 0, // WAL only: the gap must not be papered over
+            wal_segment_records: 8,
+            ..DurabilityOptions::new(&dir)
+        },
+    )
+    .expect("durable launch failed");
+    for t in 1..=24u64 {
+        serving.ingest_blocking(&sample_at(t)).expect("ingest");
+    }
+    serving.simulate_crash();
+
+    // Corrupt one record in the middle of the *first* segment: recovery
+    // must stop there, and everything behind the corruption is dead.
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.to_string_lossy().contains("wal"))
+        .collect();
+    segments.sort();
+    assert!(segments.len() >= 3, "wanted several segments: {segments:?}");
+    let mut bytes = std::fs::read(&segments[0]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&segments[0], &bytes).unwrap();
+
+    let outcome = RecoveryManager::new(&dir)
+        .recover(&cfg, Some(&hp), 2)
+        .expect("recovery over the corrupt WAL failed");
+    let repaired_epoch = outcome.state.epoch();
+    assert!(outcome.report.wal_repaired, "{}", outcome.report);
+    assert!(repaired_epoch < 24, "corruption should cost records");
+    assert_recovered_matches(
+        &outcome.state,
+        &oracle_at(&cfg, Some(&hp), 2, repaired_epoch),
+        "post-corruption recovery",
+    );
+
+    // Reopen, append new records, crash again: the floor the store
+    // advertises must actually be recoverable — this is exactly what
+    // broke before the repair existed.
+    let mut serving = ServingEstimator::launch_durable(
+        cfg,
+        Some(hp),
+        ServeOptions::default(),
+        DurabilityOptions {
+            checkpoint_every: 0,
+            wal_segment_records: 8,
+            ..DurabilityOptions::new(&dir)
+        },
+    )
+    .expect("relaunch over repaired WAL failed");
+    for t in repaired_epoch + 1..=repaired_epoch + 12 {
+        serving.ingest_blocking(&sample_at(t)).expect("ingest");
+    }
+    let floor = serving.health().durability.last_durable_epoch;
+    assert!(floor >= repaired_epoch + 12, "appends were not durable");
+    serving.simulate_crash();
+
+    let outcome = RecoveryManager::new(&dir)
+        .recover(&cfg, Some(&hp), 2)
+        .expect("recovery after repaired appends failed");
+    assert!(
+        outcome.state.epoch() >= floor,
+        "advertised durable floor {floor} unreachable: cold start got {}",
+        outcome.state.epoch()
+    );
+    assert_recovered_matches(
+        &outcome.state,
+        &oracle_at(&cfg, Some(&hp), 2, outcome.state.epoch()),
+        "cold start over repaired log",
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -496,3 +496,46 @@ fn exhausted_ingest_deadline_is_a_typed_timeout_not_a_livelock() {
     assert_snapshot_matches(&snap, &oracle, "state after timeout storm");
     serving.shutdown();
 }
+
+#[test]
+fn backoff_jitter_sequence_is_pinned_per_seed() {
+    use ascs_sketch_hash::splitmix64;
+
+    // `ingest_with_deadline` seeds its jitter stream as
+    // `splitmix64(config.seed ^ JITTER_SALT)`; the salt below mirrors
+    // serve.rs. This pins the exact nanosecond sequence for seed 7 so an
+    // accidental change to the backoff constants, the mixer, or the
+    // seeding breaks loudly instead of silently re-randomizing retry
+    // schedules that replay-debugging depends on.
+    const JITTER_SALT: u64 = 0x6A09_E667_F3BC_C909;
+    let mut rng = splitmix64(7 ^ JITTER_SALT);
+    let pinned: [u64; 10] = [
+        12_753, 20_096, 68_566, 88_650, 213_522, 556_758, 1_185_441, 2_352_966, 2_244_560,
+        1_745_770,
+    ];
+    for (step, &expected) in pinned.iter().enumerate() {
+        let delay = jittered_backoff(step as u32, &mut rng);
+        assert_eq!(
+            delay,
+            Duration::from_nanos(expected),
+            "jitter sequence drifted at step {step}"
+        );
+    }
+
+    // Replaying from the same state reproduces the same schedule, and a
+    // different seed decorrelates: blocked ingesters with different
+    // configured seeds must not retry in lockstep.
+    let mut a = splitmix64(7 ^ JITTER_SALT);
+    let mut b = splitmix64(7 ^ JITTER_SALT);
+    let mut c = splitmix64(8 ^ JITTER_SALT);
+    let mut diverged = false;
+    for step in 0..32u32 {
+        let da = jittered_backoff(step, &mut a);
+        assert_eq!(da, jittered_backoff(step, &mut b));
+        diverged |= da != jittered_backoff(step, &mut c);
+        // Envelope: half-to-full of the nominal doubling-with-cap curve.
+        let nominal = Duration::from_micros((20u64 << step.min(7)).min(2_500));
+        assert!(da >= nominal / 2 && da < nominal, "step {step}: {da:?}");
+    }
+    assert!(diverged, "seeds 7 and 8 produced identical jitter");
+}
