@@ -16,6 +16,7 @@ use crate::sharded::{ShardUpdate, ShardedAscs};
 use crate::snr::SnrProbe;
 use crate::stream::{Sample, StreamContext};
 use crate::theory::TheoryBounds;
+use crate::timeaware::{DecayedSketch, WindowedSketch, MAX_WINDOW_SEGMENTS};
 use ascs_count_sketch::codec::{self, CodecError};
 use ascs_count_sketch::{
     AugmentedSketch, ColdFilter, CountSketch, HashPlan, PointSketch, TopKTracker,
@@ -102,6 +103,25 @@ pub enum SketchBackend {
         /// Buckets per row of the small filter structures.
         filter_range: usize,
     },
+    /// Sliding-window covariance over the last `≈ segments · segment_len`
+    /// samples: a ring of count-sketch segments merged by linearity at
+    /// read time (see [`WindowedSketch`]). Ungated — the stationary-stream
+    /// theorems do not cover the windowed estimand, and the gate is what
+    /// freezes drift-emergent signals.
+    Windowed {
+        /// Samples per ring segment (`L`).
+        segment_len: u64,
+        /// Segments in the ring (`S`); the warm window spans
+        /// `(S−1)·L+1 ..= S·L` samples.
+        segments: usize,
+    },
+    /// Exponentially decayed covariance with per-sample decay `γ`,
+    /// scale-on-read so tables are never rescaled in place (see
+    /// [`DecayedSketch`]). Ungated, like [`SketchBackend::Windowed`].
+    Decayed {
+        /// Per-sample decay factor, strictly inside `(0, 1)`.
+        gamma: f64,
+    },
 }
 
 /// One reported pair: the feature indices, the linear key and the final
@@ -134,6 +154,8 @@ enum BackendState {
         sketch: ColdFilter,
         tracker: TopKTracker,
     },
+    Windowed(WindowedSketch),
+    Decayed(DecayedSketch),
 }
 
 impl BackendState {
@@ -143,11 +165,17 @@ impl BackendState {
             Self::Sharded { sketch, .. } => sketch.estimate(key),
             Self::Asketch { sketch, .. } => sketch.estimate(key),
             Self::Cold { sketch, .. } => sketch.estimate(key),
+            Self::Windowed(w) => w.estimate(key),
+            Self::Decayed(d) => d.estimate(key),
         }
     }
 
     /// The `k` top tracked pairs — partial selection over the retained set
     /// (the sharded layer's cross-shard merge already truncates internally).
+    /// The time-aware backends keep no tracker (updates are raw, not
+    /// `1/T`-scaled, so a running tracker would rank stale magnitudes);
+    /// [`CovarianceEstimator::top_pairs`] ranks them by a whole-universe
+    /// sweep instead.
     fn top_pairs(&self, k: usize) -> Vec<(u64, f64)> {
         match self {
             Self::Ascs(a) => a.top_pairs_limit(k),
@@ -157,6 +185,9 @@ impl BackendState {
                 top
             }
             Self::Asketch { tracker, .. } | Self::Cold { tracker, .. } => tracker.top_descending(k),
+            Self::Windowed(_) | Self::Decayed(_) => {
+                unreachable!("time-aware backends are ranked by the estimator's sweep")
+            }
         }
     }
 
@@ -166,6 +197,8 @@ impl BackendState {
             Self::Sharded { sketch, .. } => sketch.memory_words(),
             Self::Asketch { sketch, .. } => sketch.memory_words(),
             Self::Cold { sketch, .. } => sketch.memory_words(),
+            Self::Windowed(w) => w.memory_words(),
+            Self::Decayed(d) => d.memory_words(),
         }
     }
 }
@@ -316,6 +349,22 @@ impl CovarianceEstimator {
                 ),
                 tracker: TopKTracker::new(config.top_k_capacity),
             },
+            SketchBackend::Windowed {
+                segment_len,
+                segments,
+            } => BackendState::Windowed(WindowedSketch::new(
+                config.geometry.rows,
+                config.geometry.range,
+                config.seed,
+                segment_len,
+                segments,
+            )),
+            SketchBackend::Decayed { gamma } => BackendState::Decayed(DecayedSketch::new(
+                config.geometry.rows,
+                config.geometry.range,
+                config.seed,
+                gamma,
+            )),
         };
         Self {
             config,
@@ -374,6 +423,8 @@ impl CovarianceEstimator {
             BackendState::Sharded { sketch, .. } => {
                 sketch.workers()[0].sketch().build_plan(p as usize)
             }
+            BackendState::Windowed(w) => w.build_plan(p as usize),
+            BackendState::Decayed(d) => d.build_plan(p as usize),
             BackendState::Asketch { .. } | BackendState::Cold { .. } => {
                 return Err(PlanError::UnsupportedBackend(self.backend_kind));
             }
@@ -456,6 +507,8 @@ impl CovarianceEstimator {
             BackendState::Cold { sketch, .. } => {
                 (sketch.promoted_updates() + sketch.cold_updates(), 0)
             }
+            BackendState::Windowed(w) => (w.ingested_updates(), 0),
+            BackendState::Decayed(d) => (d.ingested_updates(), 0),
         }
     }
 
@@ -507,6 +560,18 @@ impl CovarianceEstimator {
             BackendState::Ascs(a) => Some(a.sample_gate(t)),
             _ => None,
         };
+        // The time-aware backends keep their own stream clock: advance it
+        // (rotating window segments / the decay accumulator) before this
+        // sample's updates land. A segment retired here has fallen out of
+        // the window — the estimator's window semantics is to forget it
+        // (standalone [`WindowedSketch`] users can spill it instead).
+        match &mut self.backend {
+            BackendState::Windowed(w) => {
+                let _ = w.begin_sample();
+            }
+            BackendState::Decayed(d) => d.begin_sample(),
+            _ => {}
+        }
         let backend = &mut self.backend;
         let probe = &mut self.probe;
         let plan = self.plan.as_ref();
@@ -542,6 +607,23 @@ impl CovarianceEstimator {
                 BackendState::Cold { sketch, tracker } => {
                     sketch.update(update.key, update.value * inv_total);
                     tracker.offer(update.key, sketch.estimate(update.key).abs());
+                    true
+                }
+                // Raw values: the windowed/decayed estimates normalise at
+                // read time (by window length / total decayed weight), not
+                // by a fixed `1/T` at ingest.
+                BackendState::Windowed(w) => {
+                    match plan {
+                        Some(plan) => w.ingest_planned(plan, update.key as usize, update.value),
+                        None => w.ingest(update.key, update.value),
+                    }
+                    true
+                }
+                BackendState::Decayed(d) => {
+                    match plan {
+                        Some(plan) => d.ingest_planned(plan, update.key as usize, update.value),
+                        None => d.ingest(update.key, update.value),
+                    }
                     true
                 }
             };
@@ -603,6 +685,30 @@ impl CovarianceEstimator {
             BackendState::Sharded { sketch, .. } => {
                 self.sweep_estimates(&sketch.merged_sketch(), p)
             }
+            // The merged table holds the same per-bucket sums, added in the
+            // same order, as the per-key read path — so after the identical
+            // normalising division the sweep is bit-identical to
+            // `estimate_key`.
+            BackendState::Windowed(w) => {
+                let mut out = self.sweep_estimates(&w.merged_sketch(), p);
+                let n = w.window_len();
+                if n > 0 {
+                    for v in &mut out {
+                        *v /= n as f64;
+                    }
+                }
+                out
+            }
+            BackendState::Decayed(d) => {
+                let mut out = self.sweep_estimates(&d.merged_sketch(), p);
+                if d.t() > 0 {
+                    let norm = d.weight_norm();
+                    for v in &mut out {
+                        *v /= norm;
+                    }
+                }
+                out
+            }
             _ => (0..p).map(|key| self.backend.estimate(key)).collect(),
         }
     }
@@ -628,8 +734,26 @@ impl CovarianceEstimator {
     /// the tracker's retained set.
     pub fn top_pairs(&self, k: usize) -> Vec<ReportedPair> {
         let indexer = self.ctx.indexer();
-        self.backend
-            .top_pairs(k)
+        let ranked = match &self.backend {
+            // No tracker on the time-aware backends: rank the whole
+            // universe by current estimate magnitude (the configured
+            // tracker capacity still bounds the retained set, matching the
+            // other backends' reporting contract). Like the trackers, the
+            // reported value is the |estimate| score.
+            BackendState::Windowed(_) | BackendState::Decayed(_) => {
+                let mut scored: Vec<(u64, f64)> = self
+                    .all_estimates()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(key, v)| (key as u64, v.abs()))
+                    .collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                scored.truncate(k.min(self.config.top_k_capacity));
+                scored
+            }
+            _ => self.backend.top_pairs(k),
+        };
+        ranked
             .into_iter()
             .map(|(key, estimate)| {
                 let (a, b) = indexer.pair(key);
@@ -664,6 +788,8 @@ impl CovarianceEstimator {
             (BackendState::Ascs(_), SketchBackend::VanillaCs) => 2u8,
             (BackendState::Ascs(_), _) => 0u8,
             (BackendState::Sharded { .. }, _) => 1u8,
+            (BackendState::Windowed(_), _) => 3u8,
+            (BackendState::Decayed(_), _) => 4u8,
             (BackendState::Asketch { .. } | BackendState::Cold { .. }, _) => {
                 return Err(CodecError::Unsupported(
                     "checkpointing requires a count-sketch-family backend (ASCS / vanilla CS)",
@@ -690,6 +816,17 @@ impl CovarianceEstimator {
         if let SketchBackend::ShardedAscs { shards } = self.backend_kind {
             codec::write_u64(w, shards as u64)?;
         }
+        if let SketchBackend::Windowed {
+            segment_len,
+            segments,
+        } = self.backend_kind
+        {
+            codec::write_u64(w, segment_len)?;
+            codec::write_u64(w, segments as u64)?;
+        }
+        if let SketchBackend::Decayed { gamma } = self.backend_kind {
+            codec::write_f64(w, gamma)?;
+        }
         match &self.hyper {
             Some(hp) => {
                 codec::write_bool(w, true)?;
@@ -706,6 +843,8 @@ impl CovarianceEstimator {
         match &self.backend {
             BackendState::Ascs(a) => a.save(w),
             BackendState::Sharded { sketch, .. } => sketch.save(w),
+            BackendState::Windowed(win) => win.save(w),
+            BackendState::Decayed(d) => d.save(w),
             // Unreachable: filtered out when computing backend_tag above.
             _ => Err(CodecError::Unsupported(
                 "checkpointing requires a count-sketch-family backend (ASCS / vanilla CS)",
@@ -773,6 +912,28 @@ impl CovarianceEstimator {
                 SketchBackend::ShardedAscs { shards }
             }
             2 => SketchBackend::VanillaCs,
+            3 => {
+                let segment_len = codec::read_u64(r)?;
+                let segments = codec::read_len(
+                    r,
+                    MAX_WINDOW_SEGMENTS as u64,
+                    "window segment count out of range",
+                )?;
+                if segment_len == 0 || segments == 0 {
+                    return Err(CodecError::Corrupt("window geometry out of range"));
+                }
+                SketchBackend::Windowed {
+                    segment_len,
+                    segments,
+                }
+            }
+            4 => {
+                let gamma = codec::read_f64(r)?;
+                if !(gamma.is_finite() && gamma > 0.0 && gamma < 1.0) {
+                    return Err(CodecError::Corrupt("decay factor outside (0, 1)"));
+                }
+                SketchBackend::Decayed { gamma }
+            }
             _ => return Err(CodecError::Corrupt("unknown backend kind")),
         };
         let hyper = if codec::read_bool(r)? {
@@ -813,6 +974,37 @@ impl CovarianceEstimator {
                     sketch,
                     pending: Vec::new(),
                 }
+            }
+            SketchBackend::Windowed {
+                segment_len,
+                segments,
+            } => {
+                let win = WindowedSketch::restore(r)?;
+                if win.segment_len() != segment_len || win.segment_count() != segments {
+                    return Err(CodecError::Corrupt(
+                        "windowed ring geometry disagrees with the backend kind",
+                    ));
+                }
+                if win.t() != t {
+                    return Err(CodecError::Corrupt(
+                        "windowed ring stream clock disagrees with the estimator",
+                    ));
+                }
+                BackendState::Windowed(win)
+            }
+            SketchBackend::Decayed { gamma } => {
+                let d = DecayedSketch::restore(r)?;
+                if d.gamma().to_bits() != gamma.to_bits() {
+                    return Err(CodecError::Corrupt(
+                        "decay factor disagrees with the backend kind",
+                    ));
+                }
+                if d.t() != t {
+                    return Err(CodecError::Corrupt(
+                        "decayed sketch stream clock disagrees with the estimator",
+                    ));
+                }
+                BackendState::Decayed(d)
             }
             _ => unreachable!("backend tag decoding covers CS-family kinds only"),
         };
@@ -862,6 +1054,19 @@ impl CovarianceEstimator {
                 BackendState::Sharded { sketch: theirs, .. },
             ) => {
                 mine.merge_restored(theirs)?;
+            }
+            (BackendState::Windowed(_), BackendState::Windowed(_))
+            | (BackendState::Decayed(_), BackendState::Decayed(_)) => {
+                // Estimator-level merge glues *disjoint stream halves*
+                // (`t` adds) — undefined for time-indexed state, where the
+                // two halves occupy different windows / decay horizons.
+                // Key-partitioned, time-aligned merges go through
+                // `WindowedSketch::merge_restored` /
+                // `DecayedSketch::merge_restored` instead.
+                return Err(CodecError::Unsupported(
+                    "time-aware backends cannot merge time-split checkpoints; \
+                     merge time-aligned sketches via merge_restored instead",
+                ));
             }
             _ => {
                 return Err(CodecError::Incompatible("estimator backend kind mismatch"));
@@ -997,6 +1202,11 @@ mod tests {
             SketchBackend::VanillaCs,
             SketchBackend::Ascs,
             SketchBackend::ShardedAscs { shards: 3 },
+            SketchBackend::Windowed {
+                segment_len: 32,
+                segments: 3,
+            },
+            SketchBackend::Decayed { gamma: 0.97 },
         ] {
             let cfg = config(24, 300, 800);
             let samples = correlated_stream(24, 300, 0.9, 31);
@@ -1187,6 +1397,11 @@ mod tests {
                 threshold: 1e-3,
                 filter_range: 64,
             },
+            SketchBackend::Windowed {
+                segment_len: 64,
+                segments: 4,
+            },
+            SketchBackend::Decayed { gamma: 0.99 },
         ] {
             let cfg = config(dim, n as u64, 1000);
             let mut est = CovarianceEstimator::new(cfg, backend).unwrap();
@@ -1235,6 +1450,11 @@ mod tests {
                 threshold: 1e-3,
                 filter_range: 64,
             },
+            SketchBackend::Windowed {
+                segment_len: 64,
+                segments: 4,
+            },
+            SketchBackend::Decayed { gamma: 0.99 },
         ] {
             let cfg = config(dim, n as u64, 1000);
             let mut est = CovarianceEstimator::new(cfg, backend).unwrap();
@@ -1272,6 +1492,114 @@ mod tests {
             }
             assert_eq!(est.processed_samples(), n as u64, "{backend:?}");
         }
+    }
+
+    /// Mid-window / mid-horizon checkpoint → resume must continue the
+    /// stream bit-identically on the time-aware backends, and the
+    /// estimator-level time-split merge must be refused with a typed
+    /// error (windows are time-indexed; gluing disjoint stream halves is
+    /// undefined).
+    #[test]
+    fn time_aware_checkpoints_resume_bit_identically() {
+        for backend in [
+            SketchBackend::Windowed {
+                segment_len: 32,
+                segments: 3,
+            },
+            SketchBackend::Decayed { gamma: 0.95 },
+        ] {
+            let cfg = config(16, 240, 500);
+            let samples = correlated_stream(16, 240, 0.9, 41);
+            let mut full = CovarianceEstimator::new(cfg, backend).unwrap();
+            let mut half = CovarianceEstimator::new(cfg, backend).unwrap();
+            // 130 sits mid-block (130 = 4·32 + 2): the checkpoint captures
+            // a partially filled head segment.
+            for s in &samples[..130] {
+                full.process_sample(s);
+                half.process_sample(s);
+            }
+            let mut bytes = Vec::new();
+            half.checkpoint(&mut bytes).unwrap();
+            let mut resumed = CovarianceEstimator::resume(&mut bytes.as_slice()).unwrap();
+            assert_eq!(resumed.backend(), backend);
+            assert_eq!(resumed.processed_samples(), 130);
+            for s in &samples[130..] {
+                full.process_sample(s);
+                resumed.process_sample(s);
+            }
+            let a = full.all_estimates();
+            let b = resumed.all_estimates();
+            for (key, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{backend:?}: resumed stream diverged at key {key}"
+                );
+            }
+            let mut other = CovarianceEstimator::new(cfg, backend).unwrap();
+            other.process_sample(&samples[0]);
+            let mut other_bytes = Vec::new();
+            other.checkpoint(&mut other_bytes).unwrap();
+            assert!(
+                matches!(
+                    full.merge_from_checkpoint(&mut other_bytes.as_slice()),
+                    Err(CodecError::Unsupported(_))
+                ),
+                "{backend:?}: time-split merge must be refused"
+            );
+        }
+    }
+
+    /// The semantic point of the windowed/decayed backends: after a
+    /// covariance flip, the cumulative estimate is stuck between the
+    /// phases while the time-aware estimates track the current one.
+    #[test]
+    fn time_aware_backends_track_a_covariance_flip() {
+        let dim = 12usize;
+        let n = 480usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let samples: Vec<Sample> = (0..n)
+            .map(|i| {
+                let mut v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0_f64)).collect();
+                // Phase A: feature 1 copies feature 0; phase B: it copies
+                // the negation.
+                let rho = if i < n / 2 { 0.9 } else { -0.9 };
+                v[1] = rho * v[0] + 0.1 * rng.gen_range(-1.0..1.0);
+                Sample::dense(v)
+            })
+            .collect();
+        let cfg = config(dim as u64, n as u64, 1000);
+        let mut cumulative = CovarianceEstimator::new(cfg, SketchBackend::VanillaCs).unwrap();
+        let mut windowed = CovarianceEstimator::new(
+            cfg,
+            SketchBackend::Windowed {
+                segment_len: 40,
+                segments: 3,
+            },
+        )
+        .unwrap();
+        let mut decayed =
+            CovarianceEstimator::new(cfg, SketchBackend::Decayed { gamma: 0.98 }).unwrap();
+        for s in &samples {
+            cumulative.process_sample(s);
+            windowed.process_sample(s);
+            decayed.process_sample(s);
+        }
+        // The cumulative estimate averages the two phases (≈ 0); the
+        // time-aware ones see only (mostly) phase B.
+        let scale = n as f64 / n as f64; // T/t = 1 at the end of the stream
+        let cum = cumulative.estimate_pair(0, 1) * scale;
+        assert!(cum.abs() < 0.12, "cumulative should straddle: {cum}");
+        assert!(
+            windowed.estimate_pair(0, 1) < -0.2,
+            "windowed missed phase B: {}",
+            windowed.estimate_pair(0, 1)
+        );
+        assert!(
+            decayed.estimate_pair(0, 1) < -0.2,
+            "decayed missed phase B: {}",
+            decayed.estimate_pair(0, 1)
+        );
     }
 
     #[test]

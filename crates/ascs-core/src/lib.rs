@@ -57,6 +57,7 @@ pub mod snr;
 pub mod stream;
 mod supervisor;
 pub mod theory;
+pub mod timeaware;
 
 pub use ascs::{AscsPhase, AscsSketch, OfferOutcome, SampleGate};
 pub use ascs_count_sketch::codec;
@@ -72,9 +73,14 @@ pub use pair::{num_pairs, pair_from_index, pair_to_index, PairIndexer};
 pub use schedule::ThresholdSchedule;
 pub use serve::{
     jittered_backoff, FaultInjector, IngestError, NoFaults, ServeError, ServeOptions, ServeStats,
-    ServingEstimator, ServingHealth, Snapshot, SnapshotReader, SnapshotView,
+    ServingEstimator, ServingHealth, Snapshot, SnapshotReader, SnapshotView, TimeAwareSnapshotView,
+    WindowedSnapshotRing,
 };
 pub use sharded::{ShardUpdate, ShardedAscs, MAX_SHARDS};
 pub use snr::SnrProbe;
 pub use stream::{PairUpdate, Sample, StreamContext};
 pub use theory::TheoryBounds;
+pub use timeaware::{
+    effective_sample_size, window_span, DecayedSketch, RetiredSegment, WindowedSketch,
+    MAX_WINDOW_SEGMENTS,
+};

@@ -53,9 +53,11 @@ use crate::supervisor::{
     WorkerShared,
 };
 use crate::theory::TheoryBounds;
+use crate::timeaware::window_span;
 use ascs_count_sketch::codec::{DurableFs, StdFs};
 use ascs_count_sketch::CountSketch;
 use ascs_sketch_hash::splitmix64;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -1254,5 +1256,255 @@ fn snapshot_from(config: &AscsConfig, epoch: u64, replies: &[(usize, AscsSketch)
 impl Drop for ServingEstimator {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+/// Time-aware reads over published [`Snapshot`]s, by count-sketch
+/// linearity: a snapshot's merged table is the cumulative `1/T`-scaled
+/// update sum at its epoch, so the table of any epoch interval is the
+/// *difference* of two retained snapshots
+/// ([`CountSketch::merge_scaled`] with factor `−1`) — no worker
+/// cooperation, no second ingest path.
+///
+/// The ring retains the last `segments` snapshots observed at epochs
+/// divisible by `segment_len` (the block boundaries of the equivalent
+/// [`crate::timeaware::WindowedSketch`] ring) plus the newest snapshot.
+/// Feed it every snapshot the serving loop publishes (boundary-epoch
+/// snapshots matter; the rest just advance the head):
+///
+/// * [`WindowedSnapshotRing::windowed_view`] — the sliding-window table
+///   `cum(e) − cum(window start − 1)` with the exact mean normaliser.
+/// * [`WindowedSnapshotRing::decayed_view`] — a block-granular EWMA: each
+///   retained inter-boundary segment folds in with weight
+///   `γ^(epoch − segment end)`, normalised by the matching block weights.
+pub struct WindowedSnapshotRing {
+    segment_len: u64,
+    segments: usize,
+    total_samples: u64,
+    boundaries: VecDeque<Arc<Snapshot>>,
+    current: Option<Arc<Snapshot>>,
+}
+
+impl WindowedSnapshotRing {
+    /// A ring with window geometry `segments × segment_len` over a stream
+    /// of `total_samples` (the `T` the serving sketches scale updates by).
+    ///
+    /// # Panics
+    /// Panics if `segment_len`, `segments` or `total_samples` is zero.
+    pub fn new(segment_len: u64, segments: usize, total_samples: u64) -> Self {
+        assert!(segment_len >= 1, "window segments must cover ≥ 1 sample");
+        assert!(segments >= 1, "window ring needs ≥ 1 segment");
+        assert!(total_samples >= 1, "stream length must be ≥ 1");
+        Self {
+            segment_len,
+            segments,
+            total_samples,
+            boundaries: VecDeque::new(),
+            current: None,
+        }
+    }
+
+    /// Samples per window segment (`L`).
+    pub fn segment_len(&self) -> u64 {
+        self.segment_len
+    }
+
+    /// Window segments retained (`S`).
+    pub fn segment_count(&self) -> usize {
+        self.segments
+    }
+
+    /// Epoch of the newest observed snapshot (0 before any).
+    pub fn epoch(&self) -> u64 {
+        self.current.as_ref().map_or(0, |s| s.epoch)
+    }
+
+    /// Boundary snapshots currently retained.
+    pub fn retained_boundaries(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Offers a published snapshot to the ring. Snapshots at or behind the
+    /// current head epoch are ignored (returns `false`); a snapshot on a
+    /// block boundary is retained as a window base until it expires.
+    pub fn observe(&mut self, snapshot: Arc<Snapshot>) -> bool {
+        if self
+            .current
+            .as_ref()
+            .is_some_and(|c| snapshot.epoch <= c.epoch)
+        {
+            return false;
+        }
+        if snapshot.epoch.is_multiple_of(self.segment_len) {
+            self.boundaries.push_back(snapshot.clone());
+            // The window base at a boundary epoch `b·L` is `(b−S)·L` — the
+            // (S+1)-th most recent boundary — so keep S+1 of them.
+            while self.boundaries.len() > self.segments + 1 {
+                self.boundaries.pop_front();
+            }
+        }
+        self.current = Some(snapshot);
+        true
+    }
+
+    /// The retained boundary the window differences against: the oldest
+    /// one at or after the ideal window base `start − 1` (`None` when the
+    /// window still covers the whole prefix, or when every usable
+    /// boundary was skipped by the publisher — both fall back to the
+    /// cumulative table).
+    fn base_boundary(&self, epoch: u64) -> Option<&Arc<Snapshot>> {
+        let (start, _) = window_span(epoch, self.segment_len, self.segments);
+        if start <= 1 {
+            return None;
+        }
+        self.boundaries
+            .iter()
+            .find(|b| b.epoch >= start - 1 && b.epoch < epoch)
+    }
+
+    /// Materialises the sliding-window read at the newest observed epoch:
+    /// the head table minus the base-boundary table. `None` before any
+    /// snapshot. The view names the exact epoch interval it covers —
+    /// `(base, epoch]` — so a publisher that skipped a boundary yields a
+    /// shorter (never wrong) window.
+    pub fn windowed_view(&self) -> Option<TimeAwareSnapshotView> {
+        let current = self.current.as_ref()?;
+        let (sketch, base_epoch) = match self.base_boundary(current.epoch) {
+            Some(base) => {
+                let mut diff = current.merged.clone();
+                diff.merge_scaled(&base.merged, -1.0);
+                (diff, base.epoch)
+            }
+            None => (current.merged.clone(), 0),
+        };
+        // Bit-cleanliness: the diff of two identical prefixes can leave
+        // `-0.0` in untouched buckets; normalise is not needed — count
+        // sketch reads treat -0.0 and 0.0 identically through sums.
+        let span = current.epoch - base_epoch;
+        let weight = span as f64 / self.total_samples as f64;
+        Some(TimeAwareSnapshotView {
+            sketch,
+            epoch: current.epoch,
+            base_epoch,
+            weight,
+            total_samples: self.total_samples,
+            indexer: current.indexer,
+        })
+    }
+
+    /// Materialises a block-granular exponentially decayed read at the
+    /// newest observed epoch: every retained inter-boundary segment folds
+    /// in with weight `γ^(epoch − segment end)` (the prefix before the
+    /// oldest retained boundary counts as one segment). `None` before any
+    /// snapshot.
+    ///
+    /// # Panics
+    /// Panics unless `gamma` is finite and strictly inside `(0, 1)`.
+    pub fn decayed_view(&self, gamma: f64) -> Option<TimeAwareSnapshotView> {
+        assert!(
+            gamma.is_finite() && gamma > 0.0 && gamma < 1.0,
+            "decay factor must be in (0, 1), got {gamma}"
+        );
+        let current = self.current.as_ref()?;
+        let epoch = current.epoch;
+        let pow = |exp: u64| {
+            if exp > i32::MAX as u64 {
+                0.0
+            } else {
+                gamma.powi(exp as i32)
+            }
+        };
+        // The retained timeline, oldest first, ending at the head.
+        let mut timeline: Vec<&Arc<Snapshot>> =
+            self.boundaries.iter().filter(|b| b.epoch < epoch).collect();
+        timeline.push(current);
+        let mut sketch = CountSketch::new(
+            current.merged.rows(),
+            current.merged.range(),
+            current.merged.seed(),
+        );
+        let mut weight = 0.0f64;
+        // Head segment: the whole prefix up to the oldest retained point.
+        let first = timeline[0];
+        if first.epoch > 0 {
+            let w = pow(epoch - first.epoch);
+            sketch.merge_scaled(&first.merged, w);
+            weight += w * first.epoch as f64;
+        }
+        // Inter-boundary segments: cum(end) − cum(start), weighted by the
+        // segment-end decay.
+        for pair in timeline.windows(2) {
+            let (seg_start, seg_end) = (pair[0], pair[1]);
+            let w = pow(epoch - seg_end.epoch);
+            sketch.merge_scaled(&seg_end.merged, w);
+            sketch.merge_scaled(&seg_start.merged, -w);
+            weight += w * (seg_end.epoch - seg_start.epoch) as f64;
+        }
+        Some(TimeAwareSnapshotView {
+            sketch,
+            epoch,
+            base_epoch: 0,
+            weight: weight / self.total_samples as f64,
+            total_samples: self.total_samples,
+            indexer: current.indexer,
+        })
+    }
+}
+
+/// An immutable time-aware read materialised by [`WindowedSnapshotRing`]:
+/// a derived count-sketch table (window difference or decayed fold) plus
+/// the normaliser that turns its `1/T`-scaled sums into mean estimates.
+pub struct TimeAwareSnapshotView {
+    sketch: CountSketch,
+    epoch: u64,
+    base_epoch: u64,
+    /// Total update weight the table carries, in `1/T`-scaled units: the
+    /// windowed span `/ T`, or the block-EWMA weight sum `/ T`.
+    weight: f64,
+    total_samples: u64,
+    indexer: PairIndexer,
+}
+
+impl TimeAwareSnapshotView {
+    /// Stream epoch of the head snapshot this view was cut at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epoch of the subtracted base snapshot (0 when the view covers the
+    /// whole prefix — windowed warm-up, or any decayed view).
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// Samples between the base and head epochs.
+    pub fn span(&self) -> u64 {
+        self.epoch - self.base_epoch
+    }
+
+    /// The stream length `T` the serving sketches scale by.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// The derived table (read-only; the consistency tests compare it bit
+    /// for bit against a directly maintained time-aware sketch).
+    pub fn sketch(&self) -> &CountSketch {
+        &self.sketch
+    }
+
+    /// Mean estimate for a linear pair key: the raw `1/T`-scaled read
+    /// divided by the view's weight.
+    pub fn estimate(&self, key: u64) -> f64 {
+        if self.weight == 0.0 {
+            0.0
+        } else {
+            self.sketch.estimate(key) / self.weight
+        }
+    }
+
+    /// Mean estimate for the feature pair `(a, b)`.
+    pub fn estimate_pair(&self, a: u64, b: u64) -> f64 {
+        self.estimate(self.indexer.index(a, b))
     }
 }

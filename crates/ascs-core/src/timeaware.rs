@@ -1,0 +1,1056 @@
+//! Time-aware covariance sketching: sliding-window and exponential-decay
+//! backends for drifting streams.
+//!
+//! The paper's theorems assume stationary means, and the gated ASCS sketch
+//! freezes drift-emergent signals accordingly (the `covariance_flip`
+//! conformance scenario documents this). The two structures here make the
+//! drift case a feature instead:
+//!
+//! * [`WindowedSketch`] — a ring of `S` count-sketch segments, each
+//!   covering a block of `L` samples. Ingestion goes into the head
+//!   segment; when the stream crosses a block boundary the oldest segment
+//!   is *retired* (returned to the caller, spillable through the PR 5
+//!   codec as a [`RetiredSegment`]) and its slot is reused. Estimates
+//!   merge the live segments by count-sketch linearity — per row, bucket
+//!   sums are added across segments in chronological order *before* the
+//!   median, so the merged read is exactly the read of one sketch built
+//!   over only the in-window samples (bit-identical under exactly
+//!   representable weights; the ingestion-equivalence proptests pin this).
+//! * [`DecayedSketch`] — an exponentially decayed sketch using
+//!   **scale-on-read**: updates are stored pre-scaled by the *inverse*
+//!   decay relative to a per-generation base time, and reads scale each
+//!   generation by `γ^(t − base)`. Tables are never rescaled in place —
+//!   reads are pure, so results are bit-stable under any read/ingest
+//!   interleaving — and a global accumulator rotates to a fresh generation
+//!   before the inverse-decay factor can overflow. Fully decayed
+//!   generations are pruned only once their read scale underflows to
+//!   exactly `0.0`, so pruning is bitwise invisible.
+//!
+//! Both structures are ungated (vanilla count-sketch semantics): the
+//! active-sampling gate is precisely what freezes emergent signals under
+//! drift, and the stationary-stream theorems do not cover either estimand.
+//! Their error is the plain count-sketch collision model over the window
+//! (resp. the decayed effective sample size), which is what the
+//! conformance harness gates them against.
+
+use ascs_count_sketch::codec::{self, CodecError};
+use ascs_count_sketch::{median_in_place, CountSketch};
+use ascs_sketch_hash::{HashPlan, MAX_ROWS};
+
+/// Hard cap on the number of ring segments accepted by constructors and
+/// the codec — far above any sensible configuration, low enough that a
+/// corrupt header cannot demand absurd allocations.
+pub const MAX_WINDOW_SEGMENTS: usize = 4096;
+
+/// Rotation bound of [`DecayedSketch`]: a new generation is opened before
+/// the in-generation inverse-decay factor `γ^(−(t − base))` would exceed
+/// this, keeping every stored weight comfortably inside f64 range (the
+/// read-side scale `γ^(t − base)` of a just-rotated generation is then
+/// ≥ 1e-120, far from underflow).
+const GROWTH_LIMIT: f64 = 1e120;
+
+/// A sliding-window segment retired from a [`WindowedSketch`] ring: the
+/// block index it covered plus its count-sketch table. Serializable on its
+/// own (tag [`codec::TAG_WINDOW_SEGMENT`]) so retired segments can spill
+/// to disk and later be restored and merged back — e.g. to reconstruct the
+/// cumulative sketch from a ring plus its spill history.
+#[derive(Debug, Clone)]
+pub struct RetiredSegment {
+    block: u64,
+    sketch: CountSketch,
+}
+
+impl RetiredSegment {
+    /// The block index this segment covered (block `b` holds samples
+    /// `b·L + 1 ..= (b+1)·L`).
+    pub fn block(&self) -> u64 {
+        self.block
+    }
+
+    /// The segment's count-sketch table.
+    pub fn sketch(&self) -> &CountSketch {
+        &self.sketch
+    }
+
+    /// Consumes the record, yielding the sketch (e.g. to merge it).
+    pub fn into_sketch(self) -> CountSketch {
+        self.sketch
+    }
+
+    /// Serializes the retired segment (versioned header, block index,
+    /// nested count-sketch record).
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        codec::write_header(w, codec::TAG_WINDOW_SEGMENT)?;
+        codec::write_u64(w, self.block)?;
+        self.sketch.save(w)
+    }
+
+    /// Restores a segment saved by [`RetiredSegment::save`]. Truncated or
+    /// corrupt input surfaces as a typed [`CodecError`], never a panic.
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        codec::read_header(r, codec::TAG_WINDOW_SEGMENT)?;
+        let block = codec::read_u64(r)?;
+        let sketch = CountSketch::restore(r)?;
+        Ok(Self { block, sketch })
+    }
+}
+
+/// Sliding-window count sketch: a ring of `S` segments of `L` samples
+/// each, merged by linearity at read time.
+///
+/// The window is block-aligned: at stream time `t` (in block
+/// `b = (t−1)/L`) the live blocks are `max(0, b−S+1) ..= b`, so the
+/// window spans between `(S−1)·L + 1` and `S·L` samples once warm.
+/// [`WindowedSketch::estimate`] returns the *windowed mean* of the
+/// ingested pair updates (the raw merged sum divided by
+/// [`WindowedSketch::window_len`]).
+#[derive(Debug, Clone)]
+pub struct WindowedSketch {
+    segments: Vec<CountSketch>,
+    segment_len: u64,
+    rows: usize,
+    range: usize,
+    seed: u64,
+    t: u64,
+    ingested: u64,
+    retired: u64,
+}
+
+impl WindowedSketch {
+    /// Creates a ring of `segments` fresh segments of `segment_len`
+    /// samples each, all sharing one hash family derived from `seed` (so
+    /// one [`HashPlan`] drives every segment).
+    ///
+    /// # Panics
+    /// Panics if `segment_len == 0`, `segments == 0` or `segments`
+    /// exceeds [`MAX_WINDOW_SEGMENTS`].
+    pub fn new(rows: usize, range: usize, seed: u64, segment_len: u64, segments: usize) -> Self {
+        assert!(segment_len >= 1, "window segments must cover ≥ 1 sample");
+        assert!(
+            (1..=MAX_WINDOW_SEGMENTS).contains(&segments),
+            "window ring needs 1..={MAX_WINDOW_SEGMENTS} segments, got {segments}"
+        );
+        Self {
+            segments: (0..segments)
+                .map(|_| CountSketch::new(rows, range, seed))
+                .collect(),
+            segment_len,
+            rows,
+            range,
+            seed,
+            t: 0,
+            ingested: 0,
+            retired: 0,
+        }
+    }
+
+    /// Samples per segment (`L`).
+    pub fn segment_len(&self) -> u64 {
+        self.segment_len
+    }
+
+    /// Segments in the ring (`S`).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Stream time: samples announced via
+    /// [`WindowedSketch::begin_sample`].
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// Pair updates ingested over the whole stream (not just the window).
+    pub fn ingested_updates(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Segments retired (fallen out of the window) so far.
+    pub fn retired_segments(&self) -> u64 {
+        self.retired
+    }
+
+    /// Rows `K` of every segment.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Buckets per row `R` of every segment.
+    pub fn range(&self) -> usize {
+        self.range
+    }
+
+    /// Seed of the shared hash family.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Table words across the whole ring.
+    pub fn memory_words(&self) -> usize {
+        self.segments.len() * self.rows * self.range
+    }
+
+    /// First stream time inside the current window (1-based), and the
+    /// number of in-window samples. `(1, 0)` before any sample.
+    pub fn window_span(&self) -> (u64, u64) {
+        window_span(self.t, self.segment_len, self.segments.len())
+    }
+
+    /// Number of samples the current window covers.
+    pub fn window_len(&self) -> u64 {
+        self.window_span().1
+    }
+
+    /// Builds a [`HashPlan`] for the dense key set `0..len` from the
+    /// shared hash family; valid for every segment of the ring.
+    pub fn build_plan(&self, len: usize) -> HashPlan {
+        self.segments[0].build_plan(len)
+    }
+
+    /// Advances the stream clock to the next sample, rotating the ring at
+    /// block boundaries. When the advance pushes the oldest block out of
+    /// the window, that segment is **retired**: returned to the caller
+    /// (spill it via [`RetiredSegment::save`], or drop it to forget) and
+    /// replaced by a fresh head segment. Must be called once per sample,
+    /// before the sample's updates are ingested.
+    pub fn begin_sample(&mut self) -> Option<RetiredSegment> {
+        self.t += 1;
+        if self.t == 1 || !(self.t - 1).is_multiple_of(self.segment_len) {
+            return None;
+        }
+        let block = (self.t - 1) / self.segment_len;
+        let s = self.segments.len() as u64;
+        let slot = (block % s) as usize;
+        let fresh = CountSketch::new(self.rows, self.range, self.seed);
+        let old = std::mem::replace(&mut self.segments[slot], fresh);
+        if block >= s {
+            self.retired += 1;
+            Some(RetiredSegment {
+                block: block - s,
+                sketch: old,
+            })
+        } else {
+            // The slot was still virgin (ring not yet full); nothing to
+            // retire.
+            None
+        }
+    }
+
+    /// Ingests one raw (unscaled) pair update into the head segment.
+    ///
+    /// # Panics
+    /// Panics if called before [`WindowedSketch::begin_sample`].
+    #[inline]
+    pub fn ingest(&mut self, key: u64, weight: f64) {
+        let head = self.head_slot();
+        self.segments[head].update(key, weight);
+        self.ingested += 1;
+    }
+
+    /// Plan-driven form of [`WindowedSketch::ingest`] (no hashing); the
+    /// plan must come from [`WindowedSketch::build_plan`].
+    #[inline]
+    pub fn ingest_planned(&mut self, plan: &HashPlan, slot: usize, weight: f64) {
+        let head = self.head_slot();
+        self.segments[head].update_planned(plan, slot, weight);
+        self.ingested += 1;
+    }
+
+    #[inline]
+    fn head_slot(&self) -> usize {
+        assert!(
+            self.t >= 1,
+            "WindowedSketch::begin_sample must run before ingest"
+        );
+        (((self.t - 1) / self.segment_len) % self.segments.len() as u64) as usize
+    }
+
+    /// Inclusive range of live block indices, oldest first. Empty before
+    /// the first sample.
+    fn live_blocks(&self) -> std::ops::RangeInclusive<u64> {
+        if self.t == 0 {
+            #[allow(clippy::reversed_empty_ranges)]
+            return 1..=0;
+        }
+        let b = (self.t - 1) / self.segment_len;
+        b.saturating_sub(self.segments.len() as u64 - 1)..=b
+    }
+
+    /// Raw merged point query: per row, bucket sums are added across the
+    /// live segments in chronological order, then signed and reduced by
+    /// the median — the read of a single sketch holding only the
+    /// in-window updates.
+    pub fn raw_estimate(&self, key: u64) -> f64 {
+        let family = self.segments[0].family();
+        let s = self.segments.len() as u64;
+        let blocks = self.live_blocks();
+        let mut row_value = |row: usize| {
+            let hasher = &family.row_hashers()[row];
+            let bucket = hasher.bucket(key, self.range);
+            let sign = hasher.sign_f64(key);
+            let mut sum = 0.0;
+            for b in blocks.clone() {
+                sum += self.segments[(b % s) as usize].raw_bucket(row, bucket);
+            }
+            sum * sign
+        };
+        if self.rows <= MAX_ROWS {
+            let mut buf = [0.0f64; MAX_ROWS];
+            for (row, slot) in buf.iter_mut().enumerate().take(self.rows) {
+                *slot = row_value(row);
+            }
+            median_in_place(&mut buf[..self.rows])
+        } else {
+            let mut buf: Vec<f64> = (0..self.rows).map(&mut row_value).collect();
+            median_in_place(&mut buf)
+        }
+    }
+
+    /// Windowed mean estimate: [`WindowedSketch::raw_estimate`] divided by
+    /// the in-window sample count (`0.0` on an empty window).
+    pub fn estimate(&self, key: u64) -> f64 {
+        let n = self.window_len();
+        if n == 0 {
+            0.0
+        } else {
+            self.raw_estimate(key) / n as f64
+        }
+    }
+
+    /// Materialises the merged in-window table: the live segments added in
+    /// chronological order. Useful for blocked whole-universe sweeps and
+    /// the serving snapshot merge.
+    pub fn merged_sketch(&self) -> CountSketch {
+        if self.t == 0 {
+            return CountSketch::new(self.rows, self.range, self.seed);
+        }
+        let s = self.segments.len() as u64;
+        let mut blocks = self.live_blocks();
+        let first = blocks.next().expect("non-empty window");
+        let mut merged = self.segments[(first % s) as usize].clone();
+        for b in blocks {
+            merged.merge(&self.segments[(b % s) as usize]);
+        }
+        merged
+    }
+
+    /// Merges another ring that ingested the *same stream times* over a
+    /// disjoint key partition (the serving-shard merge): segment tables
+    /// add pairwise. Window geometry, hash family and stream clock must
+    /// all agree — windows are time-aligned, so a time-split merge is
+    /// meaningless and rejected.
+    ///
+    /// # Errors
+    /// [`CodecError::Incompatible`] on any mismatch.
+    pub fn merge_restored(&mut self, other: &Self) -> Result<(), CodecError> {
+        if self.segment_len != other.segment_len || self.segments.len() != other.segments.len() {
+            return Err(CodecError::Incompatible(
+                "window geometry mismatch in merge",
+            ));
+        }
+        if self.t != other.t {
+            return Err(CodecError::Incompatible(
+                "windowed merge requires time-aligned rings (same stream clock)",
+            ));
+        }
+        for (mine, theirs) in self.segments.iter_mut().zip(&other.segments) {
+            mine.merge_restored(theirs)?;
+        }
+        self.ingested += other.ingested;
+        Ok(())
+    }
+
+    /// Serializes the whole ring (versioned header, window geometry,
+    /// clocks, then every segment as a nested count-sketch record).
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        codec::write_header(w, codec::TAG_WINDOWED_SKETCH)?;
+        codec::write_u64(w, self.segment_len)?;
+        codec::write_u64(w, self.segments.len() as u64)?;
+        codec::write_u64(w, self.t)?;
+        codec::write_u64(w, self.ingested)?;
+        codec::write_u64(w, self.retired)?;
+        for segment in &self.segments {
+            segment.save(w)?;
+        }
+        Ok(())
+    }
+
+    /// Restores a ring saved by [`WindowedSketch::save`]. All corruption
+    /// — truncation, header damage, inconsistent segment geometry —
+    /// surfaces as a typed [`CodecError`].
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        codec::read_header(r, codec::TAG_WINDOWED_SKETCH)?;
+        let segment_len = codec::read_u64(r)?;
+        if segment_len == 0 {
+            return Err(CodecError::Corrupt("window segment length is zero"));
+        }
+        let count = codec::read_len(
+            r,
+            MAX_WINDOW_SEGMENTS as u64,
+            "window segment count out of range",
+        )?;
+        if count == 0 {
+            return Err(CodecError::Corrupt("window segment count is zero"));
+        }
+        let t = codec::read_u64(r)?;
+        let ingested = codec::read_u64(r)?;
+        let retired = codec::read_u64(r)?;
+        let mut segments = Vec::with_capacity(count);
+        for _ in 0..count {
+            segments.push(CountSketch::restore(r)?);
+        }
+        let (rows, range, seed) = (segments[0].rows(), segments[0].range(), segments[0].seed());
+        if segments
+            .iter()
+            .any(|s| s.rows() != rows || s.range() != range || s.seed() != seed)
+        {
+            return Err(CodecError::Corrupt(
+                "window segments disagree on geometry or seed",
+            ));
+        }
+        Ok(Self {
+            segments,
+            segment_len,
+            rows,
+            range,
+            seed,
+            t,
+            ingested,
+            retired,
+        })
+    }
+}
+
+/// The block-aligned window span at stream time `t` for a ring of
+/// `segments` segments of `segment_len` samples: returns the first
+/// in-window stream time (1-based) and the in-window sample count.
+/// `(1, 0)` for `t == 0`.
+pub fn window_span(t: u64, segment_len: u64, segments: usize) -> (u64, u64) {
+    if t == 0 {
+        return (1, 0);
+    }
+    let block = (t - 1) / segment_len;
+    let start = block.saturating_sub(segments as u64 - 1) * segment_len + 1;
+    (start, t - start + 1)
+}
+
+/// One generation of a [`DecayedSketch`]: a count-sketch table whose
+/// stored weights are relative to the generation's base time.
+#[derive(Debug, Clone)]
+struct Generation {
+    /// Stream time the generation was opened at; sample `s` of this
+    /// generation stores `x_s · γ^(−(s − base))`.
+    base: u64,
+    /// Current ingest-side factor `γ^(−(t − base))`, advanced
+    /// multiplicatively per sample (active generation only).
+    scale: f64,
+    sketch: CountSketch,
+}
+
+/// Exponentially decayed count sketch with **scale-on-read** semantics.
+///
+/// At stream time `t` the decayed accumulation of a key is
+/// `Σ_s γ^(t−s) · x_s`. Storing that directly would force an in-place
+/// rescale of the whole table on every sample; instead each generation
+/// stores *forward* weights `x_s · γ^(−(s − base))` and reads scale the
+/// whole generation by `γ^(t − base)` — a pure computation, so reads
+/// never write and the table is bit-stable under any read/ingest
+/// interleaving. The global decay accumulator (`scale`) rotates to a
+/// fresh generation before it can overflow; a generation whose read
+/// scale underflows to exactly `0.0` no longer contributes a single bit
+/// and is pruned. At most ~4 generations are ever live, independent of
+/// `γ` and stream length.
+///
+/// [`DecayedSketch::estimate`] reports the bias-corrected decayed mean:
+/// the raw decayed sum divided by `W(t) = (1 − γ^t)/(1 − γ)`.
+#[derive(Debug, Clone)]
+pub struct DecayedSketch {
+    gamma: f64,
+    inv_gamma: f64,
+    rows: usize,
+    range: usize,
+    seed: u64,
+    generations: Vec<Generation>,
+    t: u64,
+    ingested: u64,
+    rotations: u64,
+    pruned: u64,
+    table_write_ops: u64,
+}
+
+impl DecayedSketch {
+    /// Creates a decayed sketch with per-sample decay `gamma`.
+    ///
+    /// # Panics
+    /// Panics unless `gamma` is finite and strictly inside `(0, 1)`.
+    pub fn new(rows: usize, range: usize, seed: u64, gamma: f64) -> Self {
+        assert!(
+            gamma.is_finite() && gamma > 0.0 && gamma < 1.0,
+            "decay factor must be in (0, 1), got {gamma}"
+        );
+        Self {
+            gamma,
+            inv_gamma: 1.0 / gamma,
+            rows,
+            range,
+            seed,
+            generations: Vec::new(),
+            t: 0,
+            ingested: 0,
+            rotations: 0,
+            pruned: 0,
+            table_write_ops: 0,
+        }
+    }
+
+    /// The per-sample decay factor `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Stream time: samples announced via [`DecayedSketch::begin_sample`].
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// Pair updates ingested so far.
+    pub fn ingested_updates(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Generations currently live.
+    pub fn generation_count(&self) -> usize {
+        self.generations.len()
+    }
+
+    /// Generation rotations performed (accumulator overflow guard firings).
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Fully decayed generations pruned (read scale underflowed to `0.0`).
+    pub fn pruned_generations(&self) -> u64 {
+        self.pruned
+    }
+
+    /// Total bucket writes performed by the ingest path. Reads never touch
+    /// this counter — the write-op probe the decay tests watch to prove no
+    /// in-place rescale ever happens.
+    pub fn table_write_ops(&self) -> u64 {
+        self.table_write_ops
+    }
+
+    /// Rows `K` of every generation table.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Buckets per row `R` of every generation table.
+    pub fn range(&self) -> usize {
+        self.range
+    }
+
+    /// Seed of the shared hash family.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Table words across all live generations.
+    pub fn memory_words(&self) -> usize {
+        self.generations.len() * self.rows * self.range
+    }
+
+    /// Builds a [`HashPlan`] for the dense key set `0..len`; every
+    /// generation shares the hash family, so one plan drives them all.
+    pub fn build_plan(&self, len: usize) -> HashPlan {
+        CountSketch::new(self.rows, self.range, self.seed).build_plan(len)
+    }
+
+    fn fresh(&self) -> CountSketch {
+        CountSketch::new(self.rows, self.range, self.seed)
+    }
+
+    /// Read-side scale `γ^(t − base)` of a generation (exactly `0.0` once
+    /// fully decayed).
+    fn read_scale(&self, base: u64) -> f64 {
+        let exp = self.t - base;
+        if exp > i32::MAX as u64 {
+            0.0
+        } else {
+            self.gamma.powi(exp as i32)
+        }
+    }
+
+    /// Advances the decay accumulator to the next sample, rotating to a
+    /// fresh generation before the ingest-side factor can overflow and
+    /// pruning generations whose read scale has underflowed to exactly
+    /// `0.0` (a bitwise no-op removal). Must be called once per sample,
+    /// before the sample's updates are ingested.
+    pub fn begin_sample(&mut self) {
+        self.t += 1;
+        match self.generations.last_mut() {
+            Some(active) => {
+                let next = active.scale * self.inv_gamma;
+                if next > GROWTH_LIMIT {
+                    self.rotations += 1;
+                    let generation = Generation {
+                        base: self.t - 1,
+                        scale: self.inv_gamma,
+                        sketch: self.fresh(),
+                    };
+                    self.generations.push(generation);
+                } else {
+                    active.scale = next;
+                }
+            }
+            None => {
+                let generation = Generation {
+                    base: self.t - 1,
+                    scale: self.inv_gamma,
+                    sketch: self.fresh(),
+                };
+                self.generations.push(generation);
+            }
+        }
+        while self.generations.len() > 1 && self.read_scale(self.generations[0].base) == 0.0 {
+            self.generations.remove(0);
+            self.pruned += 1;
+        }
+    }
+
+    /// Ingests one raw pair update, stored pre-scaled by the active
+    /// generation's inverse-decay factor.
+    ///
+    /// # Panics
+    /// Panics if called before [`DecayedSketch::begin_sample`].
+    #[inline]
+    pub fn ingest(&mut self, key: u64, weight: f64) {
+        let active = self
+            .generations
+            .last_mut()
+            .expect("DecayedSketch::begin_sample must run before ingest");
+        active.sketch.update(key, weight * active.scale);
+        self.table_write_ops += self.rows as u64;
+        self.ingested += 1;
+    }
+
+    /// Plan-driven form of [`DecayedSketch::ingest`] (no hashing); the
+    /// plan must come from [`DecayedSketch::build_plan`].
+    #[inline]
+    pub fn ingest_planned(&mut self, plan: &HashPlan, slot: usize, weight: f64) {
+        let active = self
+            .generations
+            .last_mut()
+            .expect("DecayedSketch::begin_sample must run before ingest");
+        active
+            .sketch
+            .update_planned(plan, slot, weight * active.scale);
+        self.table_write_ops += self.rows as u64;
+        self.ingested += 1;
+    }
+
+    /// Raw decayed point query `≈ Σ_s γ^(t−s) x_s`: per row, generation
+    /// bucket values are combined as `Σ_g γ^(t−base_g) · bucket_g` (oldest
+    /// first), then signed and reduced by the median. Pure — no state is
+    /// touched.
+    pub fn raw_estimate(&self, key: u64) -> f64 {
+        if self.generations.is_empty() {
+            return 0.0;
+        }
+        let family = self.generations[0].sketch.family();
+        let mut row_value = |row: usize| {
+            let hasher = &family.row_hashers()[row];
+            let bucket = hasher.bucket(key, self.range);
+            let sign = hasher.sign_f64(key);
+            let mut sum = 0.0;
+            for g in &self.generations {
+                sum += self.read_scale(g.base) * g.sketch.raw_bucket(row, bucket);
+            }
+            sum * sign
+        };
+        if self.rows <= MAX_ROWS {
+            let mut buf = [0.0f64; MAX_ROWS];
+            for (row, slot) in buf.iter_mut().enumerate().take(self.rows) {
+                *slot = row_value(row);
+            }
+            median_in_place(&mut buf[..self.rows])
+        } else {
+            let mut buf: Vec<f64> = (0..self.rows).map(&mut row_value).collect();
+            median_in_place(&mut buf)
+        }
+    }
+
+    /// Total decayed weight `W(t) = Σ_{s=1..t} γ^(t−s) = (1−γ^t)/(1−γ)`
+    /// — the bias-correction normaliser of the decayed mean.
+    pub fn weight_norm(&self) -> f64 {
+        if self.t == 0 {
+            return 0.0;
+        }
+        (1.0 - self.read_scale(0)) / (1.0 - self.gamma)
+    }
+
+    /// Effective sample size of the decayed weighting,
+    /// `(Σ w_s)² / Σ w_s²` — the `t` the collision-noise budget of the
+    /// conformance gates should use.
+    pub fn effective_sample_size(&self) -> f64 {
+        if self.t == 0 {
+            return 0.0;
+        }
+        effective_sample_size(self.gamma, self.t)
+    }
+
+    /// Bias-corrected decayed mean: [`DecayedSketch::raw_estimate`]
+    /// divided by [`DecayedSketch::weight_norm`] (`0.0` before any
+    /// sample).
+    pub fn estimate(&self, key: u64) -> f64 {
+        if self.t == 0 {
+            0.0
+        } else {
+            self.raw_estimate(key) / self.weight_norm()
+        }
+    }
+
+    /// Materialises the decayed table at the current time: every live
+    /// generation folded in (oldest first) via
+    /// [`CountSketch::merge_scaled`] with its read scale. A pure read of
+    /// the generation stack.
+    pub fn merged_sketch(&self) -> CountSketch {
+        let mut merged = self.fresh();
+        for g in &self.generations {
+            merged.merge_scaled(&g.sketch, self.read_scale(g.base));
+        }
+        merged
+    }
+
+    /// Merges another decayed sketch that ingested the *same stream
+    /// times* over a disjoint key partition: generation tables add
+    /// pairwise. Decay factor, hash family, stream clock and the whole
+    /// generation layout must agree (they are deterministic in `t`, so
+    /// lockstep shards always match).
+    ///
+    /// # Errors
+    /// [`CodecError::Incompatible`] on any mismatch.
+    pub fn merge_restored(&mut self, other: &Self) -> Result<(), CodecError> {
+        if self.gamma.to_bits() != other.gamma.to_bits() {
+            return Err(CodecError::Incompatible("decay factor mismatch in merge"));
+        }
+        if self.t != other.t {
+            return Err(CodecError::Incompatible(
+                "decayed merge requires time-aligned sketches (same stream clock)",
+            ));
+        }
+        if self.generations.len() != other.generations.len()
+            || self
+                .generations
+                .iter()
+                .zip(&other.generations)
+                .any(|(a, b)| a.base != b.base || a.scale.to_bits() != b.scale.to_bits())
+        {
+            return Err(CodecError::Incompatible(
+                "decayed generation layout mismatch in merge",
+            ));
+        }
+        for (mine, theirs) in self.generations.iter_mut().zip(&other.generations) {
+            mine.sketch.merge_restored(&theirs.sketch)?;
+        }
+        self.ingested += other.ingested;
+        self.table_write_ops += other.table_write_ops;
+        Ok(())
+    }
+
+    /// Serializes the sketch (versioned header, decay factor, clocks and
+    /// counters, then each generation's base, accumulator and nested
+    /// count-sketch record).
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        codec::write_header(w, codec::TAG_DECAYED_SKETCH)?;
+        codec::write_f64(w, self.gamma)?;
+        codec::write_u64(w, self.rows as u64)?;
+        codec::write_u64(w, self.range as u64)?;
+        codec::write_u64(w, self.seed)?;
+        codec::write_u64(w, self.t)?;
+        codec::write_u64(w, self.ingested)?;
+        codec::write_u64(w, self.rotations)?;
+        codec::write_u64(w, self.pruned)?;
+        codec::write_u64(w, self.table_write_ops)?;
+        codec::write_u64(w, self.generations.len() as u64)?;
+        for g in &self.generations {
+            codec::write_u64(w, g.base)?;
+            codec::write_f64(w, g.scale)?;
+            g.sketch.save(w)?;
+        }
+        Ok(())
+    }
+
+    /// Restores a sketch saved by [`DecayedSketch::save`]; every
+    /// corruption mode is a typed [`CodecError`].
+    pub fn restore<R: std::io::Read>(r: &mut R) -> Result<Self, CodecError> {
+        codec::read_header(r, codec::TAG_DECAYED_SKETCH)?;
+        let gamma = codec::read_f64(r)?;
+        if !(gamma.is_finite() && gamma > 0.0 && gamma < 1.0) {
+            return Err(CodecError::Corrupt("decay factor outside (0, 1)"));
+        }
+        let rows = codec::read_len(r, 1 << 16, "decayed sketch row count out of range")?;
+        let range = codec::read_len(r, 1 << 40, "decayed sketch range out of range")?;
+        let seed = codec::read_u64(r)?;
+        let t = codec::read_u64(r)?;
+        let ingested = codec::read_u64(r)?;
+        let rotations = codec::read_u64(r)?;
+        let pruned = codec::read_u64(r)?;
+        let table_write_ops = codec::read_u64(r)?;
+        let count = codec::read_len(r, 1 << 16, "decayed generation count out of range")?;
+        let mut generations = Vec::with_capacity(count);
+        let mut last_base = None;
+        for _ in 0..count {
+            let base = codec::read_u64(r)?;
+            let scale = codec::read_f64(r)?;
+            if base > t {
+                return Err(CodecError::Corrupt("decayed generation base beyond t"));
+            }
+            if last_base.is_some_and(|prev| base <= prev) {
+                return Err(CodecError::Corrupt("decayed generation bases out of order"));
+            }
+            if !(scale.is_finite() && scale >= 1.0) {
+                return Err(CodecError::Corrupt(
+                    "decayed generation accumulator out of range",
+                ));
+            }
+            last_base = Some(base);
+            let sketch = CountSketch::restore(r)?;
+            if sketch.rows() != rows || sketch.range() != range || sketch.seed() != seed {
+                return Err(CodecError::Corrupt(
+                    "decayed generation disagrees on geometry or seed",
+                ));
+            }
+            generations.push(Generation {
+                base,
+                scale,
+                sketch,
+            });
+        }
+        if t > 0 && generations.is_empty() {
+            return Err(CodecError::Corrupt(
+                "decayed sketch with samples but no generations",
+            ));
+        }
+        Ok(Self {
+            gamma,
+            inv_gamma: 1.0 / gamma,
+            rows,
+            range,
+            seed,
+            generations,
+            t,
+            ingested,
+            rotations,
+            pruned,
+            table_write_ops,
+        })
+    }
+}
+
+/// Effective sample size of exponential weights `γ^(t−s)` over `s ∈
+/// 1..=t`: `(Σ w)² / Σ w²` — between 1 (fresh stream) and
+/// `(1+γ)/(1−γ)` (fully warmed up).
+pub fn effective_sample_size(gamma: f64, t: u64) -> f64 {
+    if t == 0 {
+        return 0.0;
+    }
+    let pow = |g: f64| {
+        if t > i32::MAX as u64 {
+            0.0
+        } else {
+            g.powi(t as i32)
+        }
+    };
+    let w = (1.0 - pow(gamma)) / (1.0 - gamma);
+    let g2 = gamma * gamma;
+    let w2 = (1.0 - pow(g2)) / (1.0 - g2);
+    w * w / w2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_window_sums(
+        updates: &[(u64, f64)],
+        per_sample: usize,
+        start: u64,
+        t: u64,
+        keys: u64,
+    ) -> Vec<f64> {
+        // updates laid out per sample: sample s (1-based) owns
+        // updates[(s-1)*per_sample .. s*per_sample].
+        let mut sums = vec![0.0f64; keys as usize];
+        for s in start..=t {
+            for &(key, w) in &updates[(s as usize - 1) * per_sample..s as usize * per_sample] {
+                sums[key as usize] += w;
+            }
+        }
+        sums
+    }
+
+    #[test]
+    fn windowed_matches_in_window_rebuild_on_dyadic_updates() {
+        let (rows, range, seed) = (3, 64, 9);
+        let (l, s) = (4u64, 3usize);
+        let per_sample = 2usize;
+        let total = 37u64;
+        // Dyadic weights: every grouping of the sums is exact.
+        let updates: Vec<(u64, f64)> = (0..total * per_sample as u64)
+            .map(|i| (i % 16, ((i * 7 + 3) % 5) as f64 * 0.5 - 1.0))
+            .collect();
+        let mut win = WindowedSketch::new(rows, range, seed, l, s);
+        for t in 1..=total {
+            win.begin_sample();
+            for &(key, w) in &updates[(t as usize - 1) * per_sample..t as usize * per_sample] {
+                win.ingest(key, w);
+            }
+            let (start, n) = win.window_span();
+            assert_eq!((start, n), window_span(t, l, s));
+            // From-scratch sketch over only the in-window samples.
+            let mut rebuild = CountSketch::new(rows, range, seed);
+            for s in start..=t {
+                for &(key, w) in &updates[(s as usize - 1) * per_sample..s as usize * per_sample] {
+                    rebuild.update(key, w);
+                }
+            }
+            let merged = win.merged_sketch();
+            assert!(
+                merged
+                    .table()
+                    .iter()
+                    .zip(rebuild.table())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "merged ring table diverged from rebuild at t = {t}"
+            );
+            let naive = naive_window_sums(&updates, per_sample, start, t, 16);
+            for key in 0..16u64 {
+                assert_eq!(
+                    win.raw_estimate(key).to_bits(),
+                    rebuild.estimate(key).to_bits(),
+                    "estimate diverged at t = {t}, key = {key}"
+                );
+                // Tiny universe vs. 64 buckets: collision-free here, so
+                // the sketch read equals the exact windowed sum.
+                assert_eq!(win.raw_estimate(key), naive[key as usize]);
+            }
+        }
+        assert_eq!(win.retired_segments(), (total - 1) / l + 1 - s as u64);
+    }
+
+    #[test]
+    fn retired_segments_spill_and_restore_reconstruct_the_cumulative_sketch() {
+        let (rows, range, seed) = (2, 32, 5);
+        let mut win = WindowedSketch::new(rows, range, seed, 3, 2);
+        let mut cumulative = CountSketch::new(rows, range, seed);
+        let mut spill: Vec<Vec<u8>> = Vec::new();
+        for t in 1..=20u64 {
+            if let Some(retired) = win.begin_sample() {
+                let mut bytes = Vec::new();
+                retired.save(&mut bytes).unwrap();
+                spill.push(bytes);
+            }
+            let w = ((t % 5) as f64) * 0.5 - 1.0;
+            win.ingest(t % 8, w);
+            cumulative.update(t % 8, w);
+        }
+        let mut reconstructed = win.merged_sketch();
+        for bytes in &spill {
+            let segment = RetiredSegment::restore(&mut bytes.as_slice()).unwrap();
+            reconstructed.merge(segment.sketch());
+        }
+        assert!(
+            reconstructed
+                .table()
+                .iter()
+                .zip(cumulative.table())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "ring + spill history must reconstruct the cumulative table"
+        );
+    }
+
+    #[test]
+    fn decayed_tracks_the_exponentially_weighted_mean() {
+        let mut d = DecayedSketch::new(3, 128, 7, 0.9);
+        // A constant update on one key: the decayed mean of a constant is
+        // the constant (bias-corrected), regardless of stream length.
+        for _ in 0..5_000 {
+            d.begin_sample();
+            d.ingest(3, 0.75);
+        }
+        assert!((d.estimate(3) - 0.75).abs() < 1e-12, "{}", d.estimate(3));
+        // Exact reference for a second, drifting key.
+        let mut d2 = DecayedSketch::new(3, 128, 7, 0.9);
+        let mut exact = 0.0f64;
+        for t in 1..=400u64 {
+            d2.begin_sample();
+            let x = if t <= 200 { 1.0 } else { -1.0 };
+            exact = exact * 0.9 + x;
+            d2.ingest(5, x);
+        }
+        assert!(
+            (d2.raw_estimate(5) - exact).abs() < 1e-9,
+            "raw {} vs exact {exact}",
+            d2.raw_estimate(5)
+        );
+        // Post-drift the decayed mean has flipped sign; a cumulative mean
+        // would still be positive (200·1 − 200·γ-weighted…): the whole
+        // point of the decayed backend.
+        assert!(d2.estimate(5) < -0.9);
+    }
+
+    #[test]
+    fn decayed_generations_stay_bounded_and_reads_never_write() {
+        // Aggressive decay to force many rotations and prunes.
+        let mut d = DecayedSketch::new(2, 32, 11, 0.5);
+        for t in 1..=50_000u64 {
+            d.begin_sample();
+            d.ingest(t % 4, 1.0);
+            assert!(d.generation_count() <= 4, "generations grew: {t}");
+        }
+        assert!(d.rotations() > 10, "rotation guard never fired");
+        assert!(d.pruned_generations() > 10, "prune never fired");
+        let writes = d.table_write_ops();
+        let before: Vec<u64> = d
+            .merged_sketch()
+            .table()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        for _ in 0..100 {
+            for key in 0..4u64 {
+                assert!(d.estimate(key).is_finite());
+            }
+        }
+        assert_eq!(d.table_write_ops(), writes, "a read performed a write");
+        let after: Vec<u64> = d
+            .merged_sketch()
+            .table()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(before, after, "reads mutated the tables");
+    }
+
+    #[test]
+    fn window_span_covers_block_boundaries() {
+        assert_eq!(window_span(0, 4, 3), (1, 0));
+        assert_eq!(window_span(1, 4, 3), (1, 1));
+        assert_eq!(window_span(12, 4, 3), (1, 12));
+        assert_eq!(window_span(13, 4, 3), (5, 9));
+        assert_eq!(window_span(16, 4, 3), (5, 12));
+        assert_eq!(window_span(17, 4, 3), (9, 9));
+        // One-segment ring: the window is just the current block.
+        assert_eq!(window_span(9, 4, 1), (9, 1));
+        assert_eq!(window_span(8, 4, 1), (5, 4));
+    }
+
+    #[test]
+    fn effective_sample_size_is_sane() {
+        assert_eq!(effective_sample_size(0.9, 0), 0.0);
+        assert!((effective_sample_size(0.9, 1) - 1.0).abs() < 1e-12);
+        let warm = effective_sample_size(0.9, 10_000);
+        assert!((warm - (1.9 / 0.1)).abs() < 1e-9, "{warm}");
+    }
+}

@@ -13,7 +13,18 @@
 //! the worst enforced gate margin (`budget / observed quantile`; > 1 means
 //! pass) so trend regressions are visible long before a gate actually
 //! fails.
+//!
+//! Before the JSON is written the binary re-proves, in process, that the
+//! windowed ring is bit-identical to a from-scratch in-window rebuild on
+//! dyadic updates — the conformance verdict for `windowed_cs` is only
+//! published on top of that invariant (`windowed_bit_identity_asserted`),
+//! together with the enforced drift-gate flag
+//! (`windowed_drift_gate_enforced`): the windowed backend's
+//! `emergent_signal_pairs` gate at the post-flip checkpoint of
+//! `covariance_flip` must be present, enforced, and green.
 
+use ascs_core::{window_span, WindowedSketch};
+use ascs_count_sketch::CountSketch;
 use ascs_eval::ExperimentTable;
 use ascs_testkit::{deep_suite, quick_suite, run_suite, ConformanceConfig, SuiteReport};
 use std::fmt::Write as _;
@@ -61,6 +72,71 @@ fn margin_table(report: &SuiteReport) -> ExperimentTable {
     table.with_precision(4)
 }
 
+/// In-process re-proof of the windowed ring's bit-identity contract: a
+/// maintained ring over dyadic updates must equal a from-scratch rebuild
+/// of only the in-window samples, bit for bit, at every sample of a
+/// stream crossing several retire boundaries. Panics on any divergence —
+/// the report is never written on top of a broken ring.
+fn assert_windowed_bit_identity() {
+    let (rows, range, seed) = (4usize, 256usize, 17u64);
+    let (segment_len, segments) = (8u64, 4usize);
+    let total = 67u64; // several retires, ends mid-block
+    let per_sample = 3usize;
+    let updates: Vec<(u64, f64)> = (0..total * per_sample as u64)
+        .map(|i| (i % 32, ((i * 7 + 2) % 9) as f64 * 0.25 - 1.0))
+        .collect();
+    let mut win = WindowedSketch::new(rows, range, seed, segment_len, segments);
+    for t in 1..=total {
+        let _ = win.begin_sample();
+        let base = (t as usize - 1) * per_sample;
+        for &(key, w) in &updates[base..base + per_sample] {
+            win.ingest(key, w);
+        }
+        let (start, n) = window_span(t, segment_len, segments);
+        assert_eq!(
+            win.window_span(),
+            (start, n),
+            "window span diverged at t = {t}"
+        );
+        let mut rebuild = CountSketch::new(rows, range, seed);
+        for s in start..=t {
+            let b = (s as usize - 1) * per_sample;
+            for &(key, w) in &updates[b..b + per_sample] {
+                rebuild.update(key, w);
+            }
+        }
+        let merged = win.merged_sketch();
+        assert!(
+            merged
+                .table()
+                .iter()
+                .zip(rebuild.table())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "windowed ring table diverged from the in-window rebuild at t = {t}"
+        );
+        for key in 0..32u64 {
+            assert_eq!(
+                win.raw_estimate(key).to_bits(),
+                rebuild.estimate(key).to_bits(),
+                "windowed point query diverged at t = {t}, key = {key}"
+            );
+        }
+    }
+}
+
+/// Whether the windowed backend's post-flip emergent gate on
+/// `covariance_flip` is present, enforced and green.
+fn windowed_drift_gate_enforced(report: &SuiteReport) -> bool {
+    report
+        .scenarios
+        .iter()
+        .find(|s| s.scenario == "covariance_flip")
+        .and_then(|s| s.backends.iter().find(|b| b.backend == "windowed_cs"))
+        .and_then(|b| b.checkpoints.last())
+        .and_then(|ck| ck.gates.iter().find(|g| g.name == "emergent_signal_pairs"))
+        .is_some_and(|g| g.enforced && g.passed)
+}
+
 fn main() {
     let deep = std::env::args().any(|a| a == "--deep");
     let (suite, cfg, profile) = if deep {
@@ -89,6 +165,18 @@ fn main() {
         }
     }
 
+    // The bit-identity invariant is re-proved in process before any
+    // verdict involving the windowed backend is published.
+    assert_windowed_bit_identity();
+    eprintln!("windowed ring bit-identity re-proved in process");
+    let drift_gate = windowed_drift_gate_enforced(&report);
+    if !drift_gate {
+        eprintln!(
+            "FAIL: the windowed backend's enforced emergent gate on \
+             covariance_flip is missing, unenforced, or red"
+        );
+    }
+
     // JSON: the full serialised suite plus a flat per-scenario pass map so
     // CI can guard flags without parsing nested structures.
     let mut flags = String::new();
@@ -105,7 +193,9 @@ fn main() {
         );
     }
     let json = format!(
-        "{{\n  \"scenario_pass_flags\": {{\n{flags}  }},\n  \"suite\": {}\n}}\n",
+        "{{\n  \"windowed_bit_identity_asserted\": true,\n  \
+         \"windowed_drift_gate_enforced\": {drift_gate},\n  \
+         \"scenario_pass_flags\": {{\n{flags}  }},\n  \"suite\": {}\n}}\n",
         serde_json::to_string_pretty(&report).expect("suite reports always serialise")
     );
     match std::fs::write(OUTPUT_PATH, &json) {
@@ -113,7 +203,7 @@ fn main() {
         Err(e) => eprintln!("warning: could not write {OUTPUT_PATH}: {e}"),
     }
 
-    if !report.all_passed {
+    if !report.all_passed || !drift_gate {
         eprintln!("FAIL: at least one scenario violated its enforced gates");
         std::process::exit(1);
     }

@@ -366,6 +366,30 @@ impl CountSketch {
         self.updates += other.updates;
     }
 
+    /// Merges `factor ×` another sketch built with the same
+    /// `(rows, range, seed)` — the scaled form of linearity the time-aware
+    /// backends rely on: `factor = γ^Δt` folds a decayed generation into a
+    /// read-side view, `factor = -1` subtracts an older cumulative snapshot
+    /// to materialise a sliding-window table. The update counter adds for
+    /// positive factors and subtracts (saturating) for negative ones, so a
+    /// snapshot difference reports the window's update count.
+    ///
+    /// # Panics
+    /// Panics when the configurations differ, like [`CountSketch::merge`].
+    pub fn merge_scaled(&mut self, other: &Self, factor: f64) {
+        assert_eq!(self.rows, other.rows, "row count mismatch in merge");
+        assert_eq!(self.range, other.range, "range mismatch in merge");
+        assert_eq!(self.seed, other.seed, "seed mismatch in merge");
+        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a += factor * b;
+        }
+        if factor < 0.0 {
+            self.updates = self.updates.saturating_sub(other.updates);
+        } else {
+            self.updates += other.updates;
+        }
+    }
+
     /// Serializes the sketch: nested hash-family record (the geometry and
     /// seed), update counter, then the raw table as IEEE-754 bit patterns.
     pub fn save<W: std::io::Write>(&self, w: &mut W) -> Result<(), CodecError> {

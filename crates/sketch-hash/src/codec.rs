@@ -53,6 +53,13 @@ pub const TAG_STREAM_CONTEXT: u8 = 8;
 pub const TAG_DURABLE_MANIFEST: u8 = 9;
 /// Record tag for one write-ahead-log record (an accepted sample).
 pub const TAG_WAL_RECORD: u8 = 10;
+/// Record tag for a retired sliding-window segment (block index + nested
+/// count-sketch record) — the spill format of the windowed backend.
+pub const TAG_WINDOW_SEGMENT: u8 = 11;
+/// Record tag for a full sliding-window sketch ring.
+pub const TAG_WINDOWED_SKETCH: u8 = 12;
+/// Record tag for an exponential-decay sketch (generation stack).
+pub const TAG_DECAYED_SKETCH: u8 = 13;
 
 /// Hash-family rows are capped on restore so a corrupt header cannot ask
 /// for an absurd number of row hashers.

@@ -59,7 +59,9 @@ pub struct ScenarioProfile {
     /// Index into `checkpoints` of the snapshot that defines the signal
     /// set. Theorems 1/2 assume stationary means, so drift scenarios pin
     /// the signal set at the pre-flip checkpoint and track post-flip
-    /// emergent signals as an unenforced diagnostic.
+    /// emergent signals as a diagnostic for cumulative backends. The
+    /// time-aware backends are scored against their own references, for
+    /// which the harness enforces the emergent gate on the windowed ring.
     pub signal_reference_checkpoint: usize,
     /// Budget inflation for known i.i.d. violations (e.g. `√burst_len`).
     pub dependence_factor: f64,
@@ -210,7 +212,11 @@ fn covariance_flip_scenario(dim: u64, total: u64, range: usize) -> Box<dyn Scena
     profile.nominal_u = FLIP_RHO / 2.0;
     // Score each phase: at the flip and at end of stream. The signal set is
     // pinned at the pre-flip snapshot; block-B pairs that emerge afterwards
-    // are tracked as the unenforced `emergent_signal_pairs` diagnostic.
+    // are the unenforced `emergent_signal_pairs` diagnostic for cumulative
+    // backends and an enforced gate for the windowed ring, whose reference
+    // at the final checkpoint is the drifted distribution itself. The
+    // quick/deep window geometries place the window at each checkpoint
+    // exactly over one phase, so the gate is sharp.
     profile.checkpoints = vec![total / 2, total];
     profile.signal_reference_checkpoint = 0;
     Box::new(GeneratorScenario {

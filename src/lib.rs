@@ -76,21 +76,23 @@ pub use ascs_sketch_hash as sketch_hash;
 /// Convenience re-exports covering the common end-to-end workflow.
 pub mod prelude {
     pub use ascs_core::{
-        jittered_backoff, recover_with_reentry, AscsConfig, AscsSketch, CodecError,
-        CovarianceEstimator, DurabilityError, DurabilityHealth, DurabilityOptions, EstimandKind,
-        FaultInjector, FsyncPolicy, HyperParameterSolver, HyperParameters, IngestError, NoFaults,
-        PairIndexer, PlanError, RecoveredState, RecoveryManager, RecoveryOutcome, RecoveryReport,
-        ReportedPair, Sample, SampleGate, ServeError, ServeOptions, ServeStats, ServingEstimator,
+        effective_sample_size, jittered_backoff, recover_with_reentry, window_span, AscsConfig,
+        AscsSketch, CodecError, CovarianceEstimator, DecayedSketch, DurabilityError,
+        DurabilityHealth, DurabilityOptions, EstimandKind, FaultInjector, FsyncPolicy,
+        HyperParameterSolver, HyperParameters, IngestError, NoFaults, PairIndexer, PlanError,
+        RecoveredState, RecoveryManager, RecoveryOutcome, RecoveryReport, ReportedPair,
+        RetiredSegment, Sample, SampleGate, ServeError, ServeOptions, ServeStats, ServingEstimator,
         ServingHealth, ShardUpdate, ShardedAscs, SketchBackend, SketchGeometry, Snapshot,
-        SnapshotReader, SnapshotView, TheoryBounds, ThresholdSchedule, UpdateMode, MAX_SHARDS,
+        SnapshotReader, SnapshotView, TheoryBounds, ThresholdSchedule, TimeAwareSnapshotView,
+        UpdateMode, WindowedSketch, WindowedSnapshotRing, MAX_SHARDS, MAX_WINDOW_SEGMENTS,
     };
     pub use ascs_count_sketch::{
         AugmentedSketch, ColdFilter, CountMinSketch, CountSketch, HashPlan, PointSketch,
         TopKTracker,
     };
     pub use ascs_datasets::{
-        BootstrapResampler, ShuffleBuffer, SimulatedDataset, SimulationSpec, SurrogateDataset,
-        SurrogateSpec, TrillionScaleDataset, TrillionSpec,
+        BootstrapResampler, CovarianceFlipStream, ShuffleBuffer, SimulatedDataset, SimulationSpec,
+        SurrogateDataset, SurrogateSpec, TrillionScaleDataset, TrillionSpec,
     };
     pub use ascs_eval::{max_f1_score, mean_true_value_of_top, ExactMatrix, ExperimentTable};
 }

@@ -3,8 +3,8 @@
 //! budgets, deterministically, from the committed seeds.
 //!
 //! * The **quick profile** runs on every `cargo test` (and every CI push):
-//!   6 scenarios × 4 backends (vanilla CS, gated ASCS, plan-driven ASCS,
-//!   sharded ASCS) × 2 seeded trials.
+//!   6 scenarios × 6 backends (vanilla CS, gated ASCS, plan-driven ASCS,
+//!   sharded ASCS, windowed CS, decayed CS) × 2 seeded trials.
 //! * The **deep profile** is `#[ignore]`-gated (run with
 //!   `cargo test --release --test bound_conformance -- --ignored`, as the
 //!   scheduled CI job does): larger dimensionality, longer streams, more
@@ -74,10 +74,72 @@ fn quick_profile_all_scenarios_conform_on_all_cs_family_backends() {
     // The acceptance contract: vanilla, gated, planned and sharded paths
     // all face the same gates.
     let labels: Vec<String> = cfg.backends.iter().map(BackendVariant::label).collect();
-    for expected in ["vanilla_cs", "ascs", "ascs_planned", "sharded_ascs_2"] {
+    for expected in [
+        "vanilla_cs",
+        "ascs",
+        "ascs_planned",
+        "sharded_ascs_2",
+        "windowed_cs",
+        "decayed_cs",
+    ] {
         assert!(labels.iter().any(|l| l == expected), "missing {expected}");
     }
     assert_conforms(quick_suite(), &cfg);
+}
+
+/// The drift-conformance contract of this repo's time-aware backends: on
+/// the `covariance_flip` scenario the windowed backend's post-flip gate
+/// over drift-emergent signals is **enforced** (not a diagnostic) and
+/// passes, while phase A stays quiet (no emergent pool at the pre-flip
+/// checkpoint).
+#[test]
+fn windowed_backend_enforces_the_drift_emergent_gate() {
+    let cfg = ConformanceConfig::quick();
+    let suite = quick_suite();
+    let flip = suite
+        .iter()
+        .find(|s| s.profile().name == "covariance_flip")
+        .expect("covariance_flip missing from the quick suite");
+    let report = run_scenario(flip.as_ref(), &cfg);
+    let windowed = report
+        .backends
+        .iter()
+        .find(|b| b.backend == "windowed_cs")
+        .expect("windowed backend missing from the quick profile");
+    assert!(windowed.passed, "windowed_cs failed: {windowed:?}");
+    let post_flip = windowed
+        .checkpoints
+        .last()
+        .expect("covariance_flip has two checkpoints");
+    let emergent = post_flip
+        .gates
+        .iter()
+        .find(|g| g.name == "emergent_signal_pairs")
+        .expect("post-flip window must surface emergent signals");
+    assert!(
+        emergent.enforced && emergent.passed,
+        "windowed emergent gate must be enforced and green: {emergent:?}"
+    );
+    assert!(
+        !windowed.checkpoints[0]
+            .gates
+            .iter()
+            .any(|g| g.name == "emergent_signal_pairs"),
+        "pre-flip window must not see emergent signals"
+    );
+    // Cumulative backends keep the diagnostic unenforced.
+    let vanilla = report
+        .backends
+        .iter()
+        .find(|b| b.backend == "vanilla_cs")
+        .expect("vanilla backend missing");
+    for ck in &vanilla.checkpoints {
+        for g in &ck.gates {
+            if g.name == "emergent_signal_pairs" {
+                assert!(!g.enforced, "cumulative emergent gate must stay diagnostic");
+            }
+        }
+    }
 }
 
 /// The quick profile is deterministic: two full runs of a scenario —

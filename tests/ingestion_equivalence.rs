@@ -352,6 +352,94 @@ proptest! {
         prop_assert_eq!(seq.skipped_updates(), merged.skipped_updates());
     }
 
+    /// **Windowed ring ↔ from-scratch rebuild.** A [`WindowedSketch`]
+    /// maintained incrementally (head-segment ingest, tail retire at every
+    /// block boundary) must be bit-identical — merged table, raw point
+    /// queries and normalised estimates — to a plain [`CountSketch`]
+    /// rebuilt from scratch over only the in-window samples, across random
+    /// geometries, window sizes, segment counts and stop points (so the
+    /// comparison lands before, at, and after retire boundaries). Dyadic
+    /// weights keep every grouping of the sums exact. Retired segments are
+    /// round-tripped through the PR 5 codec and re-merged to reconstruct
+    /// the cumulative sketch, pinning the spill path in the same run.
+    #[test]
+    fn windowed_ring_is_bit_identical_to_in_window_rebuild(
+        rows in 1usize..6,
+        range in 8usize..256,
+        segment_len in 1u64..24,
+        segments in 1usize..7,
+        per_sample in 1usize..4,
+        total in 1u64..120,
+        seed in 0u64..1000,
+        raw in proptest::collection::vec((0u64..48, -8i32..8), 360..361),
+    ) {
+        // Dyadic update weights: all sums exact under any association.
+        let updates: Vec<(u64, f64)> = raw
+            .iter()
+            .map(|&(key, q)| (key, f64::from(q) * 0.25))
+            .collect();
+        let mut win = ascs_core::WindowedSketch::new(rows, range, seed, segment_len, segments);
+        let mut cumulative = CountSketch::new(rows, range, seed);
+        let mut spilled: Vec<u8> = Vec::new();
+        let mut retired_count = 0u64;
+        for t in 1..=total {
+            if let Some(retired) = win.begin_sample() {
+                // Spill through the codec, as the lifecycle layer would.
+                retired.save(&mut spilled).unwrap();
+                retired_count += 1;
+            }
+            let base = (t as usize - 1) * per_sample;
+            for &(key, w) in &updates[base..base + per_sample] {
+                win.ingest(key, w);
+                cumulative.update(key, w);
+            }
+        }
+
+        // Rebuild from scratch over only the in-window samples.
+        let (start, n) = win.window_span();
+        prop_assert_eq!((start, n), ascs_core::window_span(total, segment_len, segments));
+        let mut rebuild = CountSketch::new(rows, range, seed);
+        for s in start..=total {
+            let base = (s as usize - 1) * per_sample;
+            for &(key, w) in &updates[base..base + per_sample] {
+                rebuild.update(key, w);
+            }
+        }
+        let merged = win.merged_sketch();
+        prop_assert!(
+            merged.table().iter().zip(rebuild.table()).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "merged ring table diverged from the in-window rebuild"
+        );
+        for key in 0..48u64 {
+            prop_assert_eq!(
+                win.raw_estimate(key).to_bits(),
+                rebuild.estimate(key).to_bits(),
+                "raw point query diverged at key {}", key
+            );
+            let expect = if n == 0 { 0.0 } else { rebuild.estimate(key) / n as f64 };
+            prop_assert_eq!(
+                win.estimate(key).to_bits(),
+                expect.to_bits(),
+                "normalised estimate diverged at key {}", key
+            );
+        }
+
+        // Restore every spilled segment and re-merge with the live ring:
+        // linearity reconstructs the cumulative sketch bit for bit.
+        prop_assert_eq!(win.retired_segments(), retired_count);
+        let mut reconstructed = merged;
+        let mut cursor = spilled.as_slice();
+        for _ in 0..retired_count {
+            let seg = ascs_core::RetiredSegment::restore(&mut cursor).unwrap();
+            reconstructed.merge(seg.sketch());
+        }
+        prop_assert!(cursor.is_empty(), "trailing bytes after the last spilled segment");
+        prop_assert!(
+            reconstructed.table().iter().zip(cumulative.table()).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "restored spill + live ring diverged from the cumulative sketch"
+        );
+    }
+
     /// Sharded vanilla ingestion merges to exactly the sequential sketch
     /// even under heavy collisions: with dyadic weights and a power-of-two
     /// `T`, every intermediate sum is exact, so the re-associated merge

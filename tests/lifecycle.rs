@@ -456,6 +456,249 @@ fn merging_incompatible_checkpoints_is_a_typed_error() {
     }
 }
 
+/// **Segment-ring codec round trip.** A windowed sketch saved mid-window
+/// (head segment partially filled) restores to bit-identical state and
+/// *continues the stream* exactly like the original — rotations, retires
+/// and estimates alike. Same for the decayed generation stack.
+#[test]
+fn time_aware_sketch_roundtrips_continue_the_stream_bit_identically() {
+    let total = 300u64;
+    let split = 137u64; // mid-block for segment_len 16 — not a boundary
+    let mut win = WindowedSketch::new(3, 128, 13, 16, 4);
+    let mut dec = DecayedSketch::new(3, 128, 13, 0.97);
+    let feed = |w: &mut WindowedSketch, d: &mut DecayedSketch, t: u64| {
+        let _ = w.begin_sample();
+        d.begin_sample();
+        for key in 0..10u64 {
+            let u = ((t * 11 + key * 3) % 9) as f64 * 0.25 - 1.0;
+            w.ingest(key, u);
+            d.ingest(key, u);
+        }
+    };
+    for t in 1..=split {
+        feed(&mut win, &mut dec, t);
+    }
+    let mut win_bytes = Vec::new();
+    let mut dec_bytes = Vec::new();
+    win.save(&mut win_bytes).unwrap();
+    dec.save(&mut dec_bytes).unwrap();
+    let mut win_back = WindowedSketch::restore(&mut win_bytes.as_slice()).unwrap();
+    let mut dec_back = DecayedSketch::restore(&mut dec_bytes.as_slice()).unwrap();
+    assert_eq!(win_back.t(), win.t());
+    assert_eq!(win_back.window_span(), win.window_span());
+    assert_eq!(win_back.retired_segments(), win.retired_segments());
+    assert_eq!(dec_back.t(), dec.t());
+    assert_eq!(dec_back.generation_count(), dec.generation_count());
+    assert_eq!(dec_back.table_write_ops(), dec.table_write_ops());
+    for key in 0..64u64 {
+        assert_eq!(
+            win_back.estimate(key).to_bits(),
+            win.estimate(key).to_bits()
+        );
+        assert_eq!(
+            dec_back.estimate(key).to_bits(),
+            dec.estimate(key).to_bits()
+        );
+    }
+    // The restored sketches keep rotating/retiring in lockstep with the
+    // originals across several further block boundaries.
+    for t in split + 1..=total {
+        feed(&mut win, &mut dec, t);
+        feed(&mut win_back, &mut dec_back, t);
+    }
+    assert_eq!(win_back.retired_segments(), win.retired_segments());
+    assert_eq!(dec_back.rotations(), dec.rotations());
+    for key in 0..64u64 {
+        assert_eq!(
+            win_back.estimate(key).to_bits(),
+            win.estimate(key).to_bits(),
+            "windowed estimate diverged after resume at key {key}"
+        );
+        assert_eq!(
+            dec_back.estimate(key).to_bits(),
+            dec.estimate(key).to_bits(),
+            "decayed estimate diverged after resume at key {key}"
+        );
+    }
+}
+
+/// Every strict prefix of a windowed, decayed or retired-segment record is
+/// a typed [`CodecError::Truncated`]; every single-byte corruption is a
+/// typed error or a valid restore — never a panic. Header corruptions are
+/// detected per field, and mismatched record tags are refused.
+#[test]
+fn time_aware_records_survive_the_truncation_and_corruption_sweep() {
+    let mut win = WindowedSketch::new(2, 16, 5, 4, 3);
+    let mut dec = DecayedSketch::new(2, 16, 5, 0.9);
+    let mut retired = None;
+    for t in 1..=20u64 {
+        if let Some(seg) = win.begin_sample() {
+            retired = Some(seg);
+        }
+        dec.begin_sample();
+        for key in 0..6u64 {
+            let u = ((t + key) % 5) as f64 * 0.5 - 1.0;
+            win.ingest(key, u);
+            dec.ingest(key, u);
+        }
+    }
+    let retired = retired.expect("20 samples at 4×3 must retire a segment");
+    let mut win_bytes = Vec::new();
+    let mut dec_bytes = Vec::new();
+    let mut seg_bytes = Vec::new();
+    win.save(&mut win_bytes).unwrap();
+    dec.save(&mut dec_bytes).unwrap();
+    retired.save(&mut seg_bytes).unwrap();
+
+    for cut in 0..win_bytes.len() {
+        assert!(
+            matches!(
+                WindowedSketch::restore(&mut &win_bytes[..cut]),
+                Err(CodecError::Truncated)
+            ),
+            "windowed cut {cut} was not typed as truncation"
+        );
+    }
+    for cut in 0..dec_bytes.len() {
+        assert!(
+            matches!(
+                DecayedSketch::restore(&mut &dec_bytes[..cut]),
+                Err(CodecError::Truncated)
+            ),
+            "decayed cut {cut} was not typed as truncation"
+        );
+    }
+    for cut in 0..seg_bytes.len() {
+        assert!(
+            matches!(
+                RetiredSegment::restore(&mut &seg_bytes[..cut]),
+                Err(CodecError::Truncated)
+            ),
+            "segment cut {cut} was not typed as truncation"
+        );
+    }
+
+    // Single-byte XOR over every record: typed error or valid restore,
+    // never a panic.
+    for bytes in [&win_bytes, &dec_bytes, &seg_bytes] {
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x41;
+            let _ = WindowedSketch::restore(&mut corrupt.as_slice());
+            let _ = DecayedSketch::restore(&mut corrupt.as_slice());
+            let _ = RetiredSegment::restore(&mut corrupt.as_slice());
+        }
+    }
+
+    // Header field checks: magic, future version, record-tag confusion.
+    let mut bad_magic = win_bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        WindowedSketch::restore(&mut bad_magic.as_slice()),
+        Err(CodecError::BadMagic(_))
+    ));
+    let mut bumped = dec_bytes.clone();
+    bumped[4] = 2;
+    assert!(matches!(
+        DecayedSketch::restore(&mut bumped.as_slice()),
+        Err(CodecError::UnsupportedVersion(2))
+    ));
+    assert!(matches!(
+        WindowedSketch::restore(&mut dec_bytes.as_slice()),
+        Err(CodecError::WrongRecord { .. })
+    ));
+    assert!(matches!(
+        DecayedSketch::restore(&mut seg_bytes.as_slice()),
+        Err(CodecError::WrongRecord { .. })
+    ));
+    assert!(matches!(
+        RetiredSegment::restore(&mut win_bytes.as_slice()),
+        Err(CodecError::WrongRecord { .. })
+    ));
+
+    // Key-partition merges demand identical clocks: a ring two samples
+    // behind is refused, and the refusal leaves the receiver untouched.
+    let stale = WindowedSketch::restore(&mut win_bytes.as_slice()).unwrap();
+    let _ = win.begin_sample();
+    let before: Vec<u64> = win
+        .merged_sketch()
+        .table()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert!(matches!(
+        win.merge_restored(&stale),
+        Err(CodecError::Incompatible(_))
+    ));
+    let after: Vec<u64> = win
+        .merged_sketch()
+        .table()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(before, after, "refused merge mutated the receiver");
+}
+
+/// **Estimator checkpoint → resume, mid-window.** Both time-aware
+/// backends checkpoint at a stream time that is *not* a segment boundary
+/// and resume bit-identically through further retires/rotations — the
+/// whole ring (head fill level included) survives the trip. Truncated
+/// checkpoints stay typed.
+#[test]
+fn estimator_resume_is_bit_identical_for_time_aware_backends() {
+    let dim = 24u64;
+    let total = 128u64;
+    let samples = dyadic_samples(dim, total, 5);
+    for backend in [
+        SketchBackend::Windowed {
+            segment_len: 16,
+            segments: 4,
+        },
+        SketchBackend::Decayed { gamma: 0.96 },
+    ] {
+        let config = base_config(dim, total, 33);
+        let mut uninterrupted = CovarianceEstimator::with_hyperparameters(config, backend, None);
+        let mut front = CovarianceEstimator::with_hyperparameters(config, backend, None);
+        let split = 71usize; // mid-block for segment_len 16
+        for s in &samples {
+            uninterrupted.process_sample(s);
+        }
+        for s in &samples[..split] {
+            front.process_sample(s);
+        }
+        let mut bytes = Vec::new();
+        front.checkpoint(&mut bytes).unwrap();
+        let mut resumed = CovarianceEstimator::resume(&mut bytes.as_slice()).unwrap();
+        for s in &samples[split..] {
+            resumed.process_sample(s);
+        }
+        assert_eq!(
+            resumed.processed_samples(),
+            uninterrupted.processed_samples()
+        );
+        assert_eq!(resumed.update_counts(), uninterrupted.update_counts());
+        let (a, b) = (uninterrupted.all_estimates(), resumed.all_estimates());
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{backend:?}: resumed estimates diverged from the uninterrupted run"
+        );
+        for cut in [0, 5, 6, 20, bytes.len() / 3, bytes.len() - 1] {
+            assert!(matches!(
+                CovarianceEstimator::resume(&mut &bytes[..cut]),
+                Err(CodecError::Truncated)
+            ));
+        }
+        // Time-split merges of time-aware backends are semantically
+        // impossible (segments would interleave) — typed, not silent.
+        let mut other_bytes = Vec::new();
+        uninterrupted.checkpoint(&mut other_bytes).unwrap();
+        assert!(matches!(
+            resumed.merge_from_checkpoint(&mut other_bytes.as_slice()),
+            Err(CodecError::Unsupported(_))
+        ));
+    }
+}
+
 #[test]
 fn sharded_shard_count_is_validated_up_front() {
     // Satellite regression: `new`/`vanilla` reject oversized shard counts

@@ -539,3 +539,100 @@ fn backoff_jitter_sequence_is_pinned_per_seed() {
     }
     assert!(diverged, "seeds 7 and 8 produced identical jitter");
 }
+
+/// Time-aware serving reads: the snapshot-differencing window view must be
+/// **bit-identical** to a directly maintained windowed backend fed the
+/// same stream — count-sketch linearity is exact under dyadic sample
+/// values and a power-of-two `T`, so any bit of divergence is a real bug
+/// in the ring (wrong base boundary, wrong normaliser, a read that
+/// mutated state). The decayed view is block-granular, so it is pinned
+/// against its own contract instead: at `γ → 1` it must collapse to the
+/// cumulative mean.
+#[test]
+fn windowed_snapshot_view_is_bit_identical_to_a_maintained_windowed_sketch() {
+    use ascs::core::serve::WindowedSnapshotRing;
+
+    let total = 256u64; // power of two: 1/T scaling is exact on dyadics
+    let (seg_len, segs) = (32u64, 3usize);
+    let cfg = config(total, 59);
+    let mut hp = hyper(total);
+    hp.t0 = total; // explore the whole stream: the gate inserts everything
+    let mut serving =
+        ServingEstimator::launch_with_hyperparameters(cfg, Some(hp), ServeOptions::default());
+    let mut ring = WindowedSnapshotRing::new(seg_len, segs, total);
+    let mut windowed = CovarianceEstimator::with_hyperparameters(
+        cfg,
+        SketchBackend::Windowed {
+            segment_len: seg_len,
+            segments: segs,
+        },
+        None,
+    );
+
+    // Dyadic sample values {-1, -0.5, 0, 0.5, 1}: every pair update and
+    // every partial sum is exactly representable.
+    let dyadic_sample = |t: u64| -> Sample {
+        let values: Vec<f64> = (0..DIM)
+            .map(|f| ((t * 31 + f * 7) % 5) as f64 * 0.5 - 1.0)
+            .collect();
+        Sample::dense(values)
+    };
+
+    let mut checked_warm_window = false;
+    for t in 1..=total {
+        let s = dyadic_sample(t);
+        serving.try_ingest(&s).expect("ingest failed");
+        windowed.process_sample(&s);
+        // Refresh on every block boundary (the epochs the ring retains as
+        // window bases) plus an off-boundary cadence, which must only
+        // advance the head.
+        if t % seg_len == 0 || t % 17 == 0 {
+            let before = ring.retained_boundaries();
+            let advanced = ring.observe(serving.refresh_snapshot().expect("refresh failed"));
+            assert!(advanced, "a fresh snapshot was rejected at t = {t}");
+            if t % seg_len != 0 {
+                assert_eq!(ring.retained_boundaries(), before, "non-boundary retained");
+            }
+        }
+        if t % seg_len == 0 {
+            let view = ring.windowed_view().expect("no view after observing");
+            assert_eq!(view.epoch(), t);
+            let (start, n) = ascs::core::timeaware::window_span(t, seg_len, segs);
+            assert_eq!(view.base_epoch(), start - 1, "wrong window base at t = {t}");
+            assert_eq!(view.span(), n, "wrong window span at t = {t}");
+            checked_warm_window |= view.base_epoch() > 0;
+            for key in 0..PAIRS {
+                assert_eq!(
+                    view.estimate(key).to_bits(),
+                    windowed.estimate_key(key).to_bits(),
+                    "windowed serving read diverged at t = {t}, key = {key}"
+                );
+                assert_eq!(
+                    view.estimate_pair(1, 3).to_bits(),
+                    windowed.estimate_pair(1, 3).to_bits()
+                );
+            }
+        }
+    }
+    assert!(checked_warm_window, "window never warmed past the prefix");
+    // A stale snapshot must be ignored.
+    let snap = serving.refresh_snapshot().expect("refresh failed");
+    assert!(ring.observe(snap.clone()) || snap.epoch() == ring.epoch());
+    assert!(!ring.observe(snap), "stale snapshot accepted");
+    assert!(ring.retained_boundaries() <= segs + 1);
+
+    // Decayed view contract: at γ → 1 every block weight → 1, so the
+    // block-granular EWMA collapses to the cumulative mean.
+    let near_one = ring.decayed_view(0.999_999_9).expect("no decayed view");
+    let cumulative = serving.snapshot_reader().current().snapshot.clone();
+    for key in 0..PAIRS {
+        let ewma = near_one.estimate(key);
+        let mean = cumulative.estimate(key) * total as f64 / ring.epoch() as f64;
+        assert!(
+            (ewma - mean).abs() <= 1e-4 * (1.0 + mean.abs()),
+            "γ→1 decayed view should match the cumulative mean at key {key}: {ewma} vs {mean}"
+        );
+        assert!(ring.decayed_view(0.5).unwrap().estimate(key).is_finite());
+    }
+    serving.shutdown();
+}

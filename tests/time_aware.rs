@@ -1,0 +1,244 @@
+//! Numeric contracts of the time-aware sketches.
+//!
+//! * The decayed sketch's **global decay accumulator** stays finite and
+//!   accurate over streams long enough to force many generation
+//!   rotations: the estimate tracks a directly-maintained EWMA recurrence
+//!   to fine relative tolerance, at `γ` both close to and far from 1.
+//! * **Scale-on-read is pure**: the sketch exposes a table-write
+//!   counter, and a heavy barrage of point queries, whole-universe
+//!   merges, and normaliser reads must leave it — and every table bit —
+//!   untouched. The decayed table is never rescaled in place.
+//! * **Pinned-sequence determinism**: for a fixed update sequence the
+//!   final state is bit-identical no matter how reads interleave with
+//!   ingestion, and repeated reads at a fixed `t` are bit-stable.
+
+use ascs::prelude::*;
+
+/// Deterministic dyadic-ish weight stream (values in ±2, varied).
+fn pinned_weight(i: u64) -> f64 {
+    ((i * 7 + 3) % 9) as f64 * 0.5 - 2.0
+}
+
+/// The decayed accumulator survives ~100k samples — dozens of scale
+/// rotations at γ = 0.99 — with every observable finite and the estimate
+/// matching the EWMA recurrence `raw_t = γ·raw_{t−1} + u_t` to fine
+/// relative tolerance. Collisions are excluded by a tiny universe in a
+/// huge range, so the sketch read *is* the decayed sum.
+#[test]
+fn decay_accumulator_is_finite_and_accurate_over_long_streams() {
+    // γ = 0.999 never reaches the growth limit in 60k samples — it pins
+    // the single-generation regime; the other two force many rotations.
+    for &(gamma, total, expect_rotations) in &[
+        (0.99f64, 100_000u64, true),
+        (0.5, 20_000, true),
+        (0.999, 60_000, false),
+    ] {
+        let mut sketch = DecayedSketch::new(3, 1 << 14, 42, gamma);
+        let mut ewma = [0.0f64; 3];
+        for t in 1..=total {
+            sketch.begin_sample();
+            for (key, e) in ewma.iter_mut().enumerate() {
+                let u = pinned_weight(t * 3 + key as u64);
+                sketch.ingest(key as u64, u);
+                *e = gamma * *e + u;
+            }
+        }
+        assert_eq!(
+            sketch.rotations() > 0,
+            expect_rotations,
+            "γ = {gamma}: unexpected rotation count {}",
+            sketch.rotations()
+        );
+        assert!(
+            sketch.generation_count() <= 4,
+            "γ = {gamma}: {} live generations",
+            sketch.generation_count()
+        );
+        let norm = sketch.weight_norm();
+        assert!(norm.is_finite() && norm > 0.0);
+        assert!(sketch.effective_sample_size().is_finite());
+        for (key, e) in ewma.iter().enumerate() {
+            let raw = sketch.raw_estimate(key as u64);
+            assert!(raw.is_finite(), "γ = {gamma}: non-finite raw estimate");
+            assert!(
+                (raw - e).abs() <= 1e-9 * (1.0 + e.abs()),
+                "γ = {gamma}, key {key}: raw {raw} vs recurrence {e}"
+            );
+            // The normalised estimate is exactly raw / W — a single
+            // division, bit-reproducible.
+            let est = sketch.estimate(key as u64);
+            assert_eq!(
+                est.to_bits(),
+                (raw / norm).to_bits(),
+                "γ = {gamma}, key {key}: estimate diverged from raw/W"
+            );
+        }
+    }
+}
+
+/// The write-op probe: reads of every flavour — point queries, raw
+/// queries, whole-universe merges, normalisers — never touch the tables.
+/// `table_write_ops` counts `rows` per ingested update and nothing else,
+/// and the merged table is bit-stable across read barrages.
+#[test]
+fn decayed_reads_never_rescale_the_table_in_place() {
+    let rows = 4usize;
+    let mut sketch = DecayedSketch::new(rows, 512, 7, 0.97);
+    let mut ingested = 0u64;
+    for t in 1..=3_000u64 {
+        sketch.begin_sample();
+        for key in 0..8u64 {
+            sketch.ingest(key, pinned_weight(t * 8 + key));
+            ingested += 1;
+        }
+    }
+    let writes_after_ingest = sketch.table_write_ops();
+    assert_eq!(
+        writes_after_ingest,
+        ingested * rows as u64,
+        "write-op ledger out of step with ingestion"
+    );
+
+    let before_table = sketch.merged_sketch();
+    let before_estimates: Vec<u64> = (0..64u64).map(|k| sketch.estimate(k).to_bits()).collect();
+    // A heavy interleaved read barrage.
+    for round in 0..50 {
+        for key in 0..64u64 {
+            let _ = sketch.estimate(key);
+            let _ = sketch.raw_estimate(key);
+        }
+        let _ = sketch.weight_norm();
+        let _ = sketch.effective_sample_size();
+        if round % 5 == 0 {
+            let _ = sketch.merged_sketch();
+        }
+    }
+    assert_eq!(
+        sketch.table_write_ops(),
+        writes_after_ingest,
+        "a read path wrote to the tables"
+    );
+    let after_table = sketch.merged_sketch();
+    assert!(
+        before_table
+            .table()
+            .iter()
+            .zip(after_table.table())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "reads changed the merged table"
+    );
+    let after_estimates: Vec<u64> = (0..64u64).map(|k| sketch.estimate(k).to_bits()).collect();
+    assert_eq!(
+        before_estimates, after_estimates,
+        "repeated reads at a fixed t are not bit-stable"
+    );
+}
+
+/// Bit-stable under any read/ingest interleaving: two sketches fed the
+/// same pinned sequence — one read-hammered after every sample, one never
+/// read until the end — finish with bit-identical generation tables and
+/// estimates. The same holds for the windowed ring.
+#[test]
+fn pinned_sequence_is_deterministic_under_interleaved_reads() {
+    let total = 2_000u64;
+    let mut quiet = DecayedSketch::new(3, 256, 11, 0.98);
+    let mut hammered = DecayedSketch::new(3, 256, 11, 0.98);
+    let mut win_quiet = WindowedSketch::new(3, 256, 11, 32, 4);
+    let mut win_hammered = WindowedSketch::new(3, 256, 11, 32, 4);
+    for t in 1..=total {
+        quiet.begin_sample();
+        hammered.begin_sample();
+        let _ = win_quiet.begin_sample();
+        let _ = win_hammered.begin_sample();
+        for key in 0..12u64 {
+            let u = pinned_weight(t * 12 + key);
+            quiet.ingest(key, u);
+            hammered.ingest(key, u);
+            // Reads *between* the ingests of one sample.
+            let _ = hammered.estimate(key);
+            let _ = hammered.raw_estimate((key + 5) % 12);
+            win_quiet.ingest(key, u);
+            win_hammered.ingest(key, u);
+            let _ = win_hammered.estimate(key);
+        }
+        if t % 37 == 0 {
+            let _ = hammered.merged_sketch();
+            let _ = hammered.weight_norm();
+            let _ = win_hammered.merged_sketch();
+        }
+    }
+    assert_eq!(quiet.generation_count(), hammered.generation_count());
+    assert_eq!(quiet.table_write_ops(), hammered.table_write_ops());
+    let (a, b) = (quiet.merged_sketch(), hammered.merged_sketch());
+    assert!(
+        a.table()
+            .iter()
+            .zip(b.table())
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "interleaved reads perturbed the decayed tables"
+    );
+    for key in 0..64u64 {
+        assert_eq!(
+            quiet.estimate(key).to_bits(),
+            hammered.estimate(key).to_bits(),
+            "decayed estimate diverged at key {key}"
+        );
+        assert_eq!(
+            win_quiet.estimate(key).to_bits(),
+            win_hammered.estimate(key).to_bits(),
+            "windowed estimate diverged at key {key}"
+        );
+    }
+}
+
+/// The decayed estimator backend inherits the purity contract end to end:
+/// `all_estimates` sweeps between samples do not disturb subsequent
+/// ingestion (bit-compared against an undisturbed twin), for both
+/// time-aware backends.
+#[test]
+fn estimator_sweeps_between_samples_do_not_disturb_time_aware_backends() {
+    let dim = 16u64;
+    let total = 256u64;
+    let config = AscsConfig {
+        dim,
+        total_samples: total,
+        geometry: SketchGeometry::new(5, 1024),
+        alpha: 0.05,
+        signal_strength: 0.5,
+        sigma: 1.0,
+        delta: 0.05,
+        delta_star: 0.20,
+        tau0: 1e-3,
+        estimand: EstimandKind::Covariance,
+        update_mode: UpdateMode::Product,
+        seed: 23,
+        top_k_capacity: 32,
+    };
+    for backend in [
+        SketchBackend::Windowed {
+            segment_len: 32,
+            segments: 4,
+        },
+        SketchBackend::Decayed { gamma: 0.97 },
+    ] {
+        let mut quiet = CovarianceEstimator::with_hyperparameters(config, backend, None);
+        let mut swept = CovarianceEstimator::with_hyperparameters(config, backend, None);
+        for t in 1..=total {
+            let values: Vec<f64> = (0..dim)
+                .map(|f| ((t * 31 + f * 7) % 5) as f64 * 0.5 - 1.0)
+                .collect();
+            let sample = Sample::dense(values);
+            quiet.process_sample(&sample);
+            swept.process_sample(&sample);
+            if t % 9 == 0 {
+                let _ = swept.all_estimates();
+                let _ = swept.top_pairs(8);
+            }
+        }
+        let (a, b) = (quiet.all_estimates(), swept.all_estimates());
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "mid-stream sweeps disturbed the {backend:?} backend"
+        );
+    }
+}
